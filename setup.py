@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists only so
+that ``pip install -e . --no-use-pep517`` (legacy editable install) works on
+environments without the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,120 @@
+"""repro — a path-based algebra for graph query languages.
+
+Reference implementation of *"Path-based Algebraic Foundations of Graph Query
+Languages"* (EDBT 2025): a query algebra whose carriers are sets of paths,
+covering the core operators (selection, join, union), the recursive operator
+ϕ under the five GQL path semantics, and the extended operators (group-by,
+order-by, projection) that express GQL selectors and restrictors.
+
+Quick start::
+
+    from repro import PathQueryEngine, figure1_graph
+
+    engine = PathQueryEngine(figure1_graph())
+    result = engine.query(
+        'MATCH ANY SHORTEST TRAIL p = (?x {name: "Moe"})-[:Knows]->+(?y)'
+    )
+    for path in result.paths:
+        print(path)
+"""
+
+from repro.algebra import (
+    EdgesScan,
+    Evaluator,
+    Expression,
+    GroupBy,
+    GroupByKey,
+    Join,
+    NodesScan,
+    OrderBy,
+    OrderByKey,
+    Projection,
+    ProjectionSpec,
+    Recursive,
+    Selection,
+    SolutionSpace,
+    Union,
+    evaluate,
+    evaluate_to_paths,
+    group_by,
+    order_by,
+    project,
+    to_algebra_notation,
+    to_plan_tree,
+)
+from repro.datasets import figure1_graph, ldbc_like_graph
+from repro.engine import ExplainResult, PathQueryEngine, QueryResult
+from repro.graph import Edge, GraphBuilder, Node, PropertyGraph
+from repro.gql import parse_query, plan_query, plan_text
+from repro.optimizer import Optimizer, optimize
+from repro.paths import Path, PathSet
+from repro.rpq import CompileOptions, compile_regex, parse_regex
+from repro.semantics import Restrictor, Selector, SelectorKind, apply_selector, recursive_closure
+from repro.semantics.translate import (
+    PathQuerySpec,
+    all_selector_restrictor_combinations,
+    translate_path_query,
+    translate_selector_restrictor,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # graph
+    "PropertyGraph",
+    "Node",
+    "Edge",
+    "GraphBuilder",
+    # paths
+    "Path",
+    "PathSet",
+    # algebra
+    "Expression",
+    "NodesScan",
+    "EdgesScan",
+    "Selection",
+    "Join",
+    "Union",
+    "Recursive",
+    "GroupBy",
+    "OrderBy",
+    "Projection",
+    "SolutionSpace",
+    "GroupByKey",
+    "OrderByKey",
+    "ProjectionSpec",
+    "Evaluator",
+    "evaluate",
+    "evaluate_to_paths",
+    "group_by",
+    "order_by",
+    "project",
+    "to_algebra_notation",
+    "to_plan_tree",
+    # semantics
+    "Restrictor",
+    "Selector",
+    "SelectorKind",
+    "apply_selector",
+    "recursive_closure",
+    "PathQuerySpec",
+    "translate_path_query",
+    "translate_selector_restrictor",
+    "all_selector_restrictor_combinations",
+    # front end / engine
+    "parse_query",
+    "plan_query",
+    "plan_text",
+    "parse_regex",
+    "compile_regex",
+    "CompileOptions",
+    "Optimizer",
+    "optimize",
+    "PathQueryEngine",
+    "QueryResult",
+    "ExplainResult",
+    # datasets
+    "figure1_graph",
+    "ldbc_like_graph",
+]

@@ -1,0 +1,345 @@
+"""Selection conditions of the core path algebra (paper Section 3.1).
+
+A *simple* selection condition compares a feature of a path against a value:
+
+* ``label(node(i)) = v`` / ``label(edge(i)) = v``
+* ``label(first) = v`` / ``label(last) = v``
+* ``node(i).pr = v`` / ``edge(i).pr = v``
+* ``first.pr = v`` / ``last.pr = v``
+* ``len() = i``
+
+*Complex* conditions combine simple ones with ``and`` / ``or`` / ``not``.
+Following the paper's footnote, simple conditions also support the
+inequality comparators (``!=``, ``<``, ``>``, ``<=``, ``>=``).
+
+Conditions are immutable value objects with structural equality so that plan
+rewrites can compare and deduplicate them.  Every condition evaluates over a
+:class:`~repro.paths.path.Path` and returns ``True`` or ``False``; accesses
+to positions outside the path (e.g. ``edge(3)`` on a length-one path) return
+``False`` rather than raising, matching the paper's "returns v" phrasing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any
+
+from repro.errors import ConditionError
+from repro.paths.path import Path
+
+__all__ = [
+    "Comparator",
+    "Condition",
+    "SimpleCondition",
+    "LabelCondition",
+    "PropertyCondition",
+    "LengthCondition",
+    "And",
+    "Or",
+    "Not",
+    "TrueCondition",
+    "label_of_edge",
+    "label_of_node",
+    "label_of_first",
+    "label_of_last",
+    "prop_of_edge",
+    "prop_of_node",
+    "prop_of_first",
+    "prop_of_last",
+    "length_equals",
+    "length_at_most",
+    "length_at_least",
+]
+
+
+class Comparator(str, Enum):
+    """Comparison operators allowed in simple selection conditions."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+
+    def apply(self, left: Any, right: Any) -> bool:
+        """Apply the comparator; ordered comparisons on ``None`` are ``False``."""
+        if self is Comparator.EQ:
+            return left == right
+        if self is Comparator.NE:
+            return left != right
+        if left is None or right is None:
+            return False
+        try:
+            if self is Comparator.LT:
+                return left < right
+            if self is Comparator.GT:
+                return left > right
+            if self is Comparator.LE:
+                return left <= right
+            return left >= right
+        except TypeError:
+            return False
+
+
+class Target(str, Enum):
+    """What part of the path a simple condition inspects."""
+
+    NODE = "node"
+    EDGE = "edge"
+    FIRST = "first"
+    LAST = "last"
+    PATH = "path"
+
+
+class Condition:
+    """Abstract base class of all selection conditions."""
+
+    def evaluate(self, path: Path) -> bool:
+        """Return the truth value of this condition over ``path``."""
+        raise NotImplementedError
+
+    # Convenience combinators mirroring the paper's (c1 ∧ c2), (c1 ∨ c2), ¬(c1).
+    def __and__(self, other: "Condition") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Condition") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def __call__(self, path: Path) -> bool:
+        return self.evaluate(path)
+
+
+@dataclass(frozen=True)
+class TrueCondition(Condition):
+    """A condition that is always true (the neutral element for ∧)."""
+
+    def evaluate(self, path: Path) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class SimpleCondition(Condition):
+    """Common base for the paper's simple conditions."""
+
+
+@dataclass(frozen=True)
+class LabelCondition(SimpleCondition):
+    """``label(node(i)) = v``, ``label(edge(i)) = v``, ``label(first) = v``, ``label(last) = v``."""
+
+    target: Target
+    value: Any
+    position: int | None = None
+    comparator: Comparator = Comparator.EQ
+
+    def __post_init__(self) -> None:
+        if self.target in (Target.NODE, Target.EDGE) and (
+            self.position is None or self.position < 1
+        ):
+            raise ConditionError("label(node(i)) / label(edge(i)) require a 1-based position")
+        if self.target is Target.PATH:
+            raise ConditionError("label conditions cannot target the whole path")
+
+    def evaluate(self, path: Path) -> bool:
+        object_id = _resolve_object(path, self.target, self.position)
+        if object_id is None:
+            return False
+        label = path.graph.label_of(object_id)
+        return self.comparator.apply(label, self.value)
+
+    def __str__(self) -> str:
+        if self.target is Target.NODE:
+            subject = f"label(node({self.position}))"
+        elif self.target is Target.EDGE:
+            subject = f"label(edge({self.position}))"
+        else:
+            subject = f"label({self.target.value})"
+        return f"{subject} {self.comparator.value} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class PropertyCondition(SimpleCondition):
+    """``node(i).pr = v``, ``edge(i).pr = v``, ``first.pr = v``, ``last.pr = v``."""
+
+    target: Target
+    property_name: str
+    value: Any
+    position: int | None = None
+    comparator: Comparator = Comparator.EQ
+
+    def __post_init__(self) -> None:
+        if self.target in (Target.NODE, Target.EDGE) and (
+            self.position is None or self.position < 1
+        ):
+            raise ConditionError("node(i).pr / edge(i).pr require a 1-based position")
+        if self.target is Target.PATH:
+            raise ConditionError("property conditions cannot target the whole path")
+
+    def evaluate(self, path: Path) -> bool:
+        object_id = _resolve_object(path, self.target, self.position)
+        if object_id is None:
+            return False
+        value = path.graph.property_of(object_id, self.property_name)
+        if value is None:
+            return False
+        return self.comparator.apply(value, self.value)
+
+    def __str__(self) -> str:
+        if self.target is Target.NODE:
+            subject = f"node({self.position}).{self.property_name}"
+        elif self.target is Target.EDGE:
+            subject = f"edge({self.position}).{self.property_name}"
+        else:
+            subject = f"{self.target.value}.{self.property_name}"
+        return f"{subject} {self.comparator.value} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class LengthCondition(SimpleCondition):
+    """``len() = i`` (and the inequality variants from the paper's footnote)."""
+
+    value: int
+    comparator: Comparator = Comparator.EQ
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ConditionError("path length comparisons require a non-negative value")
+
+    def evaluate(self, path: Path) -> bool:
+        return self.comparator.apply(path.len(), self.value)
+
+    def __str__(self) -> str:
+        return f"len() {self.comparator.value} {self.value}"
+
+
+@dataclass(frozen=True)
+class And(Condition):
+    """Conjunction ``(c1 ∧ c2)``."""
+
+    left: Condition
+    right: Condition
+
+    def evaluate(self, path: Path) -> bool:
+        return self.left.evaluate(path) and self.right.evaluate(path)
+
+    def __str__(self) -> str:
+        return f"({self.left} AND {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Condition):
+    """Disjunction ``(c1 ∨ c2)``."""
+
+    left: Condition
+    right: Condition
+
+    def evaluate(self, path: Path) -> bool:
+        return self.left.evaluate(path) or self.right.evaluate(path)
+
+    def __str__(self) -> str:
+        return f"({self.left} OR {self.right})"
+
+
+@dataclass(frozen=True)
+class Not(Condition):
+    """Negation ``¬(c)``."""
+
+    operand: Condition
+
+    def evaluate(self, path: Path) -> bool:
+        return not self.operand.evaluate(path)
+
+    def __str__(self) -> str:
+        return f"NOT ({self.operand})"
+
+
+def _resolve_object(path: Path, target: Target, position: int | None) -> str | None:
+    """Return the node/edge identifier a simple condition refers to, or ``None`` if absent."""
+    if target is Target.FIRST:
+        return path.first()
+    if target is Target.LAST:
+        return path.last()
+    if target is Target.NODE:
+        assert position is not None
+        if position > path.len() + 1:
+            return None
+        return path.node(position)
+    if target is Target.EDGE:
+        assert position is not None
+        if position > path.len():
+            return None
+        return path.edge(position)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Constructor helpers mirroring the paper's notation
+# ----------------------------------------------------------------------
+def label_of_edge(position: int, value: Any, comparator: Comparator = Comparator.EQ) -> LabelCondition:
+    """``label(edge(position)) = value`` — the condition used throughout the paper's figures."""
+    return LabelCondition(Target.EDGE, value, position, comparator)
+
+
+def label_of_node(position: int, value: Any, comparator: Comparator = Comparator.EQ) -> LabelCondition:
+    """``label(node(position)) = value``."""
+    return LabelCondition(Target.NODE, value, position, comparator)
+
+
+def label_of_first(value: Any, comparator: Comparator = Comparator.EQ) -> LabelCondition:
+    """``label(first) = value``."""
+    return LabelCondition(Target.FIRST, value, None, comparator)
+
+
+def label_of_last(value: Any, comparator: Comparator = Comparator.EQ) -> LabelCondition:
+    """``label(last) = value``."""
+    return LabelCondition(Target.LAST, value, None, comparator)
+
+
+def prop_of_edge(
+    position: int, property_name: str, value: Any, comparator: Comparator = Comparator.EQ
+) -> PropertyCondition:
+    """``edge(position).property_name = value``."""
+    return PropertyCondition(Target.EDGE, property_name, value, position, comparator)
+
+
+def prop_of_node(
+    position: int, property_name: str, value: Any, comparator: Comparator = Comparator.EQ
+) -> PropertyCondition:
+    """``node(position).property_name = value``."""
+    return PropertyCondition(Target.NODE, property_name, value, position, comparator)
+
+
+def prop_of_first(
+    property_name: str, value: Any, comparator: Comparator = Comparator.EQ
+) -> PropertyCondition:
+    """``first.property_name = value`` (e.g. ``first.name = "Moe"``)."""
+    return PropertyCondition(Target.FIRST, property_name, value, None, comparator)
+
+
+def prop_of_last(
+    property_name: str, value: Any, comparator: Comparator = Comparator.EQ
+) -> PropertyCondition:
+    """``last.property_name = value`` (e.g. ``last.name = "Apu"``)."""
+    return PropertyCondition(Target.LAST, property_name, value, None, comparator)
+
+
+def length_equals(value: int) -> LengthCondition:
+    """``len() = value``."""
+    return LengthCondition(value, Comparator.EQ)
+
+
+def length_at_most(value: int) -> LengthCondition:
+    """``len() <= value``."""
+    return LengthCondition(value, Comparator.LE)
+
+
+def length_at_least(value: int) -> LengthCondition:
+    """``len() >= value``."""
+    return LengthCondition(value, Comparator.GE)

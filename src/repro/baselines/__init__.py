@@ -1,0 +1,19 @@
+"""Classical RPQ evaluation baselines (traversal, automaton product, matrix algebra)."""
+
+from repro.baselines.automaton_eval import (
+    ProductSearchResult,
+    evaluate_rpq_pairs,
+    evaluate_rpq_shortest_witnesses,
+)
+from repro.baselines.matrix import MatrixRPQEvaluator, evaluate_rpq_matrix
+from repro.baselines.traversal import TraversalOptions, evaluate_rpq_traversal
+
+__all__ = [
+    "TraversalOptions",
+    "evaluate_rpq_traversal",
+    "ProductSearchResult",
+    "evaluate_rpq_pairs",
+    "evaluate_rpq_shortest_witnesses",
+    "MatrixRPQEvaluator",
+    "evaluate_rpq_matrix",
+]

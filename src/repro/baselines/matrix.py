@@ -1,0 +1,129 @@
+"""Matrix-based RPQ reachability (Section 8.2, matrix-based methods).
+
+The graph is represented as one boolean adjacency matrix per edge label
+(numpy arrays); regular-expression operators map onto matrix algebra:
+
+* concatenation  -> boolean matrix multiplication;
+* alternation    -> element-wise OR;
+* Kleene star    -> transitive closure (iterated squaring) OR identity;
+* Kleene plus    -> closure without the identity term.
+
+Like most matrix approaches, the result is a reachability relation — which
+node pairs are connected by a matching path — not the paths themselves.  The
+benchmark harness uses it as the third baseline flavor next to the traversal
+and automaton baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.model import PropertyGraph
+from repro.rpq.ast import (
+    Alternation,
+    AnyLabel,
+    Concat,
+    Epsilon,
+    Label,
+    Optional,
+    Plus,
+    RegexNode,
+    Star,
+)
+from repro.rpq.parser import parse_regex
+
+__all__ = ["MatrixRPQEvaluator", "evaluate_rpq_matrix"]
+
+
+class MatrixRPQEvaluator:
+    """Evaluate regular path queries as boolean matrix expressions over a graph."""
+
+    def __init__(self, graph: PropertyGraph) -> None:
+        self.graph = graph
+        self._node_index: dict[str, int] = {
+            node_id: index for index, node_id in enumerate(graph.node_ids())
+        }
+        self._size = len(self._node_index)
+        self._label_matrices: dict[str, np.ndarray] = {}
+        self._any_matrix = np.zeros((self._size, self._size), dtype=bool)
+        for edge in graph.iter_edges():
+            row = self._node_index[edge.source]
+            col = self._node_index[edge.target]
+            self._any_matrix[row, col] = True
+            if edge.label is not None:
+                matrix = self._label_matrices.get(edge.label)
+                if matrix is None:
+                    matrix = np.zeros((self._size, self._size), dtype=bool)
+                    self._label_matrices[edge.label] = matrix
+                matrix[row, col] = True
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def reachability(self, regex: RegexNode | str) -> np.ndarray:
+        """Return the boolean reachability matrix of ``regex`` over the graph."""
+        if isinstance(regex, str):
+            regex = parse_regex(regex)
+        return self._evaluate(regex)
+
+    def pairs(self, regex: RegexNode | str) -> set[tuple[str, str]]:
+        """Return the set of ``(source, target)`` node-identifier pairs matching ``regex``."""
+        matrix = self.reachability(regex)
+        node_ids = list(self._node_index)
+        rows, cols = np.nonzero(matrix)
+        return {(node_ids[row], node_ids[col]) for row, col in zip(rows.tolist(), cols.tolist())}
+
+    def count_pairs(self, regex: RegexNode | str) -> int:
+        """Return the number of matching node pairs."""
+        return int(self.reachability(regex).sum())
+
+    # ------------------------------------------------------------------
+    # Regex-to-matrix translation
+    # ------------------------------------------------------------------
+    def _evaluate(self, node: RegexNode) -> np.ndarray:
+        if isinstance(node, Label):
+            matrix = self._label_matrices.get(node.name)
+            if matrix is None:
+                return np.zeros((self._size, self._size), dtype=bool)
+            return matrix.copy()
+        if isinstance(node, AnyLabel):
+            return self._any_matrix.copy()
+        if isinstance(node, Epsilon):
+            return np.eye(self._size, dtype=bool)
+        if isinstance(node, Concat):
+            left = self._evaluate(node.left)
+            right = self._evaluate(node.right)
+            return _bool_matmul(left, right)
+        if isinstance(node, Alternation):
+            return self._evaluate(node.left) | self._evaluate(node.right)
+        if isinstance(node, Star):
+            return _transitive_closure(self._evaluate(node.operand)) | np.eye(
+                self._size, dtype=bool
+            )
+        if isinstance(node, Plus):
+            return _transitive_closure(self._evaluate(node.operand))
+        if isinstance(node, Optional):
+            return self._evaluate(node.operand) | np.eye(self._size, dtype=bool)
+        raise TypeError(f"cannot evaluate regex node of type {type(node).__name__}")
+
+
+def _bool_matmul(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Boolean matrix multiplication."""
+    return (left.astype(np.uint8) @ right.astype(np.uint8)) > 0
+
+
+def _transitive_closure(matrix: np.ndarray) -> np.ndarray:
+    """Transitive closure (one or more steps) by repeated squaring."""
+    closure = matrix.copy()
+    previous_count = -1
+    current = matrix.copy()
+    while int(closure.sum()) != previous_count:
+        previous_count = int(closure.sum())
+        current = _bool_matmul(current, matrix)
+        closure |= current
+    return closure
+
+
+def evaluate_rpq_matrix(graph: PropertyGraph, regex: RegexNode | str) -> set[tuple[str, str]]:
+    """Convenience wrapper: matching node pairs of ``regex`` via matrix algebra."""
+    return MatrixRPQEvaluator(graph).pairs(regex)

@@ -1,0 +1,23 @@
+"""Benchmark-harness utilities: workloads and result formatting."""
+
+from repro.bench.reporting import format_check, format_table, print_table
+from repro.bench.workloads import (
+    Workload,
+    cyclic_workloads,
+    dag_workloads,
+    figure1_workload,
+    scaling_workloads,
+    selectivity_workloads,
+)
+
+__all__ = [
+    "Workload",
+    "figure1_workload",
+    "scaling_workloads",
+    "selectivity_workloads",
+    "cyclic_workloads",
+    "dag_workloads",
+    "format_table",
+    "format_check",
+    "print_table",
+]

@@ -1,0 +1,62 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Benchmarks regenerate the paper's tables; to keep the output comparable with
+the paper, results are printed as fixed-width text tables rather than raw
+pytest-benchmark JSON.  The helpers here have no third-party dependencies so
+they can also be used from the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_check", "print_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` as a fixed-width text table with ``headers``."""
+    materialized = [[_stringify(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in materialized:
+        lines.append(render_row(row))
+    return "\n".join(lines)
+
+
+def format_check(value: bool) -> str:
+    """Render a boolean as the check/cross marks used in the paper's Table 3."""
+    return "✓" if value else "✗"
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> None:
+    """Print a table built by :func:`format_table` (convenience for benchmarks)."""
+    print()
+    print(format_table(headers, rows, title))
+
+
+def _stringify(cell: object) -> str:
+    if isinstance(cell, bool):
+        return format_check(cell)
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,135 @@
+"""Workload definitions shared by the benchmark harness.
+
+A *workload* bundles a graph, a set of queries (regexes or extended-GQL
+strings) and metadata describing which paper artifact it reproduces, so every
+benchmark file in ``benchmarks/`` stays declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.datasets.figure1 import figure1_graph
+from repro.datasets.generators import chain_graph, cycle_graph, grid_graph, layered_graph, random_graph
+from repro.graph.model import PropertyGraph
+
+__all__ = ["Workload", "figure1_workload", "scaling_workloads", "selectivity_workloads"]
+
+
+@dataclass
+class Workload:
+    """A named benchmark workload.
+
+    Attributes:
+        name: Short identifier used in benchmark output.
+        graph_factory: Zero-argument callable building the workload graph.
+        regex: The regular path expression the workload evaluates.
+        description: What paper artifact or scenario the workload reproduces.
+        parameters: Free-form parameters recorded alongside results.
+    """
+
+    name: str
+    graph_factory: Callable[[], PropertyGraph]
+    regex: str
+    description: str = ""
+    parameters: dict = field(default_factory=dict)
+
+    def build_graph(self) -> PropertyGraph:
+        """Build (or rebuild) the workload graph."""
+        return self.graph_factory()
+
+
+def figure1_workload(regex: str = "Knows+") -> Workload:
+    """The paper's running example: the Figure 1 graph and the ``Knows+`` pattern."""
+    return Workload(
+        name="figure1",
+        graph_factory=figure1_graph,
+        regex=regex,
+        description="Figure 1 LDBC SNB snippet (Tables 3 and 5)",
+    )
+
+
+def scaling_workloads(sizes: tuple[int, ...] = (50, 100, 200, 400)) -> list[Workload]:
+    """Graphs of increasing size for the scaling experiment (E-S1)."""
+    workloads = []
+    for size in sizes:
+        workloads.append(
+            Workload(
+                name=f"chain-{size}",
+                graph_factory=lambda n=size: chain_graph(n),
+                regex="Knows+",
+                description="acyclic chain; single path per pair",
+                parameters={"nodes": size, "shape": "chain"},
+            )
+        )
+        workloads.append(
+            Workload(
+                name=f"random-{size}",
+                graph_factory=lambda n=size: random_graph(n, 2 * n, seed=7),
+                regex="Knows+",
+                description="uniform random multigraph",
+                parameters={"nodes": size, "shape": "random"},
+            )
+        )
+        workloads.append(
+            Workload(
+                name=f"grid-{size}",
+                graph_factory=lambda n=size: grid_graph(max(2, int(n ** 0.5)), max(2, int(n ** 0.5))),
+                regex="Knows+",
+                description="grid; exponentially many equal-length shortest paths",
+                parameters={"nodes": size, "shape": "grid"},
+            )
+        )
+    return workloads
+
+
+def selectivity_workloads(num_nodes: int = 120, seed: int = 11) -> list[Workload]:
+    """Workloads with varying label selectivity for the optimizer ablation (E-S2)."""
+    mixes = {
+        "high-selectivity": ("Knows", "Likes", "Has_creator", "Follows", "Replies"),
+        "medium-selectivity": ("Knows", "Likes", "Has_creator"),
+        "low-selectivity": ("Knows",),
+    }
+    workloads = []
+    for name, labels in mixes.items():
+        workloads.append(
+            Workload(
+                name=name,
+                graph_factory=lambda labs=labels: random_graph(
+                    num_nodes, 3 * num_nodes, labels=labs, seed=seed
+                ),
+                regex="Knows/Knows",
+                description="label-selectivity sweep for selection pushdown",
+                parameters={"labels": list(labels)},
+            )
+        )
+    return workloads
+
+
+def cyclic_workloads(sizes: tuple[int, ...] = (4, 8, 16, 32)) -> list[Workload]:
+    """Pure cycles of increasing size for the restrictor-cost experiment (E-S3)."""
+    return [
+        Workload(
+            name=f"cycle-{size}",
+            graph_factory=lambda n=size: cycle_graph(n),
+            regex="Knows+",
+            description="directed cycle; worst case for unbounded walks",
+            parameters={"nodes": size, "shape": "cycle"},
+        )
+        for size in sizes
+    ]
+
+
+def dag_workloads(depths: tuple[int, ...] = (3, 4, 5, 6)) -> list[Workload]:
+    """Layered DAGs whose walk counts grow exponentially with depth."""
+    return [
+        Workload(
+            name=f"layered-{depth}",
+            graph_factory=lambda d=depth: layered_graph(layers=d, width=4, fanout=2, seed=3),
+            regex="Knows+",
+            description="layered DAG; exponential walk count without cycles",
+            parameters={"layers": depth, "width": 4},
+        )
+        for depth in depths
+    ]

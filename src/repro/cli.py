@@ -1,0 +1,185 @@
+"""Command-line interface for the path-algebra engine.
+
+Subcommands:
+
+* ``query``    — run an extended-GQL query against a graph file (JSON or CSV)
+  or one of the built-in data sets, printing the matching paths;
+* ``explain``  — show the logical plan, the optimizer rewrites and the cost
+  estimates without executing the query;
+* ``generate`` — write a synthetic graph (figure1 / ldbc / random / cycle /
+  chain / grid) to a JSON file;
+* ``stats``    — print summary statistics of a graph file.
+
+Examples::
+
+    python -m repro.cli generate ldbc --persons 100 --output snb.json
+    python -m repro.cli query --graph snb.json \
+        'MATCH ANY SHORTEST TRAIL p = (?x)-[:Knows]->+(?y)'
+    python -m repro.cli explain --dataset figure1 \
+        'MATCH ANY SHORTEST WALK p = (?x)-[:Knows]->+(?y)'
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path as FilePath
+
+from repro.datasets.figure1 import figure1_graph
+from repro.datasets.generators import chain_graph, cycle_graph, grid_graph, random_graph
+from repro.datasets.ldbc import LDBCParameters, ldbc_like_graph
+from repro.engine.engine import PathQueryEngine
+from repro.errors import PathAlgebraError
+from repro.graph.io import load_csv, load_json, save_json
+from repro.graph.model import PropertyGraph
+from repro.graph.stats import compute_statistics
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse command-line parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Path-algebra query engine for property graphs (GQL / SQL-PGQ path queries).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    query = subparsers.add_parser("query", help="run an extended-GQL path query")
+    _add_graph_arguments(query)
+    query.add_argument("text", help="the query text")
+    query.add_argument("--max-length", type=int, default=None, help="bound for WALK recursion")
+    query.add_argument("--no-optimize", action="store_true", help="disable the plan optimizer")
+    query.add_argument("--limit", type=int, default=None, help="print at most this many paths")
+
+    explain = subparsers.add_parser("explain", help="show the plan without executing")
+    _add_graph_arguments(explain)
+    explain.add_argument("text", help="the query text")
+    explain.add_argument("--max-length", type=int, default=None, help="bound for WALK recursion")
+
+    generate = subparsers.add_parser("generate", help="write a synthetic graph to JSON")
+    generate.add_argument(
+        "kind", choices=["figure1", "ldbc", "random", "cycle", "chain", "grid"],
+        help="which generator to use",
+    )
+    generate.add_argument("--output", required=True, help="output JSON path")
+    generate.add_argument("--persons", type=int, default=50, help="ldbc: number of persons")
+    generate.add_argument("--messages", type=int, default=100, help="ldbc: number of messages")
+    generate.add_argument("--nodes", type=int, default=50, help="random/cycle/chain: node count")
+    generate.add_argument("--edges", type=int, default=100, help="random: edge count")
+    generate.add_argument("--rows", type=int, default=5, help="grid: rows")
+    generate.add_argument("--cols", type=int, default=5, help="grid: columns")
+    generate.add_argument("--seed", type=int, default=42, help="random seed")
+
+    stats = subparsers.add_parser("stats", help="print graph statistics")
+    _add_graph_arguments(stats)
+
+    return parser
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--graph", help="path to a graph JSON file (or CSV prefix)")
+    group.add_argument(
+        "--dataset",
+        choices=["figure1", "ldbc"],
+        default="figure1",
+        help="built-in data set to use when no --graph is given (default: figure1)",
+    )
+
+
+def _load_graph(args: argparse.Namespace) -> PropertyGraph:
+    if getattr(args, "graph", None):
+        path = FilePath(args.graph)
+        if path.suffix == ".json":
+            return load_json(path)
+        return load_csv(path)
+    if args.dataset == "ldbc":
+        return ldbc_like_graph()
+    return figure1_graph()
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    engine = PathQueryEngine(graph, optimize=not args.no_optimize, default_max_length=args.max_length)
+    result = engine.query(args.text, max_length=args.max_length)
+    print(f"# {len(result)} paths  ({result.elapsed_seconds * 1e3:.2f} ms)")
+    if result.applied_rules:
+        print(f"# optimizer rewrites: {', '.join(result.applied_rules)}")
+    paths = result.paths.sorted()
+    if args.limit is not None:
+        paths = paths[: args.limit]
+    for path in paths:
+        print(path)
+    if args.limit is not None and len(result) > args.limit:
+        print(f"# ... and {len(result) - args.limit} more")
+    return 0
+
+
+def _command_explain(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    engine = PathQueryEngine(graph, default_max_length=args.max_length)
+    explanation = engine.explain(args.text, max_length=args.max_length)
+    print(explanation.render())
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    if args.kind == "figure1":
+        graph = figure1_graph()
+    elif args.kind == "ldbc":
+        graph = ldbc_like_graph(
+            LDBCParameters(num_persons=args.persons, num_messages=args.messages, seed=args.seed)
+        )
+    elif args.kind == "random":
+        graph = random_graph(args.nodes, args.edges, seed=args.seed)
+    elif args.kind == "cycle":
+        graph = cycle_graph(args.nodes)
+    elif args.kind == "chain":
+        graph = chain_graph(args.nodes)
+    else:
+        graph = grid_graph(args.rows, args.cols)
+    save_json(graph, args.output)
+    print(f"wrote {graph.num_nodes()} nodes / {graph.num_edges()} edges to {args.output}")
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    stats = compute_statistics(graph)
+    print(f"graph: {graph.name}")
+    print(f"nodes: {stats.num_nodes}")
+    print(f"edges: {stats.num_edges}")
+    print(f"node labels: {dict(sorted(stats.node_label_counts.items()))}")
+    print(f"edge labels: {dict(sorted(stats.edge_label_counts.items()))}")
+    print(f"max out-degree: {stats.max_out_degree}")
+    print(f"max in-degree: {stats.max_in_degree}")
+    print(f"avg out-degree: {stats.avg_out_degree:.2f}")
+    print(f"has directed cycle: {stats.has_cycle}")
+    return 0
+
+
+_COMMANDS = {
+    "query": _command_query,
+    "explain": _command_explain,
+    "generate": _command_generate,
+    "stats": _command_stats,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except PathAlgebraError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    sys.exit(main())

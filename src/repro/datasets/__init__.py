@@ -1,0 +1,30 @@
+"""Example graphs and synthetic data-set generators."""
+
+from repro.datasets.figure1 import FIGURE1_EDGE_LABELS, FIGURE1_NODE_NAMES, figure1_graph
+from repro.datasets.generators import (
+    binary_tree_graph,
+    chain_graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    layered_graph,
+    random_graph,
+    scale_free_graph,
+)
+from repro.datasets.ldbc import LDBCParameters, ldbc_like_graph
+
+__all__ = [
+    "figure1_graph",
+    "FIGURE1_NODE_NAMES",
+    "FIGURE1_EDGE_LABELS",
+    "chain_graph",
+    "cycle_graph",
+    "grid_graph",
+    "binary_tree_graph",
+    "random_graph",
+    "layered_graph",
+    "scale_free_graph",
+    "complete_graph",
+    "LDBCParameters",
+    "ldbc_like_graph",
+]

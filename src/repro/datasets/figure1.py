@@ -1,0 +1,108 @@
+"""The running-example graph of the paper (Figure 1).
+
+Figure 1 shows a snippet of the LDBC Social Network Benchmark graph with
+seven nodes (``n1`` .. ``n7``) and eleven edges (``e1`` .. ``e11``) relating
+``Person`` and ``Message`` nodes through ``Knows``, ``Likes`` and
+``Has_creator`` edges.  The figure itself is a drawing, but the paper text
+pins down a large part of its structure, all of which is reproduced here
+exactly:
+
+* **Table 3** lists the ``Knows+`` paths and therefore fixes the four Knows
+  edges: ``e1: n1 -> n2``, ``e2: n2 -> n3``, ``e3: n3 -> n2`` (the *inner
+  cycle*), and ``e4: n2 -> n4``.
+* The introduction quotes the two SIMPLE answers of the Moe-to-Apu query:
+  ``path1 = (n1, e1, n2, e4, n4)`` and
+  ``path2 = (n1, e8, n6, e11, n3, e7, n7, e10, n4)``, whose labels must
+  alternate ``Likes / Has_creator`` — fixing ``e8: n1 -> n6 (Likes)``,
+  ``e11: n6 -> n3 (Has_creator)``, ``e7: n3 -> n7 (Likes)`` and
+  ``e10: n7 -> n4 (Has_creator)``.
+* The *outer cycle* "traversing the concatenation of edges labeled Likes and
+  Has_creator" requires the Likes/Has_creator chain to close back on itself;
+  the two remaining edges close it through the third message node:
+  ``e9: n4 -> n5 (Likes)`` and ``e6: n5 -> n1 (Has_creator)``.
+* ``e5: n2 -> n5 (Likes)`` is the remaining edge of the figure connecting
+  Lisa to a message.
+* ``n1`` is named ``Moe`` and ``n4`` is named ``Apu`` (selection conditions
+  ``first.name = "Moe"`` and ``last.name = "Apu"`` in Figures 2 and 4).
+"""
+
+from __future__ import annotations
+
+from repro.graph.model import PropertyGraph
+
+__all__ = ["figure1_graph", "FIGURE1_NODE_NAMES", "FIGURE1_EDGE_LABELS"]
+
+#: Person/Message names attached to the Figure 1 nodes.
+FIGURE1_NODE_NAMES: dict[str, str] = {
+    "n1": "Moe",
+    "n2": "Lisa",
+    "n3": "Bart",
+    "n4": "Apu",
+    "n5": "msg1",
+    "n6": "msg2",
+    "n7": "msg3",
+}
+
+#: Edge labels of the Figure 1 graph, keyed by edge identifier.
+FIGURE1_EDGE_LABELS: dict[str, str] = {
+    "e1": "Knows",
+    "e2": "Knows",
+    "e3": "Knows",
+    "e4": "Knows",
+    "e5": "Likes",
+    "e6": "Has_creator",
+    "e7": "Likes",
+    "e8": "Likes",
+    "e9": "Likes",
+    "e10": "Has_creator",
+    "e11": "Has_creator",
+}
+
+
+def figure1_graph() -> PropertyGraph:
+    """Build and return the Figure 1 property graph.
+
+    Nodes:
+        ``n1`` Moe, ``n2`` Lisa, ``n3`` Bart, ``n4`` Apu (``Person``);
+        ``n5``, ``n6``, ``n7`` (``Message``).
+
+    Edges (source, target, label):
+        ``e1``  n1 -> n2  Knows
+        ``e2``  n2 -> n3  Knows        (inner cycle with e3)
+        ``e3``  n3 -> n2  Knows
+        ``e4``  n2 -> n4  Knows
+        ``e5``  n2 -> n5  Likes
+        ``e6``  n5 -> n1  Has_creator  (closes the outer cycle)
+        ``e7``  n3 -> n7  Likes
+        ``e8``  n1 -> n6  Likes
+        ``e9``  n4 -> n5  Likes
+        ``e10`` n7 -> n4  Has_creator
+        ``e11`` n6 -> n3  Has_creator
+    """
+    graph = PropertyGraph(name="figure1")
+    graph.add_node("n1", "Person", {"name": "Moe", "last_name": "Szyslak"})
+    graph.add_node("n2", "Person", {"name": "Lisa", "last_name": "Simpson"})
+    graph.add_node("n3", "Person", {"name": "Bart", "last_name": "Simpson"})
+    graph.add_node("n4", "Person", {"name": "Apu", "last_name": "Nahasapeemapetilon"})
+    graph.add_node("n5", "Message", {"content": "Good news everyone!", "length": 19})
+    graph.add_node("n6", "Message", {"content": "I am so smart", "length": 13})
+    graph.add_node("n7", "Message", {"content": "Thank you, come again", "length": 21})
+
+    # Knows edges (Table 3): inner cycle e2/e3 plus the chain n1 -> n2 -> n4.
+    graph.add_edge("e1", "n1", "n2", "Knows", {"since": 2010})
+    graph.add_edge("e2", "n2", "n3", "Knows", {"since": 2012})
+    graph.add_edge("e3", "n3", "n2", "Knows", {"since": 2012})
+    graph.add_edge("e4", "n2", "n4", "Knows", {"since": 2015})
+
+    # Likes / Has_creator edges: the outer cycle
+    # n1 -e8-> n6 -e11-> n3 -e7-> n7 -e10-> n4 -e9-> n5 -e6-> n1
+    # plus the extra Likes edge e5 from Lisa to msg1.
+    graph.add_edge("e5", "n2", "n5", "Likes", {})
+    graph.add_edge("e6", "n5", "n1", "Has_creator", {})
+    graph.add_edge("e7", "n3", "n7", "Likes", {})
+    graph.add_edge("e8", "n1", "n6", "Likes", {})
+    graph.add_edge("e9", "n4", "n5", "Likes", {})
+    graph.add_edge("e10", "n7", "n4", "Has_creator", {})
+    graph.add_edge("e11", "n6", "n3", "Has_creator", {})
+
+    return graph

@@ -1,0 +1,200 @@
+"""Synthetic property-graph generators used by tests and benchmarks.
+
+All generators take an explicit ``seed`` so that benchmark workloads are
+reproducible across runs.  Generators return ordinary
+:class:`~repro.graph.model.PropertyGraph` objects; labels default to the
+``Knows`` / ``Likes`` / ``Has_creator`` vocabulary of the paper's running
+example so that the same queries can be executed against every data set.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.graph.model import PropertyGraph
+
+__all__ = [
+    "chain_graph",
+    "cycle_graph",
+    "grid_graph",
+    "binary_tree_graph",
+    "random_graph",
+    "layered_graph",
+    "scale_free_graph",
+    "complete_graph",
+]
+
+_DEFAULT_LABEL = "Knows"
+
+
+def chain_graph(num_nodes: int, label: str = _DEFAULT_LABEL, name: str = "chain") -> PropertyGraph:
+    """A directed chain ``v0 -> v1 -> ... -> v_{n-1}`` (acyclic, single path per pair)."""
+    graph = PropertyGraph(name=name)
+    for index in range(num_nodes):
+        graph.add_node(f"v{index}", "Person", {"name": f"p{index}", "rank": index})
+    for index in range(num_nodes - 1):
+        graph.add_edge(f"c{index}", f"v{index}", f"v{index + 1}", label, {"weight": 1})
+    return graph
+
+
+def cycle_graph(num_nodes: int, label: str = _DEFAULT_LABEL, name: str = "cycle") -> PropertyGraph:
+    """A directed cycle of ``num_nodes`` nodes — the minimal non-terminating WALK input."""
+    graph = PropertyGraph(name=name)
+    for index in range(num_nodes):
+        graph.add_node(f"v{index}", "Person", {"name": f"p{index}"})
+    for index in range(num_nodes):
+        target = (index + 1) % num_nodes
+        graph.add_edge(f"c{index}", f"v{index}", f"v{target}", label, {})
+    return graph
+
+
+def grid_graph(rows: int, cols: int, label: str = _DEFAULT_LABEL, name: str = "grid") -> PropertyGraph:
+    """A directed grid with right and down edges — many equal-length shortest paths."""
+    graph = PropertyGraph(name=name)
+    for row in range(rows):
+        for col in range(cols):
+            graph.add_node(f"v{row}_{col}", "Cell", {"row": row, "col": col})
+    edge_index = 0
+    for row in range(rows):
+        for col in range(cols):
+            if col + 1 < cols:
+                graph.add_edge(
+                    f"g{edge_index}", f"v{row}_{col}", f"v{row}_{col + 1}", label, {"dir": "right"}
+                )
+                edge_index += 1
+            if row + 1 < rows:
+                graph.add_edge(
+                    f"g{edge_index}", f"v{row}_{col}", f"v{row + 1}_{col}", label, {"dir": "down"}
+                )
+                edge_index += 1
+    return graph
+
+
+def binary_tree_graph(depth: int, label: str = _DEFAULT_LABEL, name: str = "tree") -> PropertyGraph:
+    """A complete binary tree of the given depth with edges oriented towards the leaves."""
+    graph = PropertyGraph(name=name)
+    total = 2 ** (depth + 1) - 1
+    for index in range(total):
+        graph.add_node(f"v{index}", "Node", {"depth": index.bit_length() - 1 if index else 0})
+    edge_index = 0
+    for index in range(total):
+        for child in (2 * index + 1, 2 * index + 2):
+            if child < total:
+                graph.add_edge(f"t{edge_index}", f"v{index}", f"v{child}", label, {})
+                edge_index += 1
+    return graph
+
+
+def random_graph(
+    num_nodes: int,
+    num_edges: int,
+    labels: Sequence[str] = ("Knows", "Likes", "Has_creator"),
+    seed: int = 0,
+    name: str = "random",
+    allow_self_loops: bool = False,
+) -> PropertyGraph:
+    """A uniform random directed multigraph with labels drawn from ``labels``."""
+    rng = random.Random(seed)
+    graph = PropertyGraph(name=name)
+    node_label_choices = ("Person", "Message")
+    for index in range(num_nodes):
+        graph.add_node(
+            f"v{index}",
+            rng.choice(node_label_choices),
+            {"name": f"p{index}", "age": rng.randint(18, 80)},
+        )
+    node_ids = graph.node_ids()
+    for index in range(num_edges):
+        source = rng.choice(node_ids)
+        target = rng.choice(node_ids)
+        if not allow_self_loops:
+            while target == source and num_nodes > 1:
+                target = rng.choice(node_ids)
+        graph.add_edge(f"r{index}", source, target, rng.choice(list(labels)), {"w": rng.random()})
+    return graph
+
+
+def layered_graph(
+    layers: int,
+    width: int,
+    label: str = _DEFAULT_LABEL,
+    fanout: int = 2,
+    seed: int = 0,
+    name: str = "layered",
+) -> PropertyGraph:
+    """A DAG of ``layers`` layers of ``width`` nodes with ``fanout`` edges per node.
+
+    Layered DAGs produce exponentially many distinct walks without any cycles,
+    which stresses the recursion without hitting the Walk termination guard.
+    """
+    rng = random.Random(seed)
+    graph = PropertyGraph(name=name)
+    for layer in range(layers):
+        for slot in range(width):
+            graph.add_node(f"v{layer}_{slot}", "Person", {"layer": layer, "slot": slot})
+    edge_index = 0
+    for layer in range(layers - 1):
+        for slot in range(width):
+            targets = rng.sample(range(width), k=min(fanout, width))
+            for target in targets:
+                graph.add_edge(
+                    f"l{edge_index}", f"v{layer}_{slot}", f"v{layer + 1}_{target}", label, {}
+                )
+                edge_index += 1
+    return graph
+
+
+def scale_free_graph(
+    num_nodes: int,
+    edges_per_node: int = 2,
+    labels: Sequence[str] = ("Knows",),
+    seed: int = 0,
+    name: str = "scale_free",
+) -> PropertyGraph:
+    """A Barabási–Albert-style preferential-attachment graph (skewed degrees).
+
+    Social networks such as LDBC SNB exhibit heavy-tailed degree distributions;
+    this generator produces the same skew so label-selectivity and join-size
+    effects resemble the paper's motivating workload.
+    """
+    rng = random.Random(seed)
+    graph = PropertyGraph(name=name)
+    for index in range(num_nodes):
+        graph.add_node(f"v{index}", "Person", {"name": f"p{index}"})
+    degree_pool: list[int] = []
+    edge_index = 0
+    for index in range(num_nodes):
+        if index == 0:
+            degree_pool.append(0)
+            continue
+        attachments = min(edges_per_node, index)
+        chosen: set[int] = set()
+        while len(chosen) < attachments:
+            if degree_pool and rng.random() < 0.8:
+                candidate = rng.choice(degree_pool)
+            else:
+                candidate = rng.randrange(index)
+            if candidate != index:
+                chosen.add(candidate)
+        for target in chosen:
+            graph.add_edge(
+                f"s{edge_index}", f"v{index}", f"v{target}", rng.choice(list(labels)), {}
+            )
+            degree_pool.extend([index, target])
+            edge_index += 1
+    return graph
+
+
+def complete_graph(num_nodes: int, label: str = _DEFAULT_LABEL, name: str = "complete") -> PropertyGraph:
+    """A complete directed graph (every ordered pair of distinct nodes is an edge)."""
+    graph = PropertyGraph(name=name)
+    for index in range(num_nodes):
+        graph.add_node(f"v{index}", "Person", {"name": f"p{index}"})
+    edge_index = 0
+    for source in range(num_nodes):
+        for target in range(num_nodes):
+            if source != target:
+                graph.add_edge(f"k{edge_index}", f"v{source}", f"v{target}", label, {})
+                edge_index += 1
+    return graph

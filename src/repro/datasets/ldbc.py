@@ -1,0 +1,148 @@
+"""Synthetic LDBC-SNB-like social-network generator.
+
+The paper's running example is a snippet of the LDBC Social Network Benchmark
+(SNB) graph.  The real benchmark data requires the LDBC data generator and is
+not redistributable here, so this module produces a *synthetic substitute*
+that preserves the features the path algebra exercises:
+
+* ``Person`` nodes connected by ``Knows`` edges forming a friendship network
+  with triangles and longer cycles (so Walk recursion is non-terminating and
+  Trail/Acyclic/Simple/Shortest restrictors all differ);
+* ``Message`` nodes (posts/comments) connected to persons by ``Likes`` edges
+  (person -> message) and ``Has_creator`` edges (message -> person), so the
+  ``(Likes/Has_creator)+`` pattern of the paper's introduction is meaningful;
+* ``Forum`` nodes with ``Has_member`` edges, used by the larger example
+  workloads;
+* realistic person properties (``name``, ``last_name``, ``city``, ``age``).
+
+The generator is deterministic for a given ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.graph.model import PropertyGraph
+
+__all__ = ["LDBCParameters", "ldbc_like_graph"]
+
+_FIRST_NAMES = [
+    "Moe", "Lisa", "Bart", "Apu", "Homer", "Marge", "Ned", "Carl", "Lenny",
+    "Milhouse", "Nelson", "Ralph", "Seymour", "Edna", "Selma", "Patty",
+]
+_LAST_NAMES = [
+    "Szyslak", "Simpson", "Nahasapeemapetilon", "Flanders", "Carlson",
+    "Leonard", "Van Houten", "Muntz", "Wiggum", "Skinner", "Krabappel",
+    "Bouvier",
+]
+_CITIES = ["Springfield", "Shelbyville", "Capital City", "Ogdenville", "North Haverbrook"]
+
+
+@dataclass(frozen=True)
+class LDBCParameters:
+    """Size and shape parameters of the synthetic SNB-like graph.
+
+    Attributes:
+        num_persons: Number of ``Person`` nodes.
+        num_messages: Number of ``Message`` nodes.
+        num_forums: Number of ``Forum`` nodes.
+        avg_knows_degree: Average number of outgoing ``Knows`` edges per person.
+        avg_likes_per_person: Average number of ``Likes`` edges per person.
+        knows_reciprocity: Probability that a ``Knows`` edge gets a reverse
+            counterpart (reciprocated friendships create 2-cycles, mirroring
+            the inner cycle of Figure 1).
+        seed: Random seed; identical parameters and seed give identical graphs.
+    """
+
+    num_persons: int = 50
+    num_messages: int = 100
+    num_forums: int = 5
+    avg_knows_degree: float = 3.0
+    avg_likes_per_person: float = 2.0
+    knows_reciprocity: float = 0.3
+    seed: int = 42
+
+
+def ldbc_like_graph(params: LDBCParameters | None = None) -> PropertyGraph:
+    """Generate a synthetic LDBC-SNB-like property graph.
+
+    The returned graph uses the same label vocabulary as Figure 1
+    (``Person``/``Message`` nodes; ``Knows``/``Likes``/``Has_creator`` edges)
+    plus ``Forum``/``Has_member``, so every query of the paper runs unchanged
+    against it.
+    """
+    params = params or LDBCParameters()
+    rng = random.Random(params.seed)
+    graph = PropertyGraph(name=f"ldbc_like_{params.num_persons}p")
+
+    person_ids = []
+    for index in range(params.num_persons):
+        person_id = f"person{index}"
+        person_ids.append(person_id)
+        graph.add_node(
+            person_id,
+            "Person",
+            {
+                "name": rng.choice(_FIRST_NAMES),
+                "last_name": rng.choice(_LAST_NAMES),
+                "city": rng.choice(_CITIES),
+                "age": rng.randint(18, 80),
+            },
+        )
+
+    message_ids = []
+    for index in range(params.num_messages):
+        message_id = f"message{index}"
+        message_ids.append(message_id)
+        graph.add_node(
+            message_id,
+            "Message",
+            {"content": f"message body {index}", "length": rng.randint(5, 200)},
+        )
+
+    forum_ids = []
+    for index in range(params.num_forums):
+        forum_id = f"forum{index}"
+        forum_ids.append(forum_id)
+        graph.add_node(forum_id, "Forum", {"title": f"forum {index}"})
+
+    edge_index = 0
+
+    def next_edge_id() -> str:
+        nonlocal edge_index
+        edge_index += 1
+        return f"edge{edge_index}"
+
+    # Knows edges between persons (friendship network with reciprocity).
+    total_knows = int(params.num_persons * params.avg_knows_degree)
+    for _ in range(total_knows):
+        source = rng.choice(person_ids)
+        target = rng.choice(person_ids)
+        if source == target:
+            continue
+        graph.add_edge(next_edge_id(), source, target, "Knows", {"since": rng.randint(2000, 2024)})
+        if rng.random() < params.knows_reciprocity:
+            graph.add_edge(
+                next_edge_id(), target, source, "Knows", {"since": rng.randint(2000, 2024)}
+            )
+
+    # Every message has exactly one creator (message -> person, Has_creator).
+    for message_id in message_ids:
+        creator = rng.choice(person_ids)
+        graph.add_edge(next_edge_id(), message_id, creator, "Has_creator", {})
+
+    # Likes edges (person -> message).
+    total_likes = int(params.num_persons * params.avg_likes_per_person)
+    for _ in range(total_likes):
+        person = rng.choice(person_ids)
+        message = rng.choice(message_ids)
+        graph.add_edge(next_edge_id(), person, message, "Likes", {"stars": rng.randint(1, 5)})
+
+    # Forum membership (forum -> person, Has_member).
+    for forum_id in forum_ids:
+        members = rng.sample(person_ids, k=min(len(person_ids), rng.randint(2, 10)))
+        for member in members:
+            graph.add_edge(next_edge_id(), forum_id, member, "Has_member", {})
+
+    return graph

@@ -1,0 +1,23 @@
+"""Query engine facade: parse, plan, optimize and execute path queries."""
+
+from repro.engine.engine import ExplainResult, PathQueryEngine, QueryResult
+from repro.engine.physical import (
+    PhysicalPlan,
+    PipelineStatistics,
+    build_pipeline,
+    execute_pipeline,
+)
+from repro.engine.results import BindingTable, PathBinding, bind_paths
+
+__all__ = [
+    "PathQueryEngine",
+    "QueryResult",
+    "ExplainResult",
+    "PhysicalPlan",
+    "PipelineStatistics",
+    "build_pipeline",
+    "execute_pipeline",
+    "BindingTable",
+    "PathBinding",
+    "bind_paths",
+]

@@ -1,0 +1,162 @@
+"""The query engine facade.
+
+:class:`PathQueryEngine` ties the whole pipeline together:
+
+    GQL text --parse--> AST --plan--> logical plan --optimize--> plan
+             --evaluate--> paths / solution space
+
+and exposes the convenience entry points a downstream application would use:
+``query`` (text in, paths out), ``query_plan`` (programmatic plans),
+``explain`` (plan + cost + rewrite trace without executing), and
+``execute_regex`` (bare RPQs).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.algebra.evaluator import EvaluationStatistics, Evaluator
+from repro.algebra.expressions import Expression
+from repro.algebra.printer import to_algebra_notation, to_plan_tree
+from repro.graph.model import PropertyGraph
+from repro.gql.parser import parse_query
+from repro.gql.planner import plan_query
+from repro.optimizer.cost import CostModel, PlanCost
+from repro.optimizer.engine import Optimizer
+from repro.paths.pathset import PathSet
+from repro.rpq.compile import CompileOptions, compile_regex
+from repro.semantics.restrictors import Restrictor
+
+__all__ = ["QueryResult", "ExplainResult", "PathQueryEngine"]
+
+
+@dataclass
+class QueryResult:
+    """The outcome of executing a path query."""
+
+    paths: PathSet
+    plan: Expression
+    optimized_plan: Expression
+    applied_rules: list[str] = field(default_factory=list)
+    statistics: EvaluationStatistics = field(default_factory=EvaluationStatistics)
+    elapsed_seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def __iter__(self):
+        return iter(self.paths)
+
+
+@dataclass
+class ExplainResult:
+    """The outcome of explaining (but not executing) a path query."""
+
+    plan: Expression
+    optimized_plan: Expression
+    applied_rules: list[str]
+    estimated_cost: PlanCost
+    estimated_cost_unoptimized: PlanCost
+
+    def render(self) -> str:
+        """Return a human-readable explanation."""
+        lines = [
+            "Logical plan:",
+            "  " + to_algebra_notation(self.plan),
+            "Optimized plan:",
+            "  " + to_algebra_notation(self.optimized_plan),
+            f"Applied rules: {', '.join(self.applied_rules) or '(none)'}",
+            f"Estimated cost: {self.estimated_cost.total_cost:.1f} "
+            f"(unoptimized: {self.estimated_cost_unoptimized.total_cost:.1f})",
+            "Plan tree:",
+            to_plan_tree(self.optimized_plan),
+        ]
+        return "\n".join(lines)
+
+
+class PathQueryEngine:
+    """Execute extended-GQL path queries over a property graph."""
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        optimize: bool = True,
+        default_max_length: int | None = None,
+    ) -> None:
+        """Create an engine.
+
+        Args:
+            graph: The property graph to query.
+            optimize: Whether to run the rewrite-rule optimizer on every plan.
+            default_max_length: Bound applied to ϕWalk operators that carry no
+                explicit bound (prevents non-termination errors on cyclic
+                graphs for exploratory WALK queries).
+        """
+        self.graph = graph
+        self.optimize_plans = optimize
+        self.default_max_length = default_max_length
+        self._optimizer = Optimizer()
+        self._cost_model = CostModel(graph)
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def query(self, text: str, max_length: int | None = None) -> QueryResult:
+        """Parse, plan, optimize, and execute an extended-GQL query."""
+        ast = parse_query(text, max_length=max_length)
+        plan = plan_query(ast)
+        return self.query_plan(plan)
+
+    def query_plan(self, plan: Expression) -> QueryResult:
+        """Optimize and execute an already-constructed logical plan."""
+        started = time.perf_counter()
+        optimized = plan
+        applied: list[str] = []
+        if self.optimize_plans:
+            result = self._optimizer.optimize(plan)
+            optimized = result.optimized
+            applied = result.applied_rules
+        evaluator = Evaluator(self.graph, default_max_length=self.default_max_length)
+        paths = evaluator.evaluate_paths(optimized)
+        elapsed = time.perf_counter() - started
+        return QueryResult(
+            paths=paths,
+            plan=plan,
+            optimized_plan=optimized,
+            applied_rules=applied,
+            statistics=evaluator.statistics,
+            elapsed_seconds=elapsed,
+        )
+
+    def execute_regex(
+        self,
+        regex: str,
+        restrictor: Restrictor = Restrictor.TRAIL,
+        max_length: int | None = None,
+    ) -> PathSet:
+        """Evaluate a bare regular path query under the given restrictor."""
+        plan = compile_regex(regex, CompileOptions(restrictor=restrictor, max_length=max_length))
+        return self.query_plan(plan).paths
+
+    # ------------------------------------------------------------------
+    # Explanation
+    # ------------------------------------------------------------------
+    def explain(self, text: str, max_length: int | None = None) -> ExplainResult:
+        """Plan and optimize a query without executing it; report costs and rewrites."""
+        ast = parse_query(text, max_length=max_length)
+        plan = plan_query(ast)
+        return self.explain_plan(plan)
+
+    def explain_plan(self, plan: Expression) -> ExplainResult:
+        """Explain an already-constructed logical plan."""
+        result = self._optimizer.optimize(plan) if self.optimize_plans else None
+        optimized = result.optimized if result is not None else plan
+        applied = result.applied_rules if result is not None else []
+        return ExplainResult(
+            plan=plan,
+            optimized_plan=optimized,
+            applied_rules=applied,
+            estimated_cost=self._cost_model.estimate(optimized),
+            estimated_cost_unoptimized=self._cost_model.estimate(plan),
+        )

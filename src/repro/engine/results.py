@@ -1,0 +1,148 @@
+"""Tabular views of path-query results (bindings and group variables).
+
+GQL queries ultimately return tables; the paper notes (Section 2.3) that
+*group variables* — collecting the nodes or edges along a path into a list —
+fit naturally on top of the algebra because paths are first-class values.
+This module provides that bridge: it turns a :class:`~repro.paths.pathset.PathSet`
+into rows of bindings, optionally projecting node/edge properties, so that a
+downstream application (or a relational engine hosting SQL/PGQ) can consume
+path-query answers as ordinary tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.paths.path import Path
+from repro.paths.pathset import PathSet
+
+__all__ = ["PathBinding", "BindingTable", "bind_paths"]
+
+
+@dataclass(frozen=True)
+class PathBinding:
+    """The bindings induced by one path.
+
+    Attributes:
+        path: The witnessing path itself (composability is preserved).
+        source: Identifier of the first node (the ``x`` endpoint variable).
+        target: Identifier of the last node (the ``y`` endpoint variable).
+        length: Number of edges.
+        nodes: Group variable collecting every node identifier along the path.
+        edges: Group variable collecting every edge identifier along the path.
+        labels: The edge-label word of the path.
+    """
+
+    path: Path
+    source: str
+    target: str
+    length: int
+    nodes: tuple[str, ...]
+    edges: tuple[str, ...]
+    labels: tuple[str | None, ...]
+
+    @classmethod
+    def from_path(cls, path: Path) -> "PathBinding":
+        """Build the binding row for one path."""
+        return cls(
+            path=path,
+            source=path.first(),
+            target=path.last(),
+            length=path.len(),
+            nodes=path.node_ids,
+            edges=path.edge_ids,
+            labels=path.label_sequence(),
+        )
+
+    def node_property(self, position: int, name: str, default: Any = None) -> Any:
+        """Property ``name`` of the node at 1-based ``position`` along the path."""
+        return self.path.graph.property_of(self.path.node(position), name, default)
+
+    def source_property(self, name: str, default: Any = None) -> Any:
+        """Property ``name`` of the source node."""
+        return self.path.graph.property_of(self.source, name, default)
+
+    def target_property(self, name: str, default: Any = None) -> Any:
+        """Property ``name`` of the target node."""
+        return self.path.graph.property_of(self.target, name, default)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return the binding as a plain dictionary (JSON-friendly)."""
+        return {
+            "source": self.source,
+            "target": self.target,
+            "length": self.length,
+            "nodes": list(self.nodes),
+            "edges": list(self.edges),
+            "labels": list(self.labels),
+        }
+
+
+@dataclass
+class BindingTable:
+    """A sequence of :class:`PathBinding` rows with tabular conveniences."""
+
+    rows: list[PathBinding] = field(default_factory=list)
+
+    @classmethod
+    def from_paths(cls, paths: Iterable[Path]) -> "BindingTable":
+        """Build a table with one row per path."""
+        return cls([PathBinding.from_path(path) for path in paths])
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def columns(self, *names: str) -> list[tuple]:
+        """Return the requested columns as tuples (``source``, ``target``, ``length``...)."""
+        return [tuple(getattr(row, name) for name in names) for row in self.rows]
+
+    def endpoints(self) -> list[tuple[str, str]]:
+        """The classical RPQ answer: the (source, target) pairs, duplicates removed, order kept."""
+        seen: set[tuple[str, str]] = set()
+        result = []
+        for row in self.rows:
+            pair = (row.source, row.target)
+            if pair not in seen:
+                seen.add(pair)
+                result.append(pair)
+        return result
+
+    def project_properties(
+        self,
+        source_properties: Sequence[str] = (),
+        target_properties: Sequence[str] = (),
+    ) -> list[dict[str, Any]]:
+        """Return one dictionary per row with the requested endpoint properties."""
+        projected = []
+        for row in self.rows:
+            record: dict[str, Any] = {"source": row.source, "target": row.target, "length": row.length}
+            for name in source_properties:
+                record[f"source.{name}"] = row.source_property(name)
+            for name in target_properties:
+                record[f"target.{name}"] = row.target_property(name)
+            projected.append(record)
+        return projected
+
+    def sort_by(self, key: Callable[[PathBinding], Any]) -> "BindingTable":
+        """Return a new table with rows sorted by ``key``."""
+        return BindingTable(sorted(self.rows, key=key))
+
+    def filter(self, predicate: Callable[[PathBinding], bool]) -> "BindingTable":
+        """Return a new table keeping only rows satisfying ``predicate``."""
+        return BindingTable([row for row in self.rows if predicate(row)])
+
+    def group_sizes(self) -> dict[tuple[str, str], int]:
+        """Number of paths per endpoint pair (the partition sizes of γST)."""
+        sizes: dict[tuple[str, str], int] = {}
+        for row in self.rows:
+            sizes[(row.source, row.target)] = sizes.get((row.source, row.target), 0) + 1
+        return sizes
+
+
+def bind_paths(paths: PathSet | Iterable[Path]) -> BindingTable:
+    """Convenience wrapper: build a :class:`BindingTable` from a path set."""
+    return BindingTable.from_paths(paths)

@@ -1,0 +1,92 @@
+"""Exception hierarchy for the path-algebra library.
+
+Every error raised by the library derives from :class:`PathAlgebraError`,
+so callers can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class PathAlgebraError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class GraphError(PathAlgebraError):
+    """Base class for errors related to property-graph construction or access."""
+
+
+class DuplicateObjectError(GraphError):
+    """An object identifier (node or edge) was registered twice."""
+
+
+class UnknownObjectError(GraphError):
+    """A node or edge identifier was referenced but is not part of the graph."""
+
+
+class InvalidEdgeError(GraphError):
+    """An edge references endpoints that do not exist or is otherwise malformed."""
+
+
+class PathError(PathAlgebraError):
+    """Base class for errors related to path construction or manipulation."""
+
+
+class InvalidPathError(PathError):
+    """A path sequence violates the alternating node/edge structure (Section 2.2)."""
+
+
+class PathConcatenationError(PathError):
+    """Two paths cannot be concatenated because Last(p1) != First(p2)."""
+
+
+class AlgebraError(PathAlgebraError):
+    """Base class for errors raised while constructing or evaluating algebra expressions."""
+
+
+class ConditionError(AlgebraError):
+    """A selection condition is malformed or references an invalid position."""
+
+
+class EvaluationError(AlgebraError):
+    """An algebra expression could not be evaluated over the given graph."""
+
+
+class NonTerminatingQueryError(EvaluationError):
+    """A Walk-restricted recursion would not terminate (cyclic input without a bound)."""
+
+
+class SolutionSpaceError(AlgebraError):
+    """A solution-space operation (group-by / order-by / projection) is invalid."""
+
+
+class ParseError(PathAlgebraError):
+    """Base class for front-end parsing errors."""
+
+
+class RegexSyntaxError(ParseError):
+    """A regular path expression could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class GQLSyntaxError(ParseError):
+    """An extended-GQL query could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None) -> None:
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class PlanningError(PathAlgebraError):
+    """A parsed query could not be translated into an algebra plan."""
+
+
+class OptimizerError(PathAlgebraError):
+    """A rewrite rule produced an invalid or inconsistent plan."""

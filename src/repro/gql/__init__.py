@@ -1,0 +1,20 @@
+"""Extended-GQL front end: lexer, parser, AST and logical planner (Section 7)."""
+
+from repro.gql.ast import NodePattern, PathPattern, PathQuery
+from repro.gql.lexer import Token, TokenKind, tokenize
+from repro.gql.parser import GQLParser, parse_query
+from repro.gql.planner import endpoint_condition, plan_query, plan_text
+
+__all__ = [
+    "NodePattern",
+    "PathPattern",
+    "PathQuery",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "GQLParser",
+    "parse_query",
+    "plan_query",
+    "plan_text",
+    "endpoint_condition",
+]

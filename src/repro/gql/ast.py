@@ -1,0 +1,115 @@
+"""Abstract syntax tree of extended-GQL path queries (paper Section 7.1).
+
+The AST separates the surface syntax from the algebra: the parser produces
+these nodes, and the planner (:mod:`repro.gql.planner`) turns them into
+path-algebra expression trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.algebra.conditions import Condition
+from repro.algebra.solution_space import GroupByKey, OrderByKey, ProjectionSpec
+from repro.rpq.ast import RegexNode
+from repro.semantics.restrictors import Restrictor
+from repro.semantics.selectors import Selector
+
+__all__ = [
+    "NodePattern",
+    "PathPattern",
+    "PathQuery",
+]
+
+
+@dataclass(frozen=True)
+class NodePattern:
+    """A node pattern ``(?x :Person {name: "Moe"})``.
+
+    Attributes:
+        variable: The variable name (without the optional ``?`` prefix), or
+            ``None`` for an anonymous node.
+        label: Optional node label constraint.
+        properties: Inline property constraints (conjunctive equality).
+    """
+
+    variable: str | None = None
+    label: str | None = None
+    properties: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        parts = ""
+        if self.variable:
+            parts += f"?{self.variable}"
+        if self.label:
+            parts += f" :{self.label}"
+        if self.properties:
+            props = ", ".join(f"{key}: {value!r}" for key, value in self.properties.items())
+            parts += f" {{{props}}}"
+        return f"({parts.strip()})"
+
+
+@dataclass(frozen=True)
+class PathPattern:
+    """A path pattern ``p = (?x ...)-[regex]->(?y ...) WHERE condition``."""
+
+    variable: str | None
+    source: NodePattern
+    regex: RegexNode
+    target: NodePattern
+    where: Condition | None = None
+
+    def __str__(self) -> str:
+        name = f"{self.variable} = " if self.variable else ""
+        where = f" WHERE {self.where}" if self.where is not None else ""
+        return f"{name}{self.source}-[{self.regex}]->{self.target}{where}"
+
+
+@dataclass(frozen=True)
+class PathQuery:
+    """A full extended-GQL path query.
+
+    Exactly one of the two "path mode" styles is populated:
+
+    * the *extended* style of Section 7.1 — an explicit ``projection``
+      (``<n|ALL> PARTITIONS <n|ALL> GROUPS <n|ALL> PATHS``) plus optional
+      ``group_by`` and ``order_by`` clauses;
+    * the *standard GQL* style of Section 2.3 — a ``selector`` (Table 1)
+      whose Table 7 translation supplies the projection pipeline.
+
+    The ``restrictor`` is common to both styles.
+    """
+
+    pattern: PathPattern
+    restrictor: Restrictor = Restrictor.WALK
+    projection: ProjectionSpec | None = None
+    group_by: GroupByKey | None = None
+    order_by: OrderByKey | None = None
+    selector: Selector | None = None
+    max_length: int | None = None
+
+    def uses_selector_style(self) -> bool:
+        """Return ``True`` when the query uses the standard GQL selector style."""
+        return self.selector is not None
+
+    def __str__(self) -> str:
+        if self.uses_selector_style():
+            mode = f"{self.selector} {self.restrictor.value}"
+        else:
+            assert self.projection is not None
+            def render(component: int | str) -> str:
+                return "ALL" if component == "*" else str(component)
+            mode = (
+                f"{render(self.projection.partitions)} PARTITIONS "
+                f"{render(self.projection.groups)} GROUPS "
+                f"{render(self.projection.paths)} PATHS {self.restrictor.value}"
+            )
+        clauses = ""
+        if self.group_by is not None:
+            names = {"S": "SOURCE", "T": "TARGET", "L": "LENGTH"}
+            clauses += " GROUP BY " + " ".join(names[letter] for letter in self.group_by.value)
+        if self.order_by is not None:
+            names = {"P": "PARTITION", "G": "GROUP", "A": "PATH"}
+            clauses += " ORDER BY " + " ".join(names[letter] for letter in self.order_by.value)
+        return f"MATCH {mode} {self.pattern}{clauses}"

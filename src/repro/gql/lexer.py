@@ -1,0 +1,152 @@
+"""Lexer for the extended GQL path-query syntax (paper Section 7.1).
+
+The token stream feeds the recursive-descent parser in
+:mod:`repro.gql.parser`.  Keywords are case-insensitive; identifiers,
+numbers, single- or double-quoted strings and the punctuation of path
+patterns (``()-[]->{}`` etc.) are recognized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GQLSyntaxError
+
+__all__ = ["Token", "TokenKind", "tokenize", "KEYWORDS"]
+
+#: Keywords of the extended grammar (upper-cased canonical spelling).
+KEYWORDS = {
+    "MATCH",
+    "ALL",
+    "ANY",
+    "SHORTEST",
+    "WALK",
+    "TRAIL",
+    "SIMPLE",
+    "ACYCLIC",
+    "PARTITIONS",
+    "GROUPS",
+    "PATHS",
+    "GROUP",
+    "ORDER",
+    "BY",
+    "SOURCE",
+    "TARGET",
+    "LENGTH",
+    "PARTITION",
+    "PATH",
+    "WHERE",
+    "AND",
+    "OR",
+    "NOT",
+    "LABEL",
+    "FIRST",
+    "LAST",
+    "NODE",
+    "EDGE",
+    "LEN",
+    "TRUE",
+    "FALSE",
+}
+
+
+class TokenKind:
+    """Token kind constants (plain strings to keep the parser readable)."""
+
+    KEYWORD = "KEYWORD"
+    IDENTIFIER = "IDENTIFIER"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    PUNCT = "PUNCT"
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with position information (1-based line/column)."""
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, *names: str) -> bool:
+        """Return ``True`` if this token is one of the given keywords."""
+        return self.kind == TokenKind.KEYWORD and self.value in names
+
+    def is_punct(self, *symbols: str) -> bool:
+        """Return ``True`` if this token is one of the given punctuation symbols."""
+        return self.kind == TokenKind.PUNCT and self.value in symbols
+
+
+_MULTI_CHAR_PUNCT = ("->", "<=", ">=", "!=", "<-")
+_SINGLE_CHAR_PUNCT = "()[]{}<>=,:.?/|*+-%"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text`` and return the token list terminated by an EOF token.
+
+    Raises:
+        GQLSyntaxError: on unterminated strings or unexpected characters.
+    """
+    tokens: list[Token] = []
+    index = 0
+    line = 1
+    column = 1
+    length = len(text)
+
+    def advance(count: int) -> None:
+        nonlocal index, line, column
+        for _ in range(count):
+            if index < length and text[index] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            index += 1
+
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            advance(1)
+            continue
+        if char in "\"'":
+            quote = char
+            end = text.find(quote, index + 1)
+            if end == -1:
+                raise GQLSyntaxError("unterminated string literal", line, column)
+            value = text[index + 1 : end]
+            tokens.append(Token(TokenKind.STRING, value, line, column))
+            advance(end - index + 1)
+            continue
+        if char.isdigit():
+            start = index
+            start_line, start_column = line, column
+            while index < length and text[index].isdigit():
+                advance(1)
+            tokens.append(Token(TokenKind.NUMBER, text[start:index], start_line, start_column))
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            start_line, start_column = line, column
+            while index < length and (text[index].isalnum() or text[index] == "_"):
+                advance(1)
+            word = text[start:index]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token(TokenKind.KEYWORD, word.upper(), start_line, start_column))
+            else:
+                tokens.append(Token(TokenKind.IDENTIFIER, word, start_line, start_column))
+            continue
+        two = text[index : index + 2]
+        if two in _MULTI_CHAR_PUNCT:
+            tokens.append(Token(TokenKind.PUNCT, two, line, column))
+            advance(2)
+            continue
+        if char in _SINGLE_CHAR_PUNCT:
+            tokens.append(Token(TokenKind.PUNCT, char, line, column))
+            advance(1)
+            continue
+        raise GQLSyntaxError(f"unexpected character {char!r}", line, column)
+
+    tokens.append(Token(TokenKind.EOF, "", line, column))
+    return tokens

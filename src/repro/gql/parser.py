@@ -1,0 +1,512 @@
+"""Recursive-descent parser for the extended GQL path-query syntax (Section 7.1).
+
+Two "path mode" styles are accepted after ``MATCH``:
+
+* the extended style of Section 7.1::
+
+      MATCH ALL PARTITIONS ALL GROUPS 1 PATHS
+      TRAIL p = (?x)-[(:Knows)*]->(?y)
+      GROUP BY TARGET ORDER BY PATH
+
+* the standard GQL selector style of Section 2.3::
+
+      MATCH ANY SHORTEST TRAIL p = (?x)-[:Knows+]->(?y)
+
+Path patterns support node variables, node labels, inline property maps and
+a ``WHERE`` clause over the selection-condition language of Section 3.1.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.algebra.conditions import (
+    Comparator,
+    Condition,
+    label_of_edge,
+    label_of_first,
+    label_of_last,
+    label_of_node,
+    LengthCondition,
+    Not,
+    prop_of_edge,
+    prop_of_first,
+    prop_of_last,
+    prop_of_node,
+)
+from repro.algebra.solution_space import ALL, GroupByKey, OrderByKey, ProjectionSpec
+from repro.errors import GQLSyntaxError
+from repro.gql.ast import NodePattern, PathPattern, PathQuery
+from repro.gql.lexer import Token, TokenKind, tokenize
+from repro.rpq.ast import Plus, RegexNode, Star
+from repro.rpq.parser import parse_regex
+from repro.semantics.restrictors import Restrictor
+from repro.semantics.selectors import Selector, SelectorKind
+
+__all__ = ["parse_query", "GQLParser"]
+
+_RESTRICTOR_KEYWORDS = ("WALK", "TRAIL", "SIMPLE", "ACYCLIC", "SHORTEST")
+
+
+def parse_query(text: str, max_length: int | None = None) -> PathQuery:
+    """Parse an extended-GQL path query and return its AST.
+
+    Args:
+        text: The query text.
+        max_length: Optional length bound recorded on the query (forwarded to
+            ϕWalk during planning).
+
+    Raises:
+        GQLSyntaxError: if the text does not conform to the grammar.
+    """
+    return GQLParser(text).parse(max_length=max_length)
+
+
+class GQLParser:
+    """Recursive-descent parser over the token stream of :func:`repro.gql.lexer.tokenize`."""
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._tokens = tokenize(text)
+        self._position = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._position + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._position]
+        if token.kind != TokenKind.EOF:
+            self._position += 1
+        return token
+
+    def _error(self, message: str, token: Token | None = None) -> GQLSyntaxError:
+        token = token or self._peek()
+        return GQLSyntaxError(message, token.line, token.column)
+
+    def _expect_keyword(self, *names: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(*names):
+            raise self._error(f"expected {' or '.join(names)}, found {token.value!r}")
+        return self._advance()
+
+    def _expect_punct(self, symbol: str) -> Token:
+        token = self._peek()
+        if not token.is_punct(symbol):
+            raise self._error(f"expected {symbol!r}, found {token.value!r}")
+        return self._advance()
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def parse(self, max_length: int | None = None) -> PathQuery:
+        """Parse the whole query text."""
+        self._expect_keyword("MATCH")
+
+        projection: ProjectionSpec | None = None
+        selector: Selector | None = None
+        if self._looks_like_extended_projection():
+            projection = self._parse_projection()
+        else:
+            selector = self._parse_selector()
+
+        restrictor = self._parse_restrictor()
+        pattern = self._parse_path_pattern()
+
+        group_by: GroupByKey | None = None
+        order_by: OrderByKey | None = None
+        while self._peek().is_keyword("GROUP", "ORDER"):
+            if self._peek().is_keyword("GROUP"):
+                group_by = self._parse_group_by()
+            else:
+                order_by = self._parse_order_by()
+
+        token = self._peek()
+        if token.kind != TokenKind.EOF:
+            raise self._error(f"unexpected trailing input {token.value!r}")
+
+        return PathQuery(
+            pattern=pattern,
+            restrictor=restrictor,
+            projection=projection,
+            group_by=group_by,
+            order_by=order_by,
+            selector=selector,
+            max_length=max_length,
+        )
+
+    # ------------------------------------------------------------------
+    # Path mode
+    # ------------------------------------------------------------------
+    def _looks_like_extended_projection(self) -> bool:
+        first = self._peek()
+        second = self._peek(1)
+        is_count = first.is_keyword("ALL") or first.kind == TokenKind.NUMBER
+        return is_count and second.is_keyword("PARTITIONS")
+
+    def _parse_count(self, unit_keyword: str) -> int | str:
+        token = self._peek()
+        if token.is_keyword("ALL"):
+            self._advance()
+            value: int | str = ALL
+        elif token.kind == TokenKind.NUMBER:
+            self._advance()
+            value = int(token.value)
+        else:
+            raise self._error(f"expected ALL or a number before {unit_keyword}")
+        self._expect_keyword(unit_keyword)
+        return value
+
+    def _parse_projection(self) -> ProjectionSpec:
+        partitions = self._parse_count("PARTITIONS")
+        groups = self._parse_count("GROUPS")
+        paths = self._parse_count("PATHS")
+        return ProjectionSpec(partitions, groups, paths)
+
+    def _parse_selector(self) -> Selector | None:
+        token = self._peek()
+        if token.is_keyword(*_RESTRICTOR_KEYWORDS) and not self._is_selector_shortest():
+            return None
+        if token.is_keyword("ALL"):
+            self._advance()
+            if self._peek().is_keyword("SHORTEST"):
+                # "ALL SHORTEST [restrictor]" — read SHORTEST as part of the
+                # selector; a missing restrictor defaults to WALK.
+                self._advance()
+                return Selector(SelectorKind.ALL_SHORTEST)
+            return Selector(SelectorKind.ALL)
+        if token.is_keyword("ANY"):
+            self._advance()
+            nxt = self._peek()
+            if nxt.is_keyword("SHORTEST"):
+                self._advance()
+                return Selector(SelectorKind.ANY_SHORTEST)
+            if nxt.kind == TokenKind.NUMBER:
+                self._advance()
+                return Selector(SelectorKind.ANY_K, int(nxt.value))
+            return Selector(SelectorKind.ANY)
+        if token.is_keyword("SHORTEST") and self._peek(1).kind == TokenKind.NUMBER:
+            self._advance()
+            count_token = self._advance()
+            if self._peek().is_keyword("GROUP") and not self._peek(1).is_keyword("BY"):
+                self._advance()
+                return Selector(SelectorKind.SHORTEST_K_GROUP, int(count_token.value))
+            return Selector(SelectorKind.SHORTEST_K, int(count_token.value))
+        return None
+
+    def _is_selector_shortest(self) -> bool:
+        """Distinguish the SHORTEST selector prefix from the SHORTEST restrictor."""
+        token = self._peek()
+        return token.is_keyword("SHORTEST") and self._peek(1).kind == TokenKind.NUMBER
+
+    def _parse_restrictor(self) -> Restrictor:
+        token = self._peek()
+        if token.is_keyword(*_RESTRICTOR_KEYWORDS):
+            self._advance()
+            return Restrictor(token.value)
+        # Standard GQL allows omitting the restrictor; WALK is the default.
+        return Restrictor.WALK
+
+    # ------------------------------------------------------------------
+    # Path pattern
+    # ------------------------------------------------------------------
+    def _parse_path_pattern(self) -> PathPattern:
+        variable: str | None = None
+        if (
+            self._peek().kind == TokenKind.IDENTIFIER
+            and self._peek(1).is_punct("=")
+        ):
+            variable = self._advance().value
+            self._advance()  # '='
+
+        source = self._parse_node_pattern()
+        self._expect_punct("-")
+        self._expect_punct("[")
+        regex = self._parse_regex_body()
+        self._expect_punct("]")
+        self._expect_punct("->")
+        regex = self._apply_postfix_quantifier(regex)
+        target = self._parse_node_pattern()
+
+        where: Condition | None = None
+        if self._peek().is_keyword("WHERE"):
+            self._advance()
+            where = self._parse_condition(source_variable=source.variable, target_variable=target.variable)
+
+        return PathPattern(variable, source, regex, target, where)
+
+    def _apply_postfix_quantifier(self, regex: RegexNode) -> RegexNode:
+        """Handle the ``]->+`` / ``]->*`` forms where the quantifier follows the arrow."""
+        token = self._peek()
+        if token.is_punct("+"):
+            self._advance()
+            return Plus(regex)
+        if token.is_punct("*"):
+            self._advance()
+            return Star(regex)
+        return regex
+
+    def _parse_node_pattern(self) -> NodePattern:
+        self._expect_punct("(")
+        variable: str | None = None
+        label: str | None = None
+        properties: dict[str, Any] = {}
+
+        if self._peek().is_punct("?"):
+            self._advance()
+            token = self._peek()
+            if token.kind not in (TokenKind.IDENTIFIER, TokenKind.KEYWORD):
+                raise self._error("expected a variable name after '?'")
+            variable = self._advance().value
+        elif self._peek().kind == TokenKind.IDENTIFIER:
+            variable = self._advance().value
+
+        if self._peek().is_punct(":"):
+            self._advance()
+            token = self._peek()
+            if token.kind not in (TokenKind.IDENTIFIER, TokenKind.KEYWORD):
+                raise self._error("expected a label name after ':'")
+            label = self._advance().value
+
+        if self._peek().is_punct("{"):
+            properties = self._parse_property_map()
+
+        self._expect_punct(")")
+        return NodePattern(variable, label, properties)
+
+    def _parse_property_map(self) -> dict[str, Any]:
+        self._expect_punct("{")
+        properties: dict[str, Any] = {}
+        while True:
+            token = self._peek()
+            if token.kind not in (TokenKind.IDENTIFIER, TokenKind.KEYWORD):
+                raise self._error("expected a property name")
+            name = self._advance().value
+            self._expect_punct(":")
+            properties[name] = self._parse_literal()
+            if self._peek().is_punct(","):
+                self._advance()
+                continue
+            break
+        self._expect_punct("}")
+        return properties
+
+    def _parse_literal(self) -> Any:
+        token = self._peek()
+        if token.kind == TokenKind.STRING:
+            self._advance()
+            return token.value
+        if token.kind == TokenKind.NUMBER:
+            self._advance()
+            return int(token.value)
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return True
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return False
+        if token.kind == TokenKind.IDENTIFIER:
+            self._advance()
+            return token.value
+        raise self._error(f"expected a literal value, found {token.value!r}")
+
+    def _parse_regex_body(self) -> RegexNode:
+        """Collect the raw token text between ``[`` and ``]`` and reuse the RPQ parser."""
+        parts: list[str] = []
+        depth = 0
+        while True:
+            token = self._peek()
+            if token.kind == TokenKind.EOF:
+                raise self._error("unterminated '[' in path pattern")
+            if token.is_punct("["):
+                depth += 1
+            if token.is_punct("]"):
+                if depth == 0:
+                    break
+                depth -= 1
+            parts.append(token.value)
+            self._advance()
+        text = " ".join(parts)
+        if not text.strip():
+            raise self._error("empty regular expression in path pattern")
+        return parse_regex(text)
+
+    # ------------------------------------------------------------------
+    # WHERE conditions
+    # ------------------------------------------------------------------
+    def _parse_condition(
+        self, source_variable: str | None, target_variable: str | None
+    ) -> Condition:
+        return self._parse_or(source_variable, target_variable)
+
+    def _parse_or(self, source_var: str | None, target_var: str | None) -> Condition:
+        left = self._parse_and(source_var, target_var)
+        while self._peek().is_keyword("OR"):
+            self._advance()
+            right = self._parse_and(source_var, target_var)
+            left = left | right
+        return left
+
+    def _parse_and(self, source_var: str | None, target_var: str | None) -> Condition:
+        left = self._parse_not(source_var, target_var)
+        while self._peek().is_keyword("AND"):
+            self._advance()
+            right = self._parse_not(source_var, target_var)
+            left = left & right
+        return left
+
+    def _parse_not(self, source_var: str | None, target_var: str | None) -> Condition:
+        if self._peek().is_keyword("NOT"):
+            self._advance()
+            return Not(self._parse_not(source_var, target_var))
+        if self._peek().is_punct("("):
+            self._advance()
+            condition = self._parse_or(source_var, target_var)
+            self._expect_punct(")")
+            return condition
+        return self._parse_simple_condition(source_var, target_var)
+
+    def _parse_comparator(self) -> Comparator:
+        token = self._peek()
+        mapping = {
+            "=": Comparator.EQ,
+            "!=": Comparator.NE,
+            "<": Comparator.LT,
+            ">": Comparator.GT,
+            "<=": Comparator.LE,
+            ">=": Comparator.GE,
+        }
+        if token.kind == TokenKind.PUNCT and token.value in mapping:
+            self._advance()
+            return mapping[token.value]
+        raise self._error(f"expected a comparison operator, found {token.value!r}")
+
+    def _parse_position_argument(self) -> int:
+        self._expect_punct("(")
+        token = self._peek()
+        if token.kind != TokenKind.NUMBER:
+            raise self._error("expected a position number")
+        self._advance()
+        self._expect_punct(")")
+        return int(token.value)
+
+    def _parse_simple_condition(
+        self, source_var: str | None, target_var: str | None
+    ) -> Condition:
+        token = self._peek()
+
+        # label(first) = v / label(last) = v / label(node(i)) = v / label(edge(i)) = v
+        if token.is_keyword("LABEL"):
+            self._advance()
+            self._expect_punct("(")
+            inner = self._peek()
+            if inner.is_keyword("FIRST"):
+                self._advance()
+                self._expect_punct(")")
+                comparator = self._parse_comparator()
+                return label_of_first(self._parse_literal(), comparator)
+            if inner.is_keyword("LAST"):
+                self._advance()
+                self._expect_punct(")")
+                comparator = self._parse_comparator()
+                return label_of_last(self._parse_literal(), comparator)
+            if inner.is_keyword("NODE"):
+                self._advance()
+                position = self._parse_position_argument()
+                self._expect_punct(")")
+                comparator = self._parse_comparator()
+                return label_of_node(position, self._parse_literal(), comparator)
+            if inner.is_keyword("EDGE"):
+                self._advance()
+                position = self._parse_position_argument()
+                self._expect_punct(")")
+                comparator = self._parse_comparator()
+                return label_of_edge(position, self._parse_literal(), comparator)
+            raise self._error("expected first, last, node(i) or edge(i) inside label(...)")
+
+        # len() = i
+        if token.is_keyword("LEN"):
+            self._advance()
+            self._expect_punct("(")
+            self._expect_punct(")")
+            comparator = self._parse_comparator()
+            value = self._parse_literal()
+            if not isinstance(value, int):
+                raise self._error("len() comparisons require an integer")
+            return LengthCondition(value, comparator)
+
+        # first.pr / last.pr / node(i).pr / edge(i).pr
+        if token.is_keyword("FIRST", "LAST"):
+            self._advance()
+            self._expect_punct(".")
+            property_name = self._parse_property_name()
+            comparator = self._parse_comparator()
+            value = self._parse_literal()
+            factory = prop_of_first if token.value == "FIRST" else prop_of_last
+            return factory(property_name, value, comparator)
+
+        if token.is_keyword("NODE", "EDGE"):
+            self._advance()
+            position = self._parse_position_argument()
+            self._expect_punct(".")
+            property_name = self._parse_property_name()
+            comparator = self._parse_comparator()
+            value = self._parse_literal()
+            factory = prop_of_node if token.value == "NODE" else prop_of_edge
+            return factory(position, property_name, value, comparator)
+
+        # variable.pr — resolved against the pattern's endpoint variables.
+        if token.kind == TokenKind.IDENTIFIER:
+            variable = self._advance().value
+            self._expect_punct(".")
+            property_name = self._parse_property_name()
+            comparator = self._parse_comparator()
+            value = self._parse_literal()
+            if variable == source_var:
+                return prop_of_first(property_name, value, comparator)
+            if variable == target_var:
+                return prop_of_last(property_name, value, comparator)
+            raise self._error(
+                f"unknown variable {variable!r} in WHERE clause (expected "
+                f"{source_var!r} or {target_var!r})",
+                token,
+            )
+
+        raise self._error(f"cannot parse condition starting at {token.value!r}")
+
+    def _parse_property_name(self) -> str:
+        token = self._peek()
+        if token.kind in (TokenKind.IDENTIFIER, TokenKind.KEYWORD):
+            self._advance()
+            return token.value if token.kind == TokenKind.IDENTIFIER else token.value.lower()
+        raise self._error("expected a property name")
+
+    # ------------------------------------------------------------------
+    # GROUP BY / ORDER BY
+    # ------------------------------------------------------------------
+    def _parse_group_by(self) -> GroupByKey:
+        self._expect_keyword("GROUP")
+        self._expect_keyword("BY")
+        letters = ""
+        mapping = {"SOURCE": "S", "TARGET": "T", "LENGTH": "L"}
+        while self._peek().is_keyword("SOURCE", "TARGET", "LENGTH"):
+            token = self._advance()
+            letters += mapping[token.value]
+        if not letters:
+            return GroupByKey.NONE
+        return GroupByKey.from_string(letters)
+
+    def _parse_order_by(self) -> OrderByKey:
+        self._expect_keyword("ORDER")
+        self._expect_keyword("BY")
+        letters = ""
+        mapping = {"PARTITION": "P", "GROUP": "G", "PATH": "A"}
+        while self._peek().is_keyword("PARTITION", "GROUP", "PATH"):
+            token = self._advance()
+            letters += mapping[token.value]
+        if not letters:
+            raise self._error("ORDER BY requires at least one of PARTITION, GROUP, PATH")
+        return OrderByKey.from_string(letters)

@@ -1,0 +1,100 @@
+"""Logical planning: extended-GQL ASTs to path-algebra expression trees.
+
+The planner implements the translation sketched in Sections 6 and 7 of the
+paper:
+
+1. the regular expression of the path pattern compiles into the core /
+   recursive algebra (:func:`repro.rpq.compile.compile_regex`), with the
+   query's restrictor attached to every recursive operator;
+2. node-pattern constraints (labels and inline properties) and the ``WHERE``
+   clause become a selection on top;
+3. the path mode becomes the extended-algebra pipeline — either the explicit
+   ``GROUP BY`` / ``ORDER BY`` / projection of the extended syntax, or the
+   Table 7 pipeline of the query's selector.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.conditions import (
+    Condition,
+    label_of_first,
+    label_of_last,
+    prop_of_first,
+    prop_of_last,
+)
+from repro.algebra.expressions import Expression, GroupBy, OrderBy, Projection, Selection
+from repro.algebra.solution_space import GroupByKey, ProjectionSpec
+from repro.errors import PlanningError
+from repro.gql.ast import NodePattern, PathQuery
+from repro.gql.parser import parse_query
+from repro.rpq.compile import CompileOptions, compile_regex
+from repro.semantics.selectors import Selector, SelectorKind, selector_plan
+
+__all__ = ["plan_query", "plan_text", "endpoint_condition"]
+
+
+def endpoint_condition(pattern: NodePattern, is_source: bool) -> Condition | None:
+    """Build the selection condition induced by a node pattern's label and properties."""
+    label_factory = label_of_first if is_source else label_of_last
+    prop_factory = prop_of_first if is_source else prop_of_last
+
+    conditions: list[Condition] = []
+    if pattern.label is not None:
+        conditions.append(label_factory(pattern.label))
+    for name, value in pattern.properties.items():
+        conditions.append(prop_factory(name, value))
+    if not conditions:
+        return None
+    result = conditions[0]
+    for extra in conditions[1:]:
+        result = result & extra
+    return result
+
+
+def plan_query(query: PathQuery) -> Expression:
+    """Translate a parsed :class:`~repro.gql.ast.PathQuery` into a logical plan."""
+    options = CompileOptions(restrictor=query.restrictor, max_length=query.max_length)
+    plan: Expression = compile_regex(query.pattern.regex, options)
+
+    condition: Condition | None = None
+    for extra in (
+        endpoint_condition(query.pattern.source, is_source=True),
+        endpoint_condition(query.pattern.target, is_source=False),
+        query.pattern.where,
+    ):
+        if extra is None:
+            continue
+        condition = extra if condition is None else condition & extra
+    if condition is not None:
+        plan = Selection(condition, plan)
+
+    if query.uses_selector_style():
+        return _apply_selector_pipeline(plan, query.selector)
+    return _apply_extended_pipeline(plan, query)
+
+
+def _apply_selector_pipeline(plan: Expression, selector: Selector | None) -> Expression:
+    """Wrap ``plan`` in the Table 7 pipeline of ``selector`` (default ALL)."""
+    selector = selector or Selector(SelectorKind.ALL)
+    pipeline = selector_plan(selector)
+    plan = GroupBy(plan, pipeline.group_key)
+    if pipeline.order_key is not None:
+        plan = OrderBy(plan, pipeline.order_key)
+    return Projection(plan, pipeline.projection)
+
+
+def _apply_extended_pipeline(plan: Expression, query: PathQuery) -> Expression:
+    """Wrap ``plan`` in the explicit group-by / order-by / projection of the extended syntax."""
+    if query.projection is None:
+        raise PlanningError("extended-style queries require a projection clause")
+    group_key = query.group_by if query.group_by is not None else GroupByKey.NONE
+    plan = GroupBy(plan, group_key)
+    if query.order_by is not None:
+        plan = OrderBy(plan, query.order_by)
+    spec: ProjectionSpec = query.projection
+    return Projection(plan, spec)
+
+
+def plan_text(text: str, max_length: int | None = None) -> Expression:
+    """Parse and plan an extended-GQL query in one step."""
+    return plan_query(parse_query(text, max_length=max_length))

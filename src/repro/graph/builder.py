@@ -1,0 +1,71 @@
+"""Fluent builder for property graphs.
+
+:class:`GraphBuilder` offers a compact way to declare graphs in examples and
+tests, with automatic identifier generation and chained calls::
+
+    graph = (
+        GraphBuilder("social")
+        .node("n1", "Person", name="Moe")
+        .node("n2", "Person", name="Lisa")
+        .edge("n1", "n2", "Knows", id="e1")
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.graph.model import PropertyGraph
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Incrementally construct a :class:`~repro.graph.model.PropertyGraph`."""
+
+    def __init__(self, name: str = "G") -> None:
+        self._graph = PropertyGraph(name=name)
+        self._auto_node = 0
+        self._auto_edge = 0
+
+    def node(self, node_id: str | None = None, label: str | None = None, **properties: Any) -> "GraphBuilder":
+        """Add a node; generates ``n<k>`` identifiers when ``node_id`` is omitted."""
+        if node_id is None:
+            self._auto_node += 1
+            node_id = f"n{self._auto_node}"
+        self._graph.add_node(node_id, label, properties)
+        return self
+
+    def edge(
+        self,
+        source: str,
+        target: str,
+        label: str | None = None,
+        id: str | None = None,
+        **properties: Any,
+    ) -> "GraphBuilder":
+        """Add an edge; generates ``e<k>`` identifiers when ``id`` is omitted."""
+        if id is None:
+            self._auto_edge += 1
+            id = f"e{self._auto_edge}"
+        self._graph.add_edge(id, source, target, label, properties)
+        return self
+
+    def chain(self, node_ids: list[str], label: str) -> "GraphBuilder":
+        """Add edges forming a chain ``n0 -> n1 -> ... -> nk`` with the given label."""
+        for source, target in zip(node_ids, node_ids[1:]):
+            self.edge(source, target, label)
+        return self
+
+    def cycle(self, node_ids: list[str], label: str) -> "GraphBuilder":
+        """Add edges forming a directed cycle over ``node_ids`` with the given label."""
+        if not node_ids:
+            return self
+        self.chain(node_ids, label)
+        self.edge(node_ids[-1], node_ids[0], label)
+        return self
+
+    def build(self) -> PropertyGraph:
+        """Return the constructed graph."""
+        return self._graph

@@ -1,0 +1,147 @@
+"""Serialization of property graphs to and from JSON and CSV.
+
+Two formats are supported:
+
+* **JSON** — a single document with ``nodes`` and ``edges`` arrays; lossless
+  for any property value JSON can represent.
+* **CSV** — a pair of files (``<prefix>_nodes.csv`` / ``<prefix>_edges.csv``)
+  in the flat layout used by the LDBC SNB interactive data sets and by most
+  graph-database bulk loaders.  All property values round-trip as strings.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import GraphError
+from repro.graph.model import PropertyGraph
+
+__all__ = [
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_json",
+    "load_json",
+    "save_csv",
+    "load_csv",
+]
+
+_RESERVED_NODE_FIELDS = ("id", "label")
+_RESERVED_EDGE_FIELDS = ("id", "source", "target", "label")
+
+
+def graph_to_dict(graph: PropertyGraph) -> dict[str, Any]:
+    """Return a JSON-serializable dictionary representation of ``graph``."""
+    return {
+        "name": graph.name,
+        "nodes": [
+            {"id": node.id, "label": node.label, "properties": dict(node.properties)}
+            for node in graph.iter_nodes()
+        ],
+        "edges": [
+            {
+                "id": edge.id,
+                "source": edge.source,
+                "target": edge.target,
+                "label": edge.label,
+                "properties": dict(edge.properties),
+            }
+            for edge in graph.iter_edges()
+        ],
+    }
+
+
+def graph_from_dict(data: dict[str, Any]) -> PropertyGraph:
+    """Reconstruct a :class:`PropertyGraph` from :func:`graph_to_dict` output."""
+    if "nodes" not in data or "edges" not in data:
+        raise GraphError("graph dictionary must contain 'nodes' and 'edges' keys")
+    graph = PropertyGraph(name=data.get("name", "G"))
+    for node in data["nodes"]:
+        graph.add_node(node["id"], node.get("label"), node.get("properties") or {})
+    for edge in data["edges"]:
+        graph.add_edge(
+            edge["id"],
+            edge["source"],
+            edge["target"],
+            edge.get("label"),
+            edge.get("properties") or {},
+        )
+    return graph
+
+
+def save_json(graph: PropertyGraph, path: str | Path) -> None:
+    """Write ``graph`` to ``path`` as a JSON document."""
+    payload = graph_to_dict(graph)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+
+
+def load_json(path: str | Path) -> PropertyGraph:
+    """Read a graph previously written by :func:`save_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return graph_from_dict(payload)
+
+
+def save_csv(graph: PropertyGraph, prefix: str | Path) -> tuple[Path, Path]:
+    """Write ``graph`` to ``<prefix>_nodes.csv`` and ``<prefix>_edges.csv``.
+
+    Returns the two paths written.  Property columns are the union of the
+    property names used across nodes (respectively edges).
+    """
+    prefix = Path(prefix)
+    nodes_path = prefix.with_name(prefix.name + "_nodes.csv")
+    edges_path = prefix.with_name(prefix.name + "_edges.csv")
+
+    node_props = sorted({key for node in graph.iter_nodes() for key in node.properties})
+    edge_props = sorted({key for edge in graph.iter_edges() for key in edge.properties})
+
+    with open(nodes_path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(_RESERVED_NODE_FIELDS) + node_props)
+        for node in graph.iter_nodes():
+            row = [node.id, node.label or ""]
+            row.extend(node.properties.get(key, "") for key in node_props)
+            writer.writerow(row)
+
+    with open(edges_path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(_RESERVED_EDGE_FIELDS) + edge_props)
+        for edge in graph.iter_edges():
+            row = [edge.id, edge.source, edge.target, edge.label or ""]
+            row.extend(edge.properties.get(key, "") for key in edge_props)
+            writer.writerow(row)
+
+    return nodes_path, edges_path
+
+
+def load_csv(prefix: str | Path, name: str = "G") -> PropertyGraph:
+    """Read a graph previously written by :func:`save_csv`."""
+    prefix = Path(prefix)
+    nodes_path = prefix.with_name(prefix.name + "_nodes.csv")
+    edges_path = prefix.with_name(prefix.name + "_edges.csv")
+    if not nodes_path.exists() or not edges_path.exists():
+        raise GraphError(f"missing CSV files for prefix {prefix}")
+
+    graph = PropertyGraph(name=name)
+    with open(nodes_path, "r", newline="", encoding="utf-8") as handle:
+        for row in csv.DictReader(handle):
+            properties = {
+                key: value
+                for key, value in row.items()
+                if key not in _RESERVED_NODE_FIELDS and value != ""
+            }
+            graph.add_node(row["id"], row["label"] or None, properties)
+    with open(edges_path, "r", newline="", encoding="utf-8") as handle:
+        for row in csv.DictReader(handle):
+            properties = {
+                key: value
+                for key, value in row.items()
+                if key not in _RESERVED_EDGE_FIELDS and value != ""
+            }
+            graph.add_edge(
+                row["id"], row["source"], row["target"], row["label"] or None, properties
+            )
+    return graph

@@ -1,0 +1,346 @@
+"""Property graph data model (paper Definition 2.1).
+
+A property graph is a tuple ``G = (N, E, rho, lambda, nu)`` where ``N`` and
+``E`` are disjoint finite sets of node and edge identifiers, ``rho`` maps each
+edge to its (source, target) node pair, ``lambda`` partially assigns a single
+label to nodes and edges, and ``nu`` partially assigns property/value pairs to
+nodes and edges.
+
+The classes in this module are deliberately simple, immutable value objects
+plus one mutable container (:class:`PropertyGraph`).  Identifiers are plain
+strings; values are arbitrary Python objects (typically strings and numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.errors import (
+    DuplicateObjectError,
+    InvalidEdgeError,
+    UnknownObjectError,
+)
+
+__all__ = ["Node", "Edge", "PropertyGraph"]
+
+
+@dataclass(frozen=True)
+class Node:
+    """A node of a property graph.
+
+    Attributes:
+        id: The node identifier (unique across nodes *and* edges).
+        label: The optional label assigned by ``lambda``; ``None`` if unlabeled.
+        properties: The property/value pairs assigned by ``nu``.
+    """
+
+    id: str
+    label: str | None = None
+    properties: Mapping[str, Any] = field(default_factory=dict)
+
+    def property(self, name: str, default: Any = None) -> Any:
+        """Return the value of property ``name`` or ``default`` if absent."""
+        return self.properties.get(name, default)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        label = f":{self.label}" if self.label else ""
+        return f"({self.id}{label})"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed edge of a property graph.
+
+    Attributes:
+        id: The edge identifier (unique across nodes *and* edges).
+        source: Identifier of the source node (``rho(e) = (source, target)``).
+        target: Identifier of the target node.
+        label: The optional label assigned by ``lambda``; ``None`` if unlabeled.
+        properties: The property/value pairs assigned by ``nu``.
+    """
+
+    id: str
+    source: str
+    target: str
+    label: str | None = None
+    properties: Mapping[str, Any] = field(default_factory=dict)
+
+    def property(self, name: str, default: Any = None) -> Any:
+        """Return the value of property ``name`` or ``default`` if absent."""
+        return self.properties.get(name, default)
+
+    def endpoints(self) -> tuple[str, str]:
+        """Return ``rho(e)`` as a ``(source, target)`` pair."""
+        return (self.source, self.target)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        label = f":{self.label}" if self.label else ""
+        return f"-[{self.id}{label}]->"
+
+
+class PropertyGraph:
+    """A directed labelled multigraph with properties (Definition 2.1).
+
+    The graph owns its :class:`Node` and :class:`Edge` objects and offers
+    index-backed accessors used throughout the algebra evaluator:
+
+    * ``nodes()`` / ``edges()`` — the atom sets ``Nodes(G)`` and ``Edges(G)``;
+    * ``out_edges(node_id)`` / ``in_edges(node_id)`` — adjacency lists;
+    * ``edges_by_label(label)`` / ``nodes_by_label(label)`` — label indexes.
+    """
+
+    def __init__(self, name: str = "G") -> None:
+        self.name = name
+        self._nodes: dict[str, Node] = {}
+        self._edges: dict[str, Edge] = {}
+        self._out: dict[str, list[str]] = {}
+        self._in: dict[str, list[str]] = {}
+        self._nodes_by_label: dict[str, list[str]] = {}
+        self._edges_by_label: dict[str, list[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        node_id: str,
+        label: str | None = None,
+        properties: Mapping[str, Any] | None = None,
+    ) -> Node:
+        """Register a node and return it.
+
+        Raises:
+            DuplicateObjectError: if the identifier is already used by a node
+                or an edge (``N`` and ``E`` must be disjoint).
+        """
+        if node_id in self._nodes or node_id in self._edges:
+            raise DuplicateObjectError(f"object identifier already in use: {node_id!r}")
+        node = Node(id=node_id, label=label, properties=dict(properties or {}))
+        self._nodes[node_id] = node
+        self._out.setdefault(node_id, [])
+        self._in.setdefault(node_id, [])
+        if label is not None:
+            self._nodes_by_label.setdefault(label, []).append(node_id)
+        return node
+
+    def add_edge(
+        self,
+        edge_id: str,
+        source: str,
+        target: str,
+        label: str | None = None,
+        properties: Mapping[str, Any] | None = None,
+    ) -> Edge:
+        """Register a directed edge ``source -> target`` and return it.
+
+        Raises:
+            DuplicateObjectError: if the identifier is already in use.
+            InvalidEdgeError: if either endpoint is not a known node.
+        """
+        if edge_id in self._nodes or edge_id in self._edges:
+            raise DuplicateObjectError(f"object identifier already in use: {edge_id!r}")
+        if source not in self._nodes:
+            raise InvalidEdgeError(f"unknown source node {source!r} for edge {edge_id!r}")
+        if target not in self._nodes:
+            raise InvalidEdgeError(f"unknown target node {target!r} for edge {edge_id!r}")
+        edge = Edge(
+            id=edge_id,
+            source=source,
+            target=target,
+            label=label,
+            properties=dict(properties or {}),
+        )
+        self._edges[edge_id] = edge
+        self._out[source].append(edge_id)
+        self._in[target].append(edge_id)
+        if label is not None:
+            self._edges_by_label.setdefault(label, []).append(edge_id)
+        return edge
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def node(self, node_id: str) -> Node:
+        """Return the node with identifier ``node_id``.
+
+        Raises:
+            UnknownObjectError: if no such node exists.
+        """
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise UnknownObjectError(f"unknown node: {node_id!r}") from None
+
+    def edge(self, edge_id: str) -> Edge:
+        """Return the edge with identifier ``edge_id``.
+
+        Raises:
+            UnknownObjectError: if no such edge exists.
+        """
+        try:
+            return self._edges[edge_id]
+        except KeyError:
+            raise UnknownObjectError(f"unknown edge: {edge_id!r}") from None
+
+    def has_node(self, node_id: str) -> bool:
+        """Return ``True`` if ``node_id`` identifies a node of the graph."""
+        return node_id in self._nodes
+
+    def has_edge(self, edge_id: str) -> bool:
+        """Return ``True`` if ``edge_id`` identifies an edge of the graph."""
+        return edge_id in self._edges
+
+    def object(self, object_id: str) -> Node | Edge:
+        """Return the node or edge with the given identifier.
+
+        Raises:
+            UnknownObjectError: if the identifier matches neither.
+        """
+        if object_id in self._nodes:
+            return self._nodes[object_id]
+        if object_id in self._edges:
+            return self._edges[object_id]
+        raise UnknownObjectError(f"unknown object: {object_id!r}")
+
+    def label_of(self, object_id: str) -> str | None:
+        """Return ``lambda(o)`` for a node or edge identifier (``None`` if unlabeled)."""
+        return self.object(object_id).label
+
+    def property_of(self, object_id: str, name: str, default: Any = None) -> Any:
+        """Return ``nu(o, name)`` for a node or edge identifier."""
+        return self.object(object_id).property(name, default)
+
+    def nodes(self) -> list[Node]:
+        """Return all nodes — the atom set ``Nodes(G)`` (paths of length zero)."""
+        return list(self._nodes.values())
+
+    def edges(self) -> list[Edge]:
+        """Return all edges — the atom set ``Edges(G)`` (paths of length one)."""
+        return list(self._edges.values())
+
+    def node_ids(self) -> list[str]:
+        """Return all node identifiers (insertion order)."""
+        return list(self._nodes)
+
+    def edge_ids(self) -> list[str]:
+        """Return all edge identifiers (insertion order)."""
+        return list(self._edges)
+
+    def iter_nodes(self) -> Iterator[Node]:
+        """Iterate over nodes without materializing a list."""
+        return iter(self._nodes.values())
+
+    def iter_edges(self) -> Iterator[Edge]:
+        """Iterate over edges without materializing a list."""
+        return iter(self._edges.values())
+
+    # ------------------------------------------------------------------
+    # Adjacency and label indexes
+    # ------------------------------------------------------------------
+    def out_edges(self, node_id: str) -> list[Edge]:
+        """Return the edges whose source is ``node_id``."""
+        if node_id not in self._nodes:
+            raise UnknownObjectError(f"unknown node: {node_id!r}")
+        return [self._edges[eid] for eid in self._out[node_id]]
+
+    def in_edges(self, node_id: str) -> list[Edge]:
+        """Return the edges whose target is ``node_id``."""
+        if node_id not in self._nodes:
+            raise UnknownObjectError(f"unknown node: {node_id!r}")
+        return [self._edges[eid] for eid in self._in[node_id]]
+
+    def out_degree(self, node_id: str) -> int:
+        """Return the number of outgoing edges of ``node_id``."""
+        return len(self.out_edges(node_id))
+
+    def in_degree(self, node_id: str) -> int:
+        """Return the number of incoming edges of ``node_id``."""
+        return len(self.in_edges(node_id))
+
+    def neighbors(self, node_id: str) -> list[str]:
+        """Return target node identifiers reachable via one outgoing edge."""
+        return [edge.target for edge in self.out_edges(node_id)]
+
+    def nodes_by_label(self, label: str) -> list[Node]:
+        """Return the nodes labelled ``label`` (possibly empty)."""
+        return [self._nodes[nid] for nid in self._nodes_by_label.get(label, [])]
+
+    def edges_by_label(self, label: str) -> list[Edge]:
+        """Return the edges labelled ``label`` (possibly empty)."""
+        return [self._edges[eid] for eid in self._edges_by_label.get(label, [])]
+
+    def node_labels(self) -> set[str]:
+        """Return the set of labels used by at least one node."""
+        return set(self._nodes_by_label)
+
+    def edge_labels(self) -> set[str]:
+        """Return the set of labels used by at least one edge."""
+        return set(self._edges_by_label)
+
+    # ------------------------------------------------------------------
+    # Size and dunder protocol
+    # ------------------------------------------------------------------
+    def num_nodes(self) -> int:
+        """Return ``|N|``."""
+        return len(self._nodes)
+
+    def num_edges(self) -> int:
+        """Return ``|E|``."""
+        return len(self._edges)
+
+    def order(self) -> int:
+        """Synonym for :meth:`num_nodes` (graph-theory terminology)."""
+        return self.num_nodes()
+
+    def size(self) -> int:
+        """Synonym for :meth:`num_edges` (graph-theory terminology)."""
+        return self.num_edges()
+
+    def __contains__(self, object_id: object) -> bool:
+        return object_id in self._nodes or object_id in self._edges
+
+    def __len__(self) -> int:
+        return len(self._nodes) + len(self._edges)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PropertyGraph(name={self.name!r}, nodes={self.num_nodes()}, "
+            f"edges={self.num_edges()})"
+        )
+
+    # ------------------------------------------------------------------
+    # Bulk helpers
+    # ------------------------------------------------------------------
+    def add_nodes(self, nodes: Iterable[tuple[str, str | None, Mapping[str, Any] | None]]) -> None:
+        """Add many nodes given ``(id, label, properties)`` triples."""
+        for node_id, label, properties in nodes:
+            self.add_node(node_id, label, properties)
+
+    def add_edges(
+        self,
+        edges: Iterable[tuple[str, str, str, str | None, Mapping[str, Any] | None]],
+    ) -> None:
+        """Add many edges given ``(id, source, target, label, properties)`` tuples."""
+        for edge_id, source, target, label, properties in edges:
+            self.add_edge(edge_id, source, target, label, properties)
+
+    def copy(self, name: str | None = None) -> "PropertyGraph":
+        """Return a deep-enough copy of the graph (objects are immutable and shared)."""
+        clone = PropertyGraph(name=name or self.name)
+        for node in self.iter_nodes():
+            clone.add_node(node.id, node.label, node.properties)
+        for edge in self.iter_edges():
+            clone.add_edge(edge.id, edge.source, edge.target, edge.label, edge.properties)
+        return clone
+
+    def subgraph_by_edge_labels(self, labels: Iterable[str], name: str | None = None) -> "PropertyGraph":
+        """Return the subgraph keeping every node but only edges with one of ``labels``."""
+        wanted = set(labels)
+        clone = PropertyGraph(name=name or f"{self.name}[{','.join(sorted(wanted))}]")
+        for node in self.iter_nodes():
+            clone.add_node(node.id, node.label, node.properties)
+        for edge in self.iter_edges():
+            if edge.label in wanted:
+                clone.add_edge(edge.id, edge.source, edge.target, edge.label, edge.properties)
+        return clone

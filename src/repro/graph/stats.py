@@ -1,0 +1,112 @@
+"""Descriptive statistics over property graphs.
+
+The optimizer's cost model and the benchmark harness both need cheap summary
+statistics: label cardinalities, degree distributions, and cycle detection
+(which determines whether a bare WALK recursion terminates).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.graph.model import PropertyGraph
+
+__all__ = ["GraphStatistics", "compute_statistics", "has_directed_cycle", "label_selectivity"]
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """Summary statistics of a property graph."""
+
+    num_nodes: int
+    num_edges: int
+    node_label_counts: dict[str, int] = field(default_factory=dict)
+    edge_label_counts: dict[str, int] = field(default_factory=dict)
+    max_out_degree: int = 0
+    max_in_degree: int = 0
+    avg_out_degree: float = 0.0
+    has_cycle: bool = False
+
+    def edge_label_fraction(self, label: str) -> float:
+        """Return the fraction of edges carrying ``label`` (0.0 if unused or empty)."""
+        if self.num_edges == 0:
+            return 0.0
+        return self.edge_label_counts.get(label, 0) / self.num_edges
+
+    def node_label_fraction(self, label: str) -> float:
+        """Return the fraction of nodes carrying ``label`` (0.0 if unused or empty)."""
+        if self.num_nodes == 0:
+            return 0.0
+        return self.node_label_counts.get(label, 0) / self.num_nodes
+
+
+def compute_statistics(graph: PropertyGraph) -> GraphStatistics:
+    """Compute :class:`GraphStatistics` for ``graph`` in a single pass."""
+    node_labels: Counter[str] = Counter()
+    edge_labels: Counter[str] = Counter()
+    for node in graph.iter_nodes():
+        if node.label is not None:
+            node_labels[node.label] += 1
+    for edge in graph.iter_edges():
+        if edge.label is not None:
+            edge_labels[edge.label] += 1
+
+    out_degrees = [graph.out_degree(nid) for nid in graph.node_ids()]
+    in_degrees = [graph.in_degree(nid) for nid in graph.node_ids()]
+    num_nodes = graph.num_nodes()
+    return GraphStatistics(
+        num_nodes=num_nodes,
+        num_edges=graph.num_edges(),
+        node_label_counts=dict(node_labels),
+        edge_label_counts=dict(edge_labels),
+        max_out_degree=max(out_degrees, default=0),
+        max_in_degree=max(in_degrees, default=0),
+        avg_out_degree=(sum(out_degrees) / num_nodes) if num_nodes else 0.0,
+        has_cycle=has_directed_cycle(graph),
+    )
+
+
+def has_directed_cycle(graph: PropertyGraph, edge_label: str | None = None) -> bool:
+    """Return ``True`` if the graph (restricted to ``edge_label`` if given) has a directed cycle.
+
+    Uses an iterative three-color depth-first search so large graphs do not hit
+    Python's recursion limit.
+    """
+    white, gray, black = 0, 1, 2
+    color: dict[str, int] = {nid: white for nid in graph.node_ids()}
+
+    def outgoing(node_id: str) -> list[str]:
+        return [
+            edge.target
+            for edge in graph.out_edges(node_id)
+            if edge_label is None or edge.label == edge_label
+        ]
+
+    for start in graph.node_ids():
+        if color[start] != white:
+            continue
+        stack: list[tuple[str, int]] = [(start, 0)]
+        color[start] = gray
+        children: dict[str, list[str]] = {start: outgoing(start)}
+        while stack:
+            node, index = stack[-1]
+            succ = children[node]
+            if index < len(succ):
+                stack[-1] = (node, index + 1)
+                nxt = succ[index]
+                if color[nxt] == gray:
+                    return True
+                if color[nxt] == white:
+                    color[nxt] = gray
+                    children[nxt] = outgoing(nxt)
+                    stack.append((nxt, 0))
+            else:
+                color[node] = black
+                stack.pop()
+    return False
+
+
+def label_selectivity(graph: PropertyGraph, label: str) -> float:
+    """Return the selectivity of an edge-label predicate, used by the cost model."""
+    return compute_statistics(graph).edge_label_fraction(label)

@@ -1,0 +1,80 @@
+"""Structural validation of property graphs.
+
+:func:`validate_graph` re-checks the invariants of Definition 2.1 on an
+already-constructed graph.  :class:`PropertyGraph` enforces these invariants
+during construction, so this module mostly matters when graphs are loaded
+from external files or assembled by generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import GraphError
+from repro.graph.model import PropertyGraph
+
+__all__ = ["ValidationReport", "validate_graph"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating a property graph."""
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def is_valid(self) -> bool:
+        """Return ``True`` when no structural errors were found."""
+        return not self.errors
+
+    def raise_if_invalid(self) -> None:
+        """Raise :class:`GraphError` summarizing all errors, if any."""
+        if self.errors:
+            raise GraphError("invalid property graph: " + "; ".join(self.errors))
+
+
+def validate_graph(graph: PropertyGraph) -> ValidationReport:
+    """Validate Definition 2.1 invariants and return a :class:`ValidationReport`.
+
+    Checks performed:
+
+    * node and edge identifier sets are disjoint;
+    * every edge's endpoints are known nodes (``rho`` is total);
+    * labels are strings when present;
+    * property names are strings.
+
+    Warnings (non-fatal): isolated nodes and unlabeled edges, which are legal
+    but frequently indicate loader bugs.
+    """
+    report = ValidationReport()
+    node_ids = set(graph.node_ids())
+    edge_ids = set(graph.edge_ids())
+
+    overlap = node_ids & edge_ids
+    if overlap:
+        report.errors.append(f"node/edge identifier overlap: {sorted(overlap)}")
+
+    for edge in graph.iter_edges():
+        if edge.source not in node_ids:
+            report.errors.append(f"edge {edge.id!r} has unknown source {edge.source!r}")
+        if edge.target not in node_ids:
+            report.errors.append(f"edge {edge.id!r} has unknown target {edge.target!r}")
+        if edge.label is not None and not isinstance(edge.label, str):
+            report.errors.append(f"edge {edge.id!r} has a non-string label")
+        for key in edge.properties:
+            if not isinstance(key, str):
+                report.errors.append(f"edge {edge.id!r} has a non-string property name {key!r}")
+        if edge.label is None:
+            report.warnings.append(f"edge {edge.id!r} is unlabeled")
+
+    for node in graph.iter_nodes():
+        if node.label is not None and not isinstance(node.label, str):
+            report.errors.append(f"node {node.id!r} has a non-string label")
+        for key in node.properties:
+            if not isinstance(key, str):
+                report.errors.append(f"node {node.id!r} has a non-string property name {key!r}")
+        if graph.out_degree(node.id) == 0 and graph.in_degree(node.id) == 0:
+            report.warnings.append(f"node {node.id!r} is isolated")
+
+    return report

@@ -1,0 +1,31 @@
+"""Logical plan optimization: rewrite rules, rule driver, and a cost model."""
+
+from repro.optimizer.cost import CostModel, PlanCost, estimate_cost
+from repro.optimizer.engine import OptimizationResult, Optimizer, optimize
+from repro.optimizer.rules import (
+    DEFAULT_RULES,
+    MergeSelections,
+    PushSelectionBelowUnion,
+    PushSelectionIntoJoin,
+    RemoveRedundantOrderBy,
+    RewriteRule,
+    SimplifyUnionDuplicates,
+    WalkToShortest,
+)
+
+__all__ = [
+    "Optimizer",
+    "OptimizationResult",
+    "optimize",
+    "RewriteRule",
+    "DEFAULT_RULES",
+    "PushSelectionBelowUnion",
+    "PushSelectionIntoJoin",
+    "MergeSelections",
+    "RemoveRedundantOrderBy",
+    "WalkToShortest",
+    "SimplifyUnionDuplicates",
+    "CostModel",
+    "PlanCost",
+    "estimate_cost",
+]

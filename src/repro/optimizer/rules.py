@@ -1,0 +1,295 @@
+"""Rewrite rules over path-algebra logical plans (paper Section 7.3).
+
+Each rule is a small class with a ``name`` and an ``apply`` method that takes
+an expression node and either returns a rewritten node or ``None`` when the
+rule does not match.  Rules are purely structural: they never consult the
+data, only the plan, so they are valid for every graph (the walk-to-shortest
+rule is the one the paper discusses at length — it is only applied in the
+specific selector shapes where it is semantics-preserving).
+
+Implemented rules:
+
+* :class:`PushSelectionBelowUnion` — ``σc(A ∪ B) -> σc(A) ∪ σc(B)``;
+* :class:`PushSelectionIntoJoin` — endpoint conditions move to the join side
+  they constrain (Figure 6's classical "pushing filters" example);
+* :class:`MergeSelections` — ``σc1(σc2(X)) -> σ(c1 ∧ c2)(X)``;
+* :class:`RemoveRedundantOrderBy` — drop order-by components that order
+  singleton collections (the paper's ``τPG`` over ``γ`` example);
+* :class:`WalkToShortest` — replace ``ϕWalk`` by ``ϕShortest`` under the
+  ``ANY SHORTEST`` / ``ALL SHORTEST`` pipelines of Table 7, which restores
+  termination on cyclic graphs (Section 7.3);
+* :class:`SimplifyUnionDuplicates` — ``A ∪ A -> A``.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.conditions import (
+    And,
+    Condition,
+    LabelCondition,
+    PropertyCondition,
+)
+from repro.algebra.conditions import Target as ConditionTarget
+from repro.algebra.expressions import (
+    Expression,
+    GroupBy,
+    Join,
+    OrderBy,
+    Projection,
+    Recursive,
+    Selection,
+    Union,
+)
+from repro.algebra.solution_space import GroupByKey, OrderByKey
+from repro.semantics.restrictors import Restrictor
+
+__all__ = [
+    "RewriteRule",
+    "PushSelectionBelowUnion",
+    "PushSelectionIntoJoin",
+    "MergeSelections",
+    "RemoveRedundantOrderBy",
+    "WalkToShortest",
+    "SimplifyUnionDuplicates",
+    "DEFAULT_RULES",
+]
+
+
+class RewriteRule:
+    """Base class for plan rewrite rules."""
+
+    name: str = "rule"
+
+    def apply(self, expression: Expression) -> Expression | None:
+        """Return the rewritten node, or ``None`` when the rule does not apply here."""
+        raise NotImplementedError
+
+
+def _split_conjunction(condition: Condition) -> list[Condition]:
+    """Flatten nested conjunctions into a list of conjuncts."""
+    if isinstance(condition, And):
+        return _split_conjunction(condition.left) + _split_conjunction(condition.right)
+    return [condition]
+
+
+def _join_conjunction(conditions: list[Condition]) -> Condition:
+    result = conditions[0]
+    for extra in conditions[1:]:
+        result = And(result, extra)
+    return result
+
+
+def _references_first_only(condition: Condition) -> bool:
+    """True if the condition constrains only the first node of a path."""
+    if isinstance(condition, (LabelCondition, PropertyCondition)):
+        return condition.target is ConditionTarget.FIRST
+    return False
+
+
+def _references_last_only(condition: Condition) -> bool:
+    """True if the condition constrains only the last node of a path."""
+    if isinstance(condition, (LabelCondition, PropertyCondition)):
+        return condition.target is ConditionTarget.LAST
+    return False
+
+
+class PushSelectionBelowUnion(RewriteRule):
+    """``σc(A ∪ B) -> σc(A) ∪ σc(B)`` — selection distributes over union."""
+
+    name = "push-selection-below-union"
+
+    def apply(self, expression: Expression) -> Expression | None:
+        if not isinstance(expression, Selection):
+            return None
+        child = expression.child
+        if not isinstance(child, Union):
+            return None
+        return Union(
+            Selection(expression.condition, child.left),
+            Selection(expression.condition, child.right),
+        )
+
+
+class PushSelectionIntoJoin(RewriteRule):
+    """Move endpoint conjuncts of a selection to the join side they constrain.
+
+    For ``σc(A ⋈ B)``: conjuncts that only reference the *first* node hold on
+    the left input (the first node of ``p1 ∘ p2`` is the first node of
+    ``p1``), and conjuncts that only reference the *last* node hold on the
+    right input.  Remaining conjuncts stay above the join.  This is the
+    pushdown of Figure 6.
+    """
+
+    name = "push-selection-into-join"
+
+    def apply(self, expression: Expression) -> Expression | None:
+        if not isinstance(expression, Selection):
+            return None
+        child = expression.child
+        if not isinstance(child, Join):
+            return None
+
+        conjuncts = _split_conjunction(expression.condition)
+        to_left = [c for c in conjuncts if _references_first_only(c)]
+        to_right = [c for c in conjuncts if _references_last_only(c)]
+        remaining = [c for c in conjuncts if c not in to_left and c not in to_right]
+        if not to_left and not to_right:
+            return None
+
+        left: Expression = child.left
+        right: Expression = child.right
+        if to_left:
+            left = Selection(_join_conjunction(to_left), left)
+        if to_right:
+            right = Selection(_join_conjunction(to_right), right)
+        new_join = Join(left, right)
+        if remaining:
+            return Selection(_join_conjunction(remaining), new_join)
+        return new_join
+
+
+class MergeSelections(RewriteRule):
+    """``σc1(σc2(X)) -> σ(c1 ∧ c2)(X)`` — adjacent selections collapse into one."""
+
+    name = "merge-selections"
+
+    def apply(self, expression: Expression) -> Expression | None:
+        if not isinstance(expression, Selection):
+            return None
+        child = expression.child
+        if not isinstance(child, Selection):
+            return None
+        return Selection(And(expression.condition, child.condition), child.child)
+
+
+class RemoveRedundantOrderBy(RewriteRule):
+    """Drop order-by components that order collections that are necessarily singletons.
+
+    Ordering partitions is useless when the group-by key has neither Source
+    nor Target (there is a single partition); ordering groups is useless when
+    the key has no Length component (one group per partition).  If every
+    component of the order-by is useless, the operator disappears entirely —
+    this is the paper's ``π(*,*,1)(τPG(γ(...)))`` simplification.
+    """
+
+    name = "remove-redundant-order-by"
+
+    def apply(self, expression: Expression) -> Expression | None:
+        if not isinstance(expression, OrderBy):
+            return None
+        child = expression.child
+        if not isinstance(child, GroupBy):
+            return None
+        key = expression.key
+        group_key = child.key
+
+        single_partition = not (group_key.uses_source or group_key.uses_target)
+        single_group = not group_key.uses_length
+
+        letters = ""
+        if key.orders_partitions and not single_partition:
+            letters += "P"
+        if key.orders_groups and not single_group:
+            letters += "G"
+        if key.orders_paths:
+            letters += "A"
+
+        if letters == key.value:
+            return None
+        if not letters:
+            return child
+        return OrderBy(child, OrderByKey.from_string(letters))
+
+
+class WalkToShortest(RewriteRule):
+    """Replace ``ϕWalk`` by ``ϕShortest`` under shortest-selecting pipelines (Section 7.3).
+
+    Two shapes are rewritten, both derived from Table 7:
+
+    * ``π(*,*,1)(τA(γST(ϕWalk(X))))``   (ANY SHORTEST WALK)
+    * ``π(*,1,*)(τG(γSTL(ϕWalk(X))))``  (ALL SHORTEST WALK)
+
+    In both, only minimum-length paths per endpoint pair can survive the
+    projection, so computing the full (possibly infinite) walk closure is
+    unnecessary; ``ϕShortest`` produces the same result and always terminates.
+    """
+
+    name = "walk-to-shortest"
+
+    def apply(self, expression: Expression) -> Expression | None:
+        if not isinstance(expression, Projection):
+            return None
+        order = expression.child
+        if not isinstance(order, OrderBy):
+            return None
+        group = order.child
+        if not isinstance(group, GroupBy):
+            return None
+        recursive = group.child
+        target = self._find_walk(recursive)
+        if target is None:
+            return None
+
+        spec = expression.spec
+        any_shortest_shape = (
+            spec.partitions == "*"
+            and spec.groups == "*"
+            and spec.paths == 1
+            and order.key is OrderByKey.A
+            and group.key is GroupByKey.ST
+        )
+        all_shortest_shape = (
+            spec.partitions == "*"
+            and spec.groups == 1
+            and spec.paths == "*"
+            and order.key is OrderByKey.G
+            and group.key is GroupByKey.STL
+        )
+        if not (any_shortest_shape or all_shortest_shape):
+            return None
+
+        rewritten = self._replace_walk(recursive, target)
+        return Projection(OrderBy(GroupBy(rewritten, group.key), order.key), spec)
+
+    @staticmethod
+    def _find_walk(expression: Expression) -> Recursive | None:
+        """Return the ϕWalk node if ``expression`` is ϕWalk or σ(ϕWalk)."""
+        if isinstance(expression, Recursive) and expression.restrictor is Restrictor.WALK:
+            return expression
+        if isinstance(expression, Selection):
+            child = expression.child
+            if isinstance(child, Recursive) and child.restrictor is Restrictor.WALK:
+                return child
+        return None
+
+    @staticmethod
+    def _replace_walk(expression: Expression, target: Recursive) -> Expression:
+        replacement = Recursive(target.child, Restrictor.SHORTEST, target.max_length)
+        if expression is target:
+            return replacement
+        assert isinstance(expression, Selection)
+        return Selection(expression.condition, replacement)
+
+
+class SimplifyUnionDuplicates(RewriteRule):
+    """``A ∪ A -> A`` — union of identical subplans is the subplan itself."""
+
+    name = "simplify-union-duplicates"
+
+    def apply(self, expression: Expression) -> Expression | None:
+        if not isinstance(expression, Union):
+            return None
+        if expression.left == expression.right:
+            return expression.left
+        return None
+
+
+#: The rule set used by the optimizer by default, in priority order.
+DEFAULT_RULES: tuple[RewriteRule, ...] = (
+    MergeSelections(),
+    PushSelectionBelowUnion(),
+    PushSelectionIntoJoin(),
+    SimplifyUnionDuplicates(),
+    RemoveRedundantOrderBy(),
+    WalkToShortest(),
+)

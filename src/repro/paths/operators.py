@@ -1,0 +1,56 @@
+"""Functional forms of the paper's path operators (Section 3.1).
+
+The paper defines ``First``, ``Last``, ``Node``, ``Edge``, ``Len``, ``Label``
+and ``Prop`` as free-standing operators over paths and objects.  The
+:class:`~repro.paths.path.Path` class exposes the same functionality as
+methods; this module provides the free-function spelling so that algebra code
+and tests can mirror the paper's notation literally.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.paths.path import Path
+
+__all__ = ["first", "last", "node", "edge", "length", "label", "prop", "concat"]
+
+
+def first(path: Path) -> str:
+    """``First(p)`` — identifier of the first node of ``path``."""
+    return path.first()
+
+
+def last(path: Path) -> str:
+    """``Last(p)`` — identifier of the last node of ``path``."""
+    return path.last()
+
+
+def node(path: Path, i: int) -> str:
+    """``Node(p, i)`` — identifier of the node at 1-based position ``i``."""
+    return path.node(i)
+
+
+def edge(path: Path, j: int) -> str:
+    """``Edge(p, j)`` — identifier of the edge at 1-based position ``j``."""
+    return path.edge(j)
+
+
+def length(path: Path) -> int:
+    """``Len(p)`` — number of edges of ``path``."""
+    return path.len()
+
+
+def label(path: Path, object_id: str) -> str | None:
+    """``Label(o)`` — label of a node or edge occurring in ``path`` (or its graph)."""
+    return path.graph.label_of(object_id)
+
+
+def prop(path: Path, object_id: str, property_name: str, default: Any = None) -> Any:
+    """``Prop(o, pr)`` — value of property ``property_name`` of object ``object_id``."""
+    return path.graph.property_of(object_id, property_name, default)
+
+
+def concat(path1: Path, path2: Path) -> Path:
+    """``p1 ∘ p2`` — path concatenation; requires ``Last(p1) == First(p2)``."""
+    return path1.concat(path2)

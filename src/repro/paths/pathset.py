@@ -1,0 +1,178 @@
+"""Sets of paths — the carrier of the path algebra.
+
+Every operator of the core and recursive algebra consumes and produces a
+:class:`PathSet` (Section 3: "the core algebra is closed under set of
+paths").  ``PathSet`` behaves like a frozen set of :class:`Path` values with
+deterministic iteration order (insertion order of first occurrence), which
+keeps query results, tests and benchmark output reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.graph.model import PropertyGraph
+from repro.paths.path import Path
+
+__all__ = ["PathSet"]
+
+
+class PathSet:
+    """An ordered, duplicate-free collection of paths."""
+
+    __slots__ = ("_paths", "_index")
+
+    def __init__(self, paths: Iterable[Path] = ()) -> None:
+        self._paths: list[Path] = []
+        self._index: set[Path] = set()
+        for path in paths:
+            self.add(path)
+
+    # ------------------------------------------------------------------
+    # Constructors for the algebra atoms
+    # ------------------------------------------------------------------
+    @classmethod
+    def nodes_of(cls, graph: PropertyGraph) -> "PathSet":
+        """``Nodes(G)`` — all length-zero paths of the graph."""
+        return cls(Path.from_node(graph, node_id) for node_id in graph.node_ids())
+
+    @classmethod
+    def edges_of(cls, graph: PropertyGraph) -> "PathSet":
+        """``Edges(G)`` — all length-one paths of the graph."""
+        return cls(Path.from_edge(graph, edge_id) for edge_id in graph.edge_ids())
+
+    @classmethod
+    def empty(cls) -> "PathSet":
+        """Return an empty path set."""
+        return cls()
+
+    # ------------------------------------------------------------------
+    # Mutation (used during construction only)
+    # ------------------------------------------------------------------
+    def add(self, path: Path) -> bool:
+        """Add ``path`` if not already present; return ``True`` if it was added."""
+        if path in self._index:
+            return False
+        self._index.add(path)
+        self._paths.append(path)
+        return True
+
+    def update(self, paths: Iterable[Path]) -> int:
+        """Add many paths; return the number actually added."""
+        added = 0
+        for path in paths:
+            if self.add(path):
+                added += 1
+        return added
+
+    # ------------------------------------------------------------------
+    # Set algebra
+    # ------------------------------------------------------------------
+    def union(self, other: "PathSet") -> "PathSet":
+        """Return the set union, preserving this set's order first."""
+        result = PathSet(self._paths)
+        result.update(other._paths)
+        return result
+
+    def intersection(self, other: "PathSet") -> "PathSet":
+        """Return the paths present in both sets."""
+        return PathSet(path for path in self._paths if path in other)
+
+    def difference(self, other: "PathSet") -> "PathSet":
+        """Return the paths present in this set but not in ``other``."""
+        return PathSet(path for path in self._paths if path not in other)
+
+    def filter(self, predicate: Callable[[Path], bool]) -> "PathSet":
+        """Return the paths satisfying ``predicate`` (order preserved)."""
+        return PathSet(path for path in self._paths if predicate(path))
+
+    def join(self, other: "PathSet") -> "PathSet":
+        """Path join ``self ⋈ other``: concatenate every compatible pair.
+
+        A pair ``(p1, p2)`` is compatible when ``Last(p1) == First(p2)``.  The
+        implementation indexes ``other`` by first node so the join costs
+        ``O(|self| + |other| + |result|)`` pair probes rather than the naive
+        quadratic scan.
+        """
+        by_first: dict[str, list[Path]] = {}
+        for path in other._paths:
+            by_first.setdefault(path.first(), []).append(path)
+        result = PathSet()
+        for left in self._paths:
+            for right in by_first.get(left.last(), ()):
+                result.add(left.concat(right))
+        return result
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def paths(self) -> list[Path]:
+        """Return the paths as a list (deterministic order)."""
+        return list(self._paths)
+
+    def sorted(self, key: Callable[[Path], object] | None = None) -> list[Path]:
+        """Return the paths sorted by ``key`` (default: length, then identity)."""
+        if key is None:
+            key = lambda path: (path.len(), path.interleaved())
+        return sorted(self._paths, key=key)
+
+    def endpoints(self) -> set[tuple[str, str]]:
+        """Return the set of ``(First(p), Last(p))`` pairs occurring in the set."""
+        return {path.endpoints() for path in self._paths}
+
+    def lengths(self) -> list[int]:
+        """Return the multiset of path lengths (sorted ascending)."""
+        return sorted(path.len() for path in self._paths)
+
+    def min_length(self) -> int | None:
+        """Return the minimum path length, or ``None`` for an empty set."""
+        if not self._paths:
+            return None
+        return min(path.len() for path in self._paths)
+
+    def max_length(self) -> int | None:
+        """Return the maximum path length, or ``None`` for an empty set."""
+        if not self._paths:
+            return None
+        return max(path.len() for path in self._paths)
+
+    def group_by_endpoints(self) -> dict[tuple[str, str], list[Path]]:
+        """Partition the paths by their ``(source, target)`` endpoints."""
+        groups: dict[tuple[str, str], list[Path]] = {}
+        for path in self._paths:
+            groups.setdefault(path.endpoints(), []).append(path)
+        return groups
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __contains__(self, path: object) -> bool:
+        return path in self._index
+
+    def __iter__(self) -> Iterator[Path]:
+        return iter(self._paths)
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def __bool__(self) -> bool:
+        return bool(self._paths)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PathSet):
+            return NotImplemented
+        return self._index == other._index
+
+    def __or__(self, other: "PathSet") -> "PathSet":
+        return self.union(other)
+
+    def __and__(self, other: "PathSet") -> "PathSet":
+        return self.intersection(other)
+
+    def __sub__(self, other: "PathSet") -> "PathSet":
+        return self.difference(other)
+
+    def __repr__(self) -> str:
+        preview = ", ".join(str(path) for path in self._paths[:3])
+        suffix = ", ..." if len(self._paths) > 3 else ""
+        return f"PathSet([{preview}{suffix}], size={len(self._paths)})"

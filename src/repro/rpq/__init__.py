@@ -1,0 +1,48 @@
+"""Regular path queries: regex AST, parser, automata, and compilation to algebra."""
+
+from repro.rpq.ast import (
+    Alternation,
+    AnyLabel,
+    Concat,
+    Epsilon,
+    Label,
+    Optional,
+    Plus,
+    RegexNode,
+    Star,
+    alternation,
+    concat,
+)
+from repro.rpq.automaton import ANY_LABEL, NFA, build_nfa
+from repro.rpq.compile import (
+    CompileOptions,
+    compile_pattern,
+    compile_regex,
+    endpoint_property_conditions,
+    label_scan,
+)
+from repro.rpq.parser import RegexParser, parse_regex
+
+__all__ = [
+    "RegexNode",
+    "Label",
+    "AnyLabel",
+    "Concat",
+    "Alternation",
+    "Star",
+    "Plus",
+    "Optional",
+    "Epsilon",
+    "concat",
+    "alternation",
+    "parse_regex",
+    "RegexParser",
+    "NFA",
+    "build_nfa",
+    "ANY_LABEL",
+    "CompileOptions",
+    "compile_regex",
+    "compile_pattern",
+    "label_scan",
+    "endpoint_property_conditions",
+]

@@ -1,0 +1,231 @@
+"""Abstract syntax of regular path expressions (RPQ regexes).
+
+The regular expressions of GQL path patterns are built from edge labels with
+concatenation (``/``), alternation (``|``), Kleene star (``*``), Kleene plus
+(``+``) and the optional operator (``?``).  The AST nodes defined here are
+immutable and hashable, support structural equality, and render back to the
+concrete syntax accepted by :mod:`repro.rpq.parser`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "RegexNode",
+    "Label",
+    "AnyLabel",
+    "Concat",
+    "Alternation",
+    "Star",
+    "Plus",
+    "Optional",
+    "Epsilon",
+    "concat",
+    "alternation",
+]
+
+
+@dataclass(frozen=True)
+class RegexNode:
+    """Abstract base class of regular path expression nodes."""
+
+    def children(self) -> tuple["RegexNode", ...]:
+        """Return child expressions (empty for leaves)."""
+        return ()
+
+    def nullable(self) -> bool:
+        """Return ``True`` if the expression matches the empty word (a length-zero path)."""
+        raise NotImplementedError
+
+    def labels(self) -> set[str]:
+        """Return the set of edge labels mentioned by the expression."""
+        result: set[str] = set()
+        for child in self.children():
+            result |= child.labels()
+        return result
+
+    def min_path_length(self) -> int:
+        """Length of the shortest word the expression matches."""
+        raise NotImplementedError
+
+    def is_recursive(self) -> bool:
+        """Return ``True`` if the expression contains a ``*`` or ``+`` operator."""
+        return any(isinstance(node, (Star, Plus)) for node in self.iter_subtree())
+
+    def iter_subtree(self):
+        """Yield this node and all descendants (pre-order)."""
+        yield self
+        for child in self.children():
+            yield from child.iter_subtree()
+
+
+@dataclass(frozen=True)
+class Epsilon(RegexNode):
+    """The empty-word expression (matches only length-zero paths)."""
+
+    def nullable(self) -> bool:
+        return True
+
+    def min_path_length(self) -> int:
+        return 0
+
+    def __str__(self) -> str:
+        return "ε"
+
+
+@dataclass(frozen=True)
+class Label(RegexNode):
+    """A single edge label, e.g. ``Knows``."""
+
+    name: str
+
+    def nullable(self) -> bool:
+        return False
+
+    def labels(self) -> set[str]:
+        return {self.name}
+
+    def min_path_length(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class AnyLabel(RegexNode):
+    """The wildcard label (written ``%``): matches any single edge."""
+
+    def nullable(self) -> bool:
+        return False
+
+    def min_path_length(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return "%"
+
+
+@dataclass(frozen=True)
+class Concat(RegexNode):
+    """Concatenation ``left / right``."""
+
+    left: RegexNode
+    right: RegexNode
+
+    def children(self) -> tuple[RegexNode, ...]:
+        return (self.left, self.right)
+
+    def nullable(self) -> bool:
+        return self.left.nullable() and self.right.nullable()
+
+    def min_path_length(self) -> int:
+        return self.left.min_path_length() + self.right.min_path_length()
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.left)}/{_wrap(self.right)}"
+
+
+@dataclass(frozen=True)
+class Alternation(RegexNode):
+    """Alternation ``left | right``."""
+
+    left: RegexNode
+    right: RegexNode
+
+    def children(self) -> tuple[RegexNode, ...]:
+        return (self.left, self.right)
+
+    def nullable(self) -> bool:
+        return self.left.nullable() or self.right.nullable()
+
+    def min_path_length(self) -> int:
+        return min(self.left.min_path_length(), self.right.min_path_length())
+
+    def __str__(self) -> str:
+        return f"({self.left}|{self.right})"
+
+
+@dataclass(frozen=True)
+class Star(RegexNode):
+    """Kleene star ``operand*`` (zero or more repetitions)."""
+
+    operand: RegexNode
+
+    def children(self) -> tuple[RegexNode, ...]:
+        return (self.operand,)
+
+    def nullable(self) -> bool:
+        return True
+
+    def min_path_length(self) -> int:
+        return 0
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.operand)}*"
+
+
+@dataclass(frozen=True)
+class Plus(RegexNode):
+    """Kleene plus ``operand+`` (one or more repetitions)."""
+
+    operand: RegexNode
+
+    def children(self) -> tuple[RegexNode, ...]:
+        return (self.operand,)
+
+    def nullable(self) -> bool:
+        return self.operand.nullable()
+
+    def min_path_length(self) -> int:
+        return self.operand.min_path_length()
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.operand)}+"
+
+
+@dataclass(frozen=True)
+class Optional(RegexNode):
+    """Optional ``operand?`` (zero or one occurrence)."""
+
+    operand: RegexNode
+
+    def children(self) -> tuple[RegexNode, ...]:
+        return (self.operand,)
+
+    def nullable(self) -> bool:
+        return True
+
+    def min_path_length(self) -> int:
+        return 0
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.operand)}?"
+
+
+def _wrap(node: RegexNode) -> str:
+    """Parenthesize composite operands so rendered strings re-parse unambiguously."""
+    if isinstance(node, (Concat, Alternation)):
+        return f"({node})"
+    return str(node)
+
+
+def concat(*nodes: RegexNode) -> RegexNode:
+    """Left-fold a sequence of expressions into nested :class:`Concat` nodes."""
+    if not nodes:
+        return Epsilon()
+    result = nodes[0]
+    for node in nodes[1:]:
+        result = Concat(result, node)
+    return result
+
+
+def alternation(*nodes: RegexNode) -> RegexNode:
+    """Left-fold a sequence of expressions into nested :class:`Alternation` nodes."""
+    if not nodes:
+        raise ValueError("alternation requires at least one operand")
+    result = nodes[0]
+    for node in nodes[1:]:
+        result = Alternation(result, node)
+    return result

@@ -1,0 +1,192 @@
+"""Parser for regular path expressions.
+
+The concrete syntax follows the GQL-like notation used in the paper:
+
+* labels are bare identifiers, optionally prefixed with ``:`` (``Knows`` or
+  ``:Knows``); quoted labels (``"Has creator"``) allow spaces;
+* ``/`` is concatenation, ``|`` is alternation;
+* postfix ``*``, ``+`` and ``?`` are the closure operators;
+* ``%`` is the any-label wildcard, ``()`` is the empty word;
+* parentheses group.
+
+Operator precedence (loosest to tightest): ``|``, ``/``, postfix closure.
+
+The grammar::
+
+    alternation   := concatenation ('|' concatenation)*
+    concatenation := closure ('/' closure)*
+    closure       := atom ('*' | '+' | '?')*
+    atom          := LABEL | '%' | '(' alternation ')' | '(' ')'
+"""
+
+from __future__ import annotations
+
+from repro.errors import RegexSyntaxError
+from repro.rpq.ast import (
+    Alternation,
+    AnyLabel,
+    Concat,
+    Epsilon,
+    Label,
+    Optional,
+    Plus,
+    RegexNode,
+    Star,
+)
+
+__all__ = ["parse_regex", "RegexParser"]
+
+
+class _Token:
+    """A lexical token with its position (for error reporting)."""
+
+    __slots__ = ("kind", "value", "position")
+
+    def __init__(self, kind: str, value: str, position: int) -> None:
+        self.kind = kind
+        self.value = value
+        self.position = position
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Token({self.kind}, {self.value!r}, {self.position})"
+
+
+_SINGLE_CHAR_TOKENS = {
+    "/": "SLASH",
+    "|": "PIPE",
+    "*": "STAR",
+    "+": "PLUS",
+    "?": "QUESTION",
+    "(": "LPAREN",
+    ")": "RPAREN",
+    "%": "PERCENT",
+}
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char in _SINGLE_CHAR_TOKENS:
+            tokens.append(_Token(_SINGLE_CHAR_TOKENS[char], char, index))
+            index += 1
+            continue
+        if char == ":":
+            index += 1
+            continue
+        if char == '"':
+            end = text.find('"', index + 1)
+            if end == -1:
+                raise RegexSyntaxError("unterminated quoted label", index)
+            tokens.append(_Token("LABEL", text[index + 1 : end], index))
+            index = end + 1
+            continue
+        if char.isalnum() or char == "_":
+            start = index
+            while index < length and (text[index].isalnum() or text[index] == "_"):
+                index += 1
+            tokens.append(_Token("LABEL", text[start:index], start))
+            continue
+        raise RegexSyntaxError(f"unexpected character {char!r}", index)
+    tokens.append(_Token("EOF", "", length))
+    return tokens
+
+
+class RegexParser:
+    """Recursive-descent parser producing :class:`~repro.rpq.ast.RegexNode` trees."""
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._tokens = _tokenize(text)
+        self._position = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    def _peek(self) -> _Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._position]
+        self._position += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._peek()
+        if token.kind != kind:
+            raise RegexSyntaxError(
+                f"expected {kind} but found {token.value or 'end of input'!r}", token.position
+            )
+        return self._advance()
+
+    # ------------------------------------------------------------------
+    # Grammar
+    # ------------------------------------------------------------------
+    def parse(self) -> RegexNode:
+        """Parse the whole input and return the AST root."""
+        node = self._alternation()
+        token = self._peek()
+        if token.kind != "EOF":
+            raise RegexSyntaxError(f"unexpected trailing input {token.value!r}", token.position)
+        return node
+
+    def _alternation(self) -> RegexNode:
+        node = self._concatenation()
+        while self._peek().kind == "PIPE":
+            self._advance()
+            right = self._concatenation()
+            node = Alternation(node, right)
+        return node
+
+    def _concatenation(self) -> RegexNode:
+        node = self._closure()
+        while self._peek().kind == "SLASH":
+            self._advance()
+            right = self._closure()
+            node = Concat(node, right)
+        return node
+
+    def _closure(self) -> RegexNode:
+        node = self._atom()
+        while self._peek().kind in ("STAR", "PLUS", "QUESTION"):
+            token = self._advance()
+            if token.kind == "STAR":
+                node = Star(node)
+            elif token.kind == "PLUS":
+                node = Plus(node)
+            else:
+                node = Optional(node)
+        return node
+
+    def _atom(self) -> RegexNode:
+        token = self._peek()
+        if token.kind == "LABEL":
+            self._advance()
+            return Label(token.value)
+        if token.kind == "PERCENT":
+            self._advance()
+            return AnyLabel()
+        if token.kind == "LPAREN":
+            self._advance()
+            if self._peek().kind == "RPAREN":
+                self._advance()
+                return Epsilon()
+            node = self._alternation()
+            self._expect("RPAREN")
+            return node
+        raise RegexSyntaxError(
+            f"expected a label, '%' or '(' but found {token.value or 'end of input'!r}",
+            token.position,
+        )
+
+
+def parse_regex(text: str) -> RegexNode:
+    """Parse a regular path expression such as ``(:Knows+)|(:Likes/:Has_creator)*``."""
+    if not text or not text.strip():
+        raise RegexSyntaxError("empty regular expression", 0)
+    return RegexParser(text).parse()

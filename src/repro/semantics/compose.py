@@ -1,0 +1,167 @@
+"""Composition of path queries (paper Section 2.3).
+
+GQL and SQL/PGQ allow *concatenating* two path queries into a sequence and
+taking *unions* of answer sets:
+
+    s r [ s1 r1 (x, regex1, y) ] · [ s2 r2 (z, regex2, w) ]
+
+The inner queries are evaluated with their own selector/restrictor pair, the
+answers are concatenated path-wise (when the first answer's last node matches
+the second answer's first node), and the outer selector/restrictor pair is
+applied to the concatenated set.  The paper's example: "all trails connecting
+n1 and n2, then all shortest walks connecting n2 to n3, and require that the
+entire concatenated path between n1 and n3 be a shortest trail".
+
+This module implements that composition both at the *plan* level (producing
+one algebra expression, so the composition itself stays inside the algebra)
+and at the *set* level (used as an oracle in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.expressions import Expression, GroupBy, Join, OrderBy, Projection, Recursive, Union
+from repro.paths.pathset import PathSet
+from repro.semantics.restrictors import Restrictor, filter_by_restrictor
+from repro.semantics.selectors import Selector, SelectorKind, apply_selector, selector_plan
+
+__all__ = ["ComposedQuery", "QueryStep", "compose_concatenation", "compose_union", "evaluate_composition"]
+
+
+@dataclass(frozen=True)
+class QueryStep:
+    """One inner path query: a selector, a restrictor, and a pattern plan.
+
+    ``pattern_plan`` computes the candidate paths of this step *without* the
+    restrictor applied (typically the compiled regular expression); the
+    restrictor is attached here so the step can be reused under different
+    semantics.
+    """
+
+    selector: Selector
+    restrictor: Restrictor
+    pattern_plan: Expression
+    max_length: int | None = None
+
+    def plan(self) -> Expression:
+        """Return the algebra plan of this step alone (Table 7 pipeline)."""
+        pipeline = selector_plan(self.selector)
+        plan: Expression = Recursive(self.pattern_plan, self.restrictor, self.max_length)
+        plan = GroupBy(plan, pipeline.group_key)
+        if pipeline.order_key is not None:
+            plan = OrderBy(plan, pipeline.order_key)
+        return Projection(plan, pipeline.projection)
+
+
+@dataclass(frozen=True)
+class ComposedQuery:
+    """An outer selector/restrictor applied to a combination of inner steps.
+
+    ``combiner`` is ``"concat"`` (the ``·`` of Section 2.3, implemented with
+    the path join) or ``"union"`` (set union of the answer sets).
+    """
+
+    outer_selector: Selector
+    outer_restrictor: Restrictor
+    steps: tuple[QueryStep, ...]
+    combiner: str = "concat"
+
+    def plan(self) -> Expression:
+        """Return a single algebra expression for the whole composition.
+
+        The inner steps compile to their own ``π(τ(γ(ϕ(...))))`` pipelines;
+        the combiner becomes a chain of joins (concatenation) or unions; the
+        outer restrictor is applied as a selection-free filter step via the
+        outer selector's pipeline over the combined set.  Because every piece
+        is an algebra operator, the composition itself is again a plan — the
+        composability property the paper emphasizes.
+        """
+        if not self.steps:
+            raise ValueError("a composed query needs at least one step")
+        combined: Expression = self.steps[0].plan()
+        for step in self.steps[1:]:
+            if self.combiner == "concat":
+                combined = Join(combined, step.plan())
+            else:
+                combined = Union(combined, step.plan())
+
+        # The outer restrictor re-filters the combined paths; expressing it as
+        # a ϕ would re-close the set under join, so it is applied as a
+        # path-level filter during evaluation (see evaluate_composition) and
+        # as the selector pipeline here.
+        pipeline = selector_plan(self.outer_selector)
+        plan: Expression = GroupBy(combined, pipeline.group_key)
+        if pipeline.order_key is not None:
+            plan = OrderBy(plan, pipeline.order_key)
+        return Projection(plan, pipeline.projection)
+
+
+def compose_concatenation(
+    outer_selector: Selector,
+    outer_restrictor: Restrictor,
+    *steps: QueryStep,
+) -> ComposedQuery:
+    """Build the ``s r [step1] · [step2] · ...`` composition of Section 2.3."""
+    return ComposedQuery(outer_selector, outer_restrictor, tuple(steps), combiner="concat")
+
+
+def compose_union(
+    outer_selector: Selector,
+    outer_restrictor: Restrictor,
+    *steps: QueryStep,
+) -> ComposedQuery:
+    """Build the union composition (usual set-union semantics, Section 2.3)."""
+    return ComposedQuery(outer_selector, outer_restrictor, tuple(steps), combiner="union")
+
+
+def evaluate_composition(query: ComposedQuery, graph, optimize_steps: bool = True) -> PathSet:
+    """Evaluate a composed query over ``graph``.
+
+    The inner steps are evaluated independently (each with its own selector
+    and restrictor), combined by concatenation (path join) or union, filtered
+    by the outer restrictor at the path level, and finally reduced by the
+    outer selector.  Step plans are run through the optimizer by default so
+    that ``ANY SHORTEST WALK`` steps terminate on cyclic graphs (the
+    walk-to-shortest rewrite of Section 7.3).
+    """
+    from repro.algebra.evaluator import Evaluator  # local import to avoid a cycle
+    from repro.optimizer.engine import Optimizer
+
+    optimizer = Optimizer() if optimize_steps else None
+    evaluator = Evaluator(graph)
+    combined: PathSet | None = None
+    for step in query.steps:
+        plan = step.plan()
+        if optimizer is not None:
+            plan = optimizer.optimize(plan).optimized
+        answer = evaluator.evaluate_paths(plan)
+        if combined is None:
+            combined = answer
+        elif query.combiner == "concat":
+            combined = combined.join(answer)
+        else:
+            combined = combined.union(answer)
+    assert combined is not None
+
+    restricted = filter_by_restrictor(combined, query.outer_restrictor)
+    return apply_selector(restricted, query.outer_selector)
+
+
+def paper_example_composition(
+    first_pattern: Expression,
+    second_pattern: Expression,
+    max_length: int | None = None,
+) -> ComposedQuery:
+    """The Section 2.3 example: ``ALL TRAIL [...] · ANY SHORTEST WALK [...]`` as SHORTEST TRAIL.
+
+    "we can ask for all trails connecting nodes n1 and n2, then all shortest
+    walks connecting n2 to n3, and require that the entire concatenated path
+    between n1 and n3 be a shortest trail."
+    """
+    return compose_concatenation(
+        Selector(SelectorKind.ALL_SHORTEST),
+        Restrictor.TRAIL,
+        QueryStep(Selector(SelectorKind.ALL), Restrictor.TRAIL, first_pattern, max_length),
+        QueryStep(Selector(SelectorKind.ANY_SHORTEST), Restrictor.WALK, second_pattern, max_length),
+    )

@@ -1,0 +1,262 @@
+"""Restrictor semantics and the recursive operator ϕ (paper Sections 4 and 5).
+
+The recursive operator ``ϕ(S)`` computes the closure of a set of paths under
+path join (Definition 4.1):
+
+    ϕ0(S) = S
+    ϕi(S) = (ϕi-1(S) ⋈ S) ∪ ϕi-1(S)
+
+until a fix point is reached.  On cyclic inputs the Walk variant never halts,
+so GQL and SQL/PGQ attach a *restrictor* to the recursion.  This module
+implements the five variants of the paper:
+
+* :data:`Restrictor.WALK`     — all paths, requires a length bound on cyclic inputs;
+* :data:`Restrictor.TRAIL`    — no repeated edges;
+* :data:`Restrictor.ACYCLIC`  — no repeated nodes;
+* :data:`Restrictor.SIMPLE`   — no repeated nodes except first == last;
+* :data:`Restrictor.SHORTEST` — only minimum-length paths per endpoint pair.
+
+Two evaluation strategies are provided:
+
+* :func:`recursive_closure` — the production strategy, which prunes paths
+  violating the restrictor *during* the fix point so that Trail / Acyclic /
+  Simple / Shortest terminate on any graph;
+* :func:`recursive_closure_postfilter` — the reference strategy that first
+  enumerates bounded walks and then filters, used by the ablation benchmark
+  (DESIGN.md, design decision 1) and by property tests as an oracle.
+"""
+
+from __future__ import annotations
+
+import heapq
+from enum import Enum
+from itertools import count
+from typing import Callable
+
+from repro.errors import NonTerminatingQueryError
+from repro.paths.path import Path
+from repro.paths.pathset import PathSet
+from repro.paths.predicates import is_acyclic, is_simple, is_trail
+
+__all__ = [
+    "Restrictor",
+    "recursive_closure",
+    "recursive_closure_postfilter",
+    "shortest_paths_per_pair",
+    "filter_by_restrictor",
+]
+
+
+class Restrictor(str, Enum):
+    """The restrictors of Table 2 (plus SHORTEST, which the algebra adds as ϕShortest)."""
+
+    WALK = "WALK"
+    TRAIL = "TRAIL"
+    ACYCLIC = "ACYCLIC"
+    SIMPLE = "SIMPLE"
+    SHORTEST = "SHORTEST"
+
+    @classmethod
+    def from_string(cls, text: str) -> "Restrictor":
+        """Parse a restrictor keyword (case-insensitive)."""
+        try:
+            return cls(text.upper())
+        except ValueError:
+            raise ValueError(f"unknown restrictor: {text!r}") from None
+
+
+_PREDICATES: dict[Restrictor, Callable[[Path], bool]] = {
+    Restrictor.TRAIL: is_trail,
+    Restrictor.ACYCLIC: is_acyclic,
+    Restrictor.SIMPLE: is_simple,
+}
+
+
+def filter_by_restrictor(paths: PathSet, restrictor: Restrictor) -> PathSet:
+    """Filter an already-computed path set by the restrictor's path-level predicate.
+
+    For WALK this is the identity; for SHORTEST it keeps, per endpoint pair,
+    only the minimum-length paths.
+    """
+    if restrictor is Restrictor.WALK:
+        return PathSet(paths)
+    if restrictor is Restrictor.SHORTEST:
+        return shortest_paths_per_pair(paths)
+    predicate = _PREDICATES[restrictor]
+    return paths.filter(predicate)
+
+
+def shortest_paths_per_pair(paths: PathSet) -> PathSet:
+    """Keep, for every ``(First(p), Last(p))`` pair, only the minimum-length paths."""
+    best: dict[tuple[str, str], int] = {}
+    for path in paths:
+        key = path.endpoints()
+        length = path.len()
+        if key not in best or length < best[key]:
+            best[key] = length
+    return paths.filter(lambda path: path.len() == best[path.endpoints()])
+
+
+def recursive_closure(
+    base: PathSet,
+    restrictor: Restrictor = Restrictor.WALK,
+    max_length: int | None = None,
+) -> PathSet:
+    """Evaluate ``ϕ_restrictor(base)`` (Definition 4.1 specialized per Section 4).
+
+    Args:
+        base: The input set of paths ``S`` (typically a filtered ``Edges(G)``).
+        restrictor: Which ϕ variant to evaluate.
+        max_length: Optional bound on the length of produced paths.  Mandatory
+            for WALK over inputs whose closure is infinite; ignored by
+            SHORTEST (which always terminates).
+
+    Raises:
+        NonTerminatingQueryError: for WALK without ``max_length`` when the
+            closure provably does not terminate (a generated path exceeded
+            the total number of distinct edges in the base, which implies a
+            reachable cycle and therefore infinitely many walks).
+    """
+    if restrictor is Restrictor.SHORTEST:
+        return _closure_shortest(base, max_length)
+    if restrictor is Restrictor.WALK:
+        return _closure_walk(base, max_length)
+    predicate = _PREDICATES[restrictor]
+    return _closure_pruned(base, predicate, max_length)
+
+
+def recursive_closure_postfilter(
+    base: PathSet,
+    restrictor: Restrictor,
+    max_length: int,
+) -> PathSet:
+    """Reference implementation: enumerate bounded walks, then filter (ablation baseline).
+
+    Unlike :func:`recursive_closure`, non-conforming intermediate paths are
+    kept and extended, so the cost is the full walk-closure cost regardless of
+    the restrictor.  Results are identical to the pruning strategy whenever
+    ``max_length`` is large enough to cover every conforming path.
+    """
+    walks = _closure_walk(base, max_length)
+    return filter_by_restrictor(walks, restrictor)
+
+
+# ----------------------------------------------------------------------
+# Walk closure
+# ----------------------------------------------------------------------
+def _closure_walk(base: PathSet, max_length: int | None) -> PathSet:
+    """Fix point of Definition 4.1 with an optional length bound.
+
+    Without a bound, a sound non-termination detector is used: if any produced
+    path becomes longer than the total number of distinct edges occurring in
+    ``base``, some edge repeats, hence the base contains a reachable cycle and
+    the walk closure is infinite.
+    """
+    distinct_edges = {edge_id for path in base for edge_id in path.edge_ids}
+    termination_bound = len(distinct_edges)
+
+    result = PathSet(base)
+    frontier = list(base)
+    while frontier:
+        produced: list[Path] = []
+        joined = PathSet(frontier).join(base)
+        for path in joined:
+            if max_length is not None and path.len() > max_length:
+                continue
+            if max_length is None and path.len() > termination_bound:
+                raise NonTerminatingQueryError(
+                    "ϕWalk does not terminate on this input (cycle detected); "
+                    "provide max_length or use a restricted ϕ variant"
+                )
+            if result.add(path):
+                produced.append(path)
+        frontier = produced
+    return result
+
+
+# ----------------------------------------------------------------------
+# Pruned closures (Trail / Acyclic / Simple)
+# ----------------------------------------------------------------------
+def _closure_pruned(
+    base: PathSet,
+    predicate: Callable[[Path], bool],
+    max_length: int | None,
+) -> PathSet:
+    """Fix point that discards non-conforming paths as soon as they appear.
+
+    Pruning is complete for Trail, Acyclic and Simple because removing the
+    last base segment from a conforming path yields a conforming path: the
+    prefix of a trail is a trail, the prefix of an acyclic path is acyclic,
+    and the prefix of a simple path is acyclic (hence simple).
+    """
+    conforming_base = [path for path in base if predicate(path)]
+    result = PathSet(conforming_base)
+    frontier = list(conforming_base)
+    while frontier:
+        produced: list[Path] = []
+        joined = PathSet(frontier).join(base)
+        for path in joined:
+            if max_length is not None and path.len() > max_length:
+                continue
+            if not predicate(path):
+                continue
+            if result.add(path):
+                produced.append(path)
+        frontier = produced
+    return result
+
+
+# ----------------------------------------------------------------------
+# Shortest closure
+# ----------------------------------------------------------------------
+def _closure_shortest(base: PathSet, max_length: int | None) -> PathSet:
+    """All minimum-length closure paths per endpoint pair (ϕShortest).
+
+    The base paths are treated as weighted edges of a *derived graph* (weight
+    = path length); a Dijkstra-style expansion ordered by total length
+    enumerates every composition whose length equals the distance between its
+    endpoints.  Compositions strictly longer than the known distance of their
+    endpoints can never be prefixes of new shortest compositions (a shorter
+    prefix always exists in the closure), so they are discarded, which
+    guarantees termination even on cyclic inputs.
+    """
+    best: dict[tuple[str, str], int] = {}
+    results = PathSet()
+    tie_breaker = count()
+
+    heap: list[tuple[int, int, Path]] = []
+    for path in base:
+        if max_length is not None and path.len() > max_length:
+            continue
+        heapq.heappush(heap, (path.len(), next(tie_breaker), path))
+
+    # Index the base by first node for efficient extension.
+    base_by_first: dict[str, list[Path]] = {}
+    for path in base:
+        base_by_first.setdefault(path.first(), []).append(path)
+
+    seen: set[Path] = set()
+    while heap:
+        length, _, path = heapq.heappop(heap)
+        if path in seen:
+            continue
+        seen.add(path)
+        key = path.endpoints()
+        known = best.get(key)
+        if known is None:
+            best[key] = length
+        elif length > known:
+            continue
+        results.add(path)
+        for extension in base_by_first.get(path.last(), ()):
+            new_path = path.concat(extension)
+            new_length = new_path.len()
+            if max_length is not None and new_length > max_length:
+                continue
+            new_key = new_path.endpoints()
+            known_new = best.get(new_key)
+            if known_new is not None and new_length > known_new:
+                continue
+            if new_path not in seen:
+                heapq.heappush(heap, (new_length, next(tie_breaker), new_path))
+    return results

@@ -1,0 +1,155 @@
+"""Selector semantics (paper Table 1 and Section 6).
+
+GQL and SQL/PGQ selectors decide *which* of the matched paths are returned.
+The paper shows (Table 7) that every selector can be expressed with the
+extended algebra as a ``group-by -> order-by -> projection`` pipeline; this
+module encodes that mapping and also offers a direct set-level application
+(:func:`apply_selector`) used by tests as an independent oracle.
+
+The seven selectors are:
+
+======================  =====================================================
+``ALL``                 every path in every group and partition
+``ANY SHORTEST``        one shortest path per partition (non-deterministic)
+``ALL SHORTEST``        all minimum-length paths per partition (deterministic)
+``ANY``                 one arbitrary path per partition (non-deterministic)
+``ANY k``               k arbitrary paths per partition
+``SHORTEST k``          the k shortest paths per partition
+``SHORTEST k GROUP``    all paths in the first k length-groups per partition
+======================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.algebra.solution_space import (
+    ALL,
+    GroupByKey,
+    OrderByKey,
+    ProjectionSpec,
+    group_by,
+    order_by,
+    project,
+)
+from repro.paths.pathset import PathSet
+
+__all__ = ["SelectorKind", "Selector", "SelectorPlan", "selector_plan", "apply_selector"]
+
+
+class SelectorKind(str, Enum):
+    """The selector keywords of Table 1."""
+
+    ALL = "ALL"
+    ANY_SHORTEST = "ANY SHORTEST"
+    ALL_SHORTEST = "ALL SHORTEST"
+    ANY = "ANY"
+    ANY_K = "ANY k"
+    SHORTEST_K = "SHORTEST k"
+    SHORTEST_K_GROUP = "SHORTEST k GROUP"
+
+    @property
+    def requires_k(self) -> bool:
+        """Whether the selector takes a count parameter ``k``."""
+        return self in (SelectorKind.ANY_K, SelectorKind.SHORTEST_K, SelectorKind.SHORTEST_K_GROUP)
+
+    @property
+    def is_deterministic(self) -> bool:
+        """Whether Table 1 classifies the selector as deterministic."""
+        return self in (SelectorKind.ALL, SelectorKind.ALL_SHORTEST, SelectorKind.SHORTEST_K_GROUP)
+
+
+@dataclass(frozen=True)
+class Selector:
+    """A selector keyword together with its optional count parameter."""
+
+    kind: SelectorKind
+    k: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind.requires_k:
+            if self.k is None or self.k < 1:
+                raise ValueError(f"selector {self.kind.value} requires a positive k")
+        elif self.k is not None:
+            raise ValueError(f"selector {self.kind.value} does not take a k parameter")
+
+    @classmethod
+    def parse(cls, text: str) -> "Selector":
+        """Parse selector text such as ``"ANY SHORTEST"``, ``"SHORTEST 3 GROUP"`` or ``"ANY 2"``."""
+        tokens = text.strip().upper().split()
+        if not tokens:
+            raise ValueError("empty selector")
+        if tokens == ["ALL"]:
+            return cls(SelectorKind.ALL)
+        if tokens == ["ANY", "SHORTEST"]:
+            return cls(SelectorKind.ANY_SHORTEST)
+        if tokens == ["ALL", "SHORTEST"]:
+            return cls(SelectorKind.ALL_SHORTEST)
+        if tokens == ["ANY"]:
+            return cls(SelectorKind.ANY)
+        if len(tokens) == 2 and tokens[0] == "ANY" and tokens[1].isdigit():
+            return cls(SelectorKind.ANY_K, int(tokens[1]))
+        if len(tokens) == 2 and tokens[0] == "SHORTEST" and tokens[1].isdigit():
+            return cls(SelectorKind.SHORTEST_K, int(tokens[1]))
+        if (
+            len(tokens) == 3
+            and tokens[0] == "SHORTEST"
+            and tokens[1].isdigit()
+            and tokens[2] == "GROUP"
+        ):
+            return cls(SelectorKind.SHORTEST_K_GROUP, int(tokens[1]))
+        raise ValueError(f"unknown selector: {text!r}")
+
+    def __str__(self) -> str:
+        if self.kind is SelectorKind.ANY_K:
+            return f"ANY {self.k}"
+        if self.kind is SelectorKind.SHORTEST_K:
+            return f"SHORTEST {self.k}"
+        if self.kind is SelectorKind.SHORTEST_K_GROUP:
+            return f"SHORTEST {self.k} GROUP"
+        return self.kind.value
+
+
+@dataclass(frozen=True)
+class SelectorPlan:
+    """The extended-algebra pipeline a selector translates to (one row of Table 7)."""
+
+    group_key: GroupByKey
+    order_key: OrderByKey | None
+    projection: ProjectionSpec
+
+
+#: Table 7 of the paper, keyed by selector kind.  ``{k}`` components are
+#: filled in by :func:`selector_plan`.
+_TABLE7: dict[SelectorKind, tuple[GroupByKey, OrderByKey | None, tuple]] = {
+    SelectorKind.ALL: (GroupByKey.NONE, None, (ALL, ALL, ALL)),
+    SelectorKind.ANY_SHORTEST: (GroupByKey.ST, OrderByKey.A, (ALL, ALL, 1)),
+    SelectorKind.ALL_SHORTEST: (GroupByKey.STL, OrderByKey.G, (ALL, 1, ALL)),
+    SelectorKind.ANY: (GroupByKey.ST, None, (ALL, ALL, 1)),
+    SelectorKind.ANY_K: (GroupByKey.ST, None, (ALL, ALL, "k")),
+    SelectorKind.SHORTEST_K: (GroupByKey.ST, OrderByKey.A, (ALL, ALL, "k")),
+    SelectorKind.SHORTEST_K_GROUP: (GroupByKey.STL, OrderByKey.G, (ALL, "k", ALL)),
+}
+
+
+def selector_plan(selector: Selector) -> SelectorPlan:
+    """Return the group-by / order-by / projection pipeline for ``selector`` (Table 7)."""
+    group_key, order_key, projection_template = _TABLE7[selector.kind]
+    components = [selector.k if component == "k" else component for component in projection_template]
+    return SelectorPlan(group_key, order_key, ProjectionSpec(*components))
+
+
+def apply_selector(paths: PathSet, selector: Selector) -> PathSet:
+    """Apply a selector directly to a set of paths.
+
+    This is the semantic shortcut ``π(γ/τ pipeline)(paths)`` — it evaluates
+    the Table 7 pipeline using the solution-space operators without building
+    an expression tree, and is used by tests as an oracle for the plan-based
+    translation.
+    """
+    plan = selector_plan(selector)
+    space = group_by(paths, plan.group_key)
+    if plan.order_key is not None:
+        space = order_by(space, plan.order_key)
+    return project(space, plan.projection)

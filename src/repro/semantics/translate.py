@@ -1,0 +1,99 @@
+"""Translation of GQL selector/restrictor path queries into algebra plans (Section 6).
+
+The paper shows that every GQL path query of the form
+
+    selector? restrictor (x, regex, y)
+
+translates into a path-algebra expression (Table 7): the restrictor becomes
+the ϕ variant applied to the regular-expression plan, and the selector
+becomes a group-by / order-by / projection pipeline on top.  This module
+builds those expression trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.expressions import Expression, GroupBy, OrderBy, Projection, Recursive
+from repro.semantics.restrictors import Restrictor
+from repro.semantics.selectors import Selector, SelectorKind, selector_plan
+
+__all__ = ["PathQuerySpec", "translate_selector_restrictor", "translate_path_query"]
+
+
+@dataclass(frozen=True)
+class PathQuerySpec:
+    """An abstract GQL path query: ``selector restrictor (x, regex, y)``.
+
+    ``pattern_plan`` is the algebra expression for the regular path pattern
+    (typically produced by :func:`repro.rpq.compile.compile_regex`), i.e. the
+    ``RE`` placeholder of Table 7 *before* the ϕ wrapper is applied when the
+    pattern is already recursive, or the base-path plan otherwise.
+    """
+
+    selector: Selector
+    restrictor: Restrictor
+    pattern_plan: Expression
+
+
+def translate_selector_restrictor(
+    selector: Selector,
+    restrictor: Restrictor,
+    pattern_plan: Expression,
+    already_recursive: bool = True,
+    max_length: int | None = None,
+) -> Expression:
+    """Build the Table 7 algebra expression for a selector/restrictor combination.
+
+    Args:
+        selector: The GQL selector (Table 1).
+        restrictor: The GQL restrictor (Table 2) or SHORTEST.
+        pattern_plan: The plan computing the matched paths.  When
+            ``already_recursive`` is ``False`` the plan is wrapped in the
+            restrictor's ϕ variant (the ``ϕ_restrictor(RE)`` of Table 7);
+            otherwise the restrictor is expected to have been applied while
+            compiling the regular expression (which is what
+            :func:`repro.rpq.compile.compile_regex` does for ``+``/``*``).
+        max_length: Optional bound forwarded to a ϕWalk wrapper.
+
+    Returns:
+        The full ``π(τ(γ(ϕ(RE))))`` expression.
+    """
+    plan = pattern_plan
+    if not already_recursive:
+        plan = Recursive(plan, restrictor, max_length)
+
+    pipeline = selector_plan(selector)
+    plan = GroupBy(plan, pipeline.group_key)
+    if pipeline.order_key is not None:
+        plan = OrderBy(plan, pipeline.order_key)
+    return Projection(plan, pipeline.projection)
+
+
+def translate_path_query(spec: PathQuerySpec, max_length: int | None = None) -> Expression:
+    """Translate a :class:`PathQuerySpec` into its algebra plan."""
+    return translate_selector_restrictor(
+        spec.selector,
+        spec.restrictor,
+        spec.pattern_plan,
+        already_recursive=False,
+        max_length=max_length,
+    )
+
+
+def all_selector_restrictor_combinations() -> list[tuple[Selector, Restrictor]]:
+    """Return the 28 selector × restrictor combinations GQL allows (Section 6).
+
+    ``k``-parameterized selectors use ``k = 2`` as a representative value.
+    """
+    selectors = [
+        Selector(SelectorKind.ALL),
+        Selector(SelectorKind.ANY_SHORTEST),
+        Selector(SelectorKind.ALL_SHORTEST),
+        Selector(SelectorKind.ANY),
+        Selector(SelectorKind.ANY_K, 2),
+        Selector(SelectorKind.SHORTEST_K, 2),
+        Selector(SelectorKind.SHORTEST_K_GROUP, 2),
+    ]
+    restrictors = [Restrictor.WALK, Restrictor.TRAIL, Restrictor.ACYCLIC, Restrictor.SIMPLE]
+    return [(selector, restrictor) for selector in selectors for restrictor in restrictors]

@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.figure1 import figure1_graph
+from repro.datasets.generators import chain_graph, cycle_graph, grid_graph, random_graph
+from repro.graph.builder import GraphBuilder
+from repro.graph.model import PropertyGraph
+from repro.paths.pathset import PathSet
+
+
+@pytest.fixture
+def figure1() -> PropertyGraph:
+    """The paper's Figure 1 graph (7 nodes, 11 edges)."""
+    return figure1_graph()
+
+
+@pytest.fixture
+def knows_edges(figure1: PropertyGraph) -> PathSet:
+    """The Knows edges of Figure 1 as length-one paths (the input of Table 3)."""
+    return PathSet.edges_of(figure1).filter(
+        lambda path: figure1.edge(path.edge(1)).label == "Knows"
+    )
+
+
+@pytest.fixture
+def small_chain() -> PropertyGraph:
+    """A 5-node acyclic chain."""
+    return chain_graph(5)
+
+
+@pytest.fixture
+def small_cycle() -> PropertyGraph:
+    """A 4-node directed cycle (non-terminating WALK input)."""
+    return cycle_graph(4)
+
+
+@pytest.fixture
+def small_grid() -> PropertyGraph:
+    """A 3x3 grid (many equal-length shortest paths)."""
+    return grid_graph(3, 3)
+
+
+@pytest.fixture
+def small_random() -> PropertyGraph:
+    """A small random multigraph with the Figure 1 label vocabulary."""
+    return random_graph(20, 40, seed=5)
+
+
+@pytest.fixture
+def diamond() -> PropertyGraph:
+    """A diamond graph: two distinct length-2 paths from a to d plus a direct edge.
+
+    Structure::
+
+        a -Knows-> b -Knows-> d
+        a -Knows-> c -Knows-> d
+        a -Knows-> d
+    """
+    return (
+        GraphBuilder("diamond")
+        .node("a", "Person", name="A")
+        .node("b", "Person", name="B")
+        .node("c", "Person", name="C")
+        .node("d", "Person", name="D")
+        .edge("a", "b", "Knows", id="ab")
+        .edge("b", "d", "Knows", id="bd")
+        .edge("a", "c", "Knows", id="ac")
+        .edge("c", "d", "Knows", id="cd")
+        .edge("a", "d", "Knows", id="ad")
+        .build()
+    )

@@ -1,0 +1,159 @@
+"""Tests for the classical RPQ baselines and their agreement with the algebra."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.evaluator import evaluate_to_paths
+from repro.baselines.automaton_eval import (
+    evaluate_rpq_pairs,
+    evaluate_rpq_shortest_witnesses,
+)
+from repro.baselines.matrix import MatrixRPQEvaluator, evaluate_rpq_matrix
+from repro.baselines.traversal import TraversalOptions, evaluate_rpq_traversal
+from repro.errors import EvaluationError
+from repro.rpq.compile import CompileOptions, compile_regex
+from repro.semantics.restrictors import Restrictor, recursive_closure
+
+
+class TestTraversalBaseline:
+    def test_trail_agrees_with_algebra(self, figure1, knows_edges) -> None:
+        algebra = recursive_closure(knows_edges, Restrictor.TRAIL)
+        baseline = evaluate_rpq_traversal(
+            figure1, "Knows+", TraversalOptions(restrictor=Restrictor.TRAIL)
+        )
+        assert baseline == algebra
+
+    def test_acyclic_and_simple_agree_with_algebra(self, figure1, knows_edges) -> None:
+        for restrictor in (Restrictor.ACYCLIC, Restrictor.SIMPLE):
+            algebra = recursive_closure(knows_edges, restrictor)
+            baseline = evaluate_rpq_traversal(
+                figure1, "Knows+", TraversalOptions(restrictor=restrictor)
+            )
+            assert baseline == algebra, restrictor
+
+    def test_bounded_walk_agrees_with_algebra(self, figure1, knows_edges) -> None:
+        algebra = recursive_closure(knows_edges, Restrictor.WALK, max_length=3)
+        baseline = evaluate_rpq_traversal(
+            figure1, "Knows+", TraversalOptions(restrictor=Restrictor.WALK, max_length=3)
+        )
+        assert baseline == algebra
+
+    def test_walk_without_bound_rejected(self, figure1) -> None:
+        with pytest.raises(EvaluationError):
+            evaluate_rpq_traversal(figure1, "Knows+", TraversalOptions(restrictor=Restrictor.WALK))
+
+    def test_complex_regex_agrees_with_algebra(self, figure1) -> None:
+        regex = "(Likes/Has_creator)+|Knows"
+        plan = compile_regex(regex, CompileOptions(restrictor=Restrictor.ACYCLIC))
+        algebra = evaluate_to_paths(plan, figure1)
+        baseline = evaluate_rpq_traversal(
+            figure1, regex, TraversalOptions(restrictor=Restrictor.ACYCLIC)
+        )
+        assert baseline == algebra
+
+    def test_star_includes_zero_length_paths(self, figure1) -> None:
+        baseline = evaluate_rpq_traversal(
+            figure1, "Knows*", TraversalOptions(restrictor=Restrictor.TRAIL)
+        )
+        zero_length = [path for path in baseline if path.len() == 0]
+        assert len(zero_length) == figure1.num_nodes()
+
+    def test_source_and_target_filters(self, figure1) -> None:
+        baseline = evaluate_rpq_traversal(
+            figure1,
+            "Knows+",
+            TraversalOptions(restrictor=Restrictor.TRAIL, sources=("n1",), targets=("n4",)),
+        )
+        assert all(path.first() == "n1" and path.last() == "n4" for path in baseline)
+        assert len(baseline) == 2  # p5 and p6 of Table 3
+
+    def test_shortest_with_bound(self, figure1, knows_edges) -> None:
+        algebra = recursive_closure(knows_edges, Restrictor.SHORTEST)
+        baseline = evaluate_rpq_traversal(
+            figure1, "Knows+", TraversalOptions(restrictor=Restrictor.SHORTEST, max_length=4)
+        )
+        assert baseline == algebra
+
+
+class TestAutomatonBaseline:
+    def test_pairs_match_algebra_endpoints(self, figure1, knows_edges) -> None:
+        algebra_pairs = recursive_closure(knows_edges, Restrictor.TRAIL).endpoints()
+        result = evaluate_rpq_pairs(figure1, "Knows+")
+        # The trail endpoints are a subset of all walk-reachable pairs, and for
+        # Knows+ on Figure 1 they coincide.
+        assert result.pairs == algebra_pairs
+        assert result.visited_states > 0
+
+    def test_star_includes_identity_pairs(self, figure1) -> None:
+        result = evaluate_rpq_pairs(figure1, "Knows*")
+        for node_id in figure1.node_ids():
+            assert (node_id, node_id) in result.pairs
+
+    def test_distances_are_shortest(self, figure1) -> None:
+        result = evaluate_rpq_pairs(figure1, "Knows+")
+        assert result.distances[("n1", "n2")] == 1
+        assert result.distances[("n1", "n4")] == 2
+        assert result.distances[("n1", "n3")] == 2
+
+    def test_terminates_on_cycles_without_bound(self, small_cycle) -> None:
+        result = evaluate_rpq_pairs(small_cycle, "Knows+")
+        assert len(result.pairs) == 16  # every ordered pair including (v, v)
+
+    def test_shortest_witnesses_lengths(self, figure1, knows_edges) -> None:
+        witnesses = evaluate_rpq_shortest_witnesses(figure1, "Knows+", sources=("n1",))
+        shortest = recursive_closure(knows_edges, Restrictor.SHORTEST)
+        expected = {
+            path.endpoints(): path.len() for path in shortest if path.first() == "n1"
+        }
+        assert {path.endpoints() for path in witnesses} == set(expected)
+        for path in witnesses:
+            assert path.len() == expected[path.endpoints()]
+
+    def test_witnesses_are_valid_matching_paths(self, figure1) -> None:
+        from repro.rpq.automaton import build_nfa
+
+        nfa = build_nfa("(Likes/Has_creator)+")
+        witnesses = evaluate_rpq_shortest_witnesses(figure1, "(Likes/Has_creator)+")
+        assert witnesses
+        for path in witnesses:
+            assert nfa.accepts(path.label_sequence())
+
+
+class TestMatrixBaseline:
+    def test_pairs_match_automaton_baseline(self, figure1) -> None:
+        matrix_pairs = evaluate_rpq_matrix(figure1, "Knows+")
+        automaton_pairs = evaluate_rpq_pairs(figure1, "Knows+").pairs
+        assert matrix_pairs == automaton_pairs
+
+    def test_concat_and_alternation(self, figure1) -> None:
+        evaluator = MatrixRPQEvaluator(figure1)
+        likes_creator = evaluator.pairs("Likes/Has_creator")
+        assert ("n1", "n3") in likes_creator  # e8 then e11
+        assert ("n3", "n4") in likes_creator  # e7 then e10
+        union_pairs = evaluator.pairs("Knows|Likes")
+        assert ("n1", "n2") in union_pairs  # Knows e1
+        assert ("n1", "n6") in union_pairs  # Likes e8
+
+    def test_star_includes_identity(self, figure1) -> None:
+        evaluator = MatrixRPQEvaluator(figure1)
+        star = evaluator.pairs("Knows*")
+        for node_id in figure1.node_ids():
+            assert (node_id, node_id) in star
+
+    def test_optional_and_epsilon_and_wildcard(self, figure1) -> None:
+        evaluator = MatrixRPQEvaluator(figure1)
+        assert evaluator.count_pairs("()") == figure1.num_nodes()
+        assert evaluator.count_pairs("%") >= figure1.num_edges() - 1  # parallel edges collapse
+        optional = evaluator.pairs("Knows?")
+        assert ("n1", "n1") in optional
+        assert ("n1", "n2") in optional
+
+    def test_unknown_label_is_empty(self, figure1) -> None:
+        assert MatrixRPQEvaluator(figure1).count_pairs("Nonexistent") == 0
+
+    def test_agreement_on_random_graph(self, small_random) -> None:
+        regex = "(Knows/Likes)|Has_creator+"
+        matrix_pairs = evaluate_rpq_matrix(small_random, regex)
+        automaton_pairs = evaluate_rpq_pairs(small_random, regex).pairs
+        assert matrix_pairs == automaton_pairs

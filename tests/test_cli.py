@@ -1,0 +1,139 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.io import load_json, save_json
+from repro.datasets.figure1 import figure1_graph
+
+
+@pytest.fixture
+def figure1_file(tmp_path) -> str:
+    path = tmp_path / "figure1.json"
+    save_json(figure1_graph(), path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_subcommand(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_query_arguments(self) -> None:
+        args = build_parser().parse_args(
+            ["query", "--dataset", "figure1", "--limit", "3", "MATCH ALL TRAIL p = (?x)-[Knows]->(?y)"]
+        )
+        assert args.command == "query"
+        assert args.limit == 3
+
+
+class TestQueryCommand:
+    def test_query_builtin_dataset(self, capsys) -> None:
+        code = main(["query", "MATCH ALL TRAIL p = (?x)-[Knows]->(?y)"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "# 4 paths" in captured.out
+        assert "(n1, e1, n2)" in captured.out
+
+    def test_query_graph_file(self, figure1_file, capsys) -> None:
+        code = main(
+            ["query", "--graph", figure1_file, "MATCH ANY SHORTEST TRAIL p = (?x)-[:Knows]->+(?y)"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "# 9 paths" in captured.out
+
+    def test_query_limit(self, capsys) -> None:
+        code = main(["query", "--limit", "2", "MATCH ALL TRAIL p = (?x)-[Knows+]->(?y)"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "more" in captured.out
+
+    def test_query_reports_optimizer_rewrites(self, capsys) -> None:
+        code = main(["query", "MATCH ANY SHORTEST WALK p = (?x)-[:Knows]->+(?y)"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "walk-to-shortest" in captured.out
+
+    def test_query_syntax_error_returns_nonzero(self, capsys) -> None:
+        code = main(["query", "MATCH OOPS"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error" in captured.err
+
+    def test_missing_graph_file(self, tmp_path, capsys) -> None:
+        code = main(
+            ["query", "--graph", str(tmp_path / "nope.json"), "MATCH ALL TRAIL p = (?x)-[Knows]->(?y)"]
+        )
+        assert code == 1
+
+
+class TestExplainCommand:
+    def test_explain_prints_plan(self, capsys) -> None:
+        code = main(["explain", "MATCH ANY SHORTEST WALK p = (?x)-[:Knows]->+(?y)"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Logical plan:" in captured.out
+        assert "walk-to-shortest" in captured.out
+        assert "Projection" in captured.out
+
+
+class TestGenerateCommand:
+    def test_generate_figure1(self, tmp_path, capsys) -> None:
+        output = tmp_path / "out.json"
+        code = main(["generate", "figure1", "--output", str(output)])
+        assert code == 0
+        graph = load_json(output)
+        assert graph.num_nodes() == 7
+        assert graph.num_edges() == 11
+
+    def test_generate_ldbc(self, tmp_path) -> None:
+        output = tmp_path / "ldbc.json"
+        code = main(
+            ["generate", "ldbc", "--persons", "10", "--messages", "15", "--output", str(output)]
+        )
+        assert code == 0
+        payload = json.loads(output.read_text())
+        person_nodes = [node for node in payload["nodes"] if node["label"] == "Person"]
+        assert len(person_nodes) == 10
+
+    def test_generate_random_cycle_chain_grid(self, tmp_path) -> None:
+        for kind, extra in (
+            ("random", ["--nodes", "12", "--edges", "20"]),
+            ("cycle", ["--nodes", "6"]),
+            ("chain", ["--nodes", "6"]),
+            ("grid", ["--rows", "3", "--cols", "3"]),
+        ):
+            output = tmp_path / f"{kind}.json"
+            code = main(["generate", kind, "--output", str(output), *extra])
+            assert code == 0
+            assert load_json(output).num_nodes() > 0
+
+    def test_generated_graph_queryable_via_cli(self, tmp_path, capsys) -> None:
+        output = tmp_path / "chain.json"
+        main(["generate", "chain", "--nodes", "5", "--output", str(output)])
+        capsys.readouterr()
+        code = main(["query", "--graph", str(output), "MATCH ALL WALK p = (?x)-[Knows+]->(?y)"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "# 10 paths" in captured.out
+
+
+class TestStatsCommand:
+    def test_stats_builtin(self, capsys) -> None:
+        code = main(["stats", "--dataset", "figure1"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "nodes: 7" in captured.out
+        assert "edges: 11" in captured.out
+        assert "has directed cycle: True" in captured.out
+
+    def test_stats_from_file(self, figure1_file, capsys) -> None:
+        code = main(["stats", "--graph", figure1_file])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "'Knows': 4" in captured.out

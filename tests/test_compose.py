@@ -1,0 +1,130 @@
+"""Tests for query composition (Section 2.3: concatenation and union of path queries)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.conditions import label_of_edge
+from repro.algebra.expressions import EdgesScan, Join, Projection, Selection, Union
+from repro.paths.predicates import is_trail
+from repro.semantics.compose import (
+    ComposedQuery,
+    QueryStep,
+    compose_concatenation,
+    compose_union,
+    evaluate_composition,
+    paper_example_composition,
+)
+from repro.semantics.restrictors import Restrictor
+from repro.semantics.selectors import Selector, SelectorKind
+
+
+def knows_scan() -> Selection:
+    return Selection(label_of_edge(1, "Knows"), EdgesScan())
+
+
+def likes_creator_scan() -> Join:
+    return Join(
+        Selection(label_of_edge(1, "Likes"), EdgesScan()),
+        Selection(label_of_edge(1, "Has_creator"), EdgesScan()),
+    )
+
+
+class TestConcatenation:
+    def test_two_step_concatenation_joins_answers(self, figure1) -> None:
+        """ALL TRAIL Knows+ followed by ALL TRAIL (Likes/Has_creator)+, whole result ALL TRAIL."""
+        query = compose_concatenation(
+            Selector(SelectorKind.ALL),
+            Restrictor.TRAIL,
+            QueryStep(Selector(SelectorKind.ALL), Restrictor.TRAIL, knows_scan()),
+            QueryStep(Selector(SelectorKind.ALL), Restrictor.TRAIL, likes_creator_scan()),
+        )
+        result = evaluate_composition(query, figure1)
+        assert len(result) > 0
+        for path in result:
+            assert is_trail(path)
+            # The concatenated paths start with a Knows edge and end with Has_creator.
+            assert figure1.edge(path.edge(1)).label == "Knows"
+            assert figure1.edge(path.edge(path.len())).label == "Has_creator"
+
+    def test_paper_example_shortest_trail_of_concatenation(self, figure1) -> None:
+        """The Section 2.3 example: trails · shortest walks, outer ALL SHORTEST TRAIL."""
+        query = paper_example_composition(knows_scan(), likes_creator_scan())
+        result = evaluate_composition(query, figure1)
+        assert len(result) > 0
+        # Outer restrictor TRAIL: no repeated edges in any returned path.
+        assert all(is_trail(path) for path in result)
+        # Outer ALL SHORTEST: per endpoint pair only minimum-length paths remain.
+        by_pair = result.group_by_endpoints()
+        for paths in by_pair.values():
+            lengths = {path.len() for path in paths}
+            assert len(lengths) == 1
+
+    def test_concatenation_respects_endpoint_compatibility(self, figure1) -> None:
+        query = compose_concatenation(
+            Selector(SelectorKind.ALL),
+            Restrictor.WALK,
+            QueryStep(Selector(SelectorKind.ALL), Restrictor.TRAIL, knows_scan()),
+            QueryStep(Selector(SelectorKind.ALL), Restrictor.TRAIL, knows_scan()),
+        )
+        result = evaluate_composition(query, figure1)
+        # Every result decomposes into two Knows+ trails sharing a middle node;
+        # in particular all labels along the path are Knows.
+        assert all(set(path.label_sequence()) == {"Knows"} for path in result)
+
+    def test_single_step_composition_equals_step_answer(self, figure1) -> None:
+        step = QueryStep(Selector(SelectorKind.ALL), Restrictor.ACYCLIC, knows_scan())
+        query = compose_concatenation(Selector(SelectorKind.ALL), Restrictor.WALK, step)
+        result = evaluate_composition(query, figure1)
+        from repro.algebra.evaluator import evaluate_to_paths
+
+        assert result == evaluate_to_paths(step.plan(), figure1)
+
+    def test_empty_composition_rejected(self) -> None:
+        query = ComposedQuery(Selector(SelectorKind.ALL), Restrictor.WALK, ())
+        with pytest.raises(ValueError):
+            query.plan()
+
+
+class TestUnionComposition:
+    def test_union_of_two_queries(self, figure1) -> None:
+        query = compose_union(
+            Selector(SelectorKind.ALL),
+            Restrictor.WALK,
+            QueryStep(Selector(SelectorKind.ALL), Restrictor.ACYCLIC, knows_scan()),
+            QueryStep(Selector(SelectorKind.ALL), Restrictor.ACYCLIC, likes_creator_scan()),
+        )
+        result = evaluate_composition(query, figure1)
+        labels = {path.label_sequence()[0] for path in result}
+        assert "Knows" in labels
+        assert "Likes" in labels
+
+    def test_outer_selector_applies_to_union(self, figure1) -> None:
+        query = compose_union(
+            Selector(SelectorKind.ANY_SHORTEST),
+            Restrictor.WALK,
+            QueryStep(Selector(SelectorKind.ALL), Restrictor.TRAIL, knows_scan()),
+            QueryStep(Selector(SelectorKind.ALL), Restrictor.TRAIL, likes_creator_scan()),
+        )
+        result = evaluate_composition(query, figure1)
+        assert len(result) == len(result.group_by_endpoints())
+
+
+class TestComposedPlans:
+    def test_plan_is_a_single_algebra_expression(self) -> None:
+        query = paper_example_composition(knows_scan(), likes_creator_scan())
+        plan = query.plan()
+        assert isinstance(plan, Projection)
+        # The concatenation appears as a join of the two inner pipelines.
+        assert any(isinstance(node, Join) for node in plan.iter_subtree())
+        assert sum(1 for node in plan.iter_subtree() if isinstance(node, Projection)) == 3
+
+    def test_inner_steps_keep_their_own_semantics(self, figure1) -> None:
+        """ANY SHORTEST WALK inner step terminates thanks to the optimizer rewrite."""
+        query = compose_concatenation(
+            Selector(SelectorKind.ALL),
+            Restrictor.WALK,
+            QueryStep(Selector(SelectorKind.ANY_SHORTEST), Restrictor.WALK, knows_scan()),
+        )
+        result = evaluate_composition(query, figure1)
+        assert len(result) == 9  # one shortest Knows+ path per connected pair

@@ -1,0 +1,152 @@
+"""Tests for the selection-condition language (Section 3.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.conditions import (
+    And,
+    Comparator,
+    LabelCondition,
+    LengthCondition,
+    Not,
+    Or,
+    PropertyCondition,
+    Target,
+    TrueCondition,
+    label_of_edge,
+    label_of_first,
+    label_of_last,
+    label_of_node,
+    length_at_least,
+    length_at_most,
+    length_equals,
+    prop_of_edge,
+    prop_of_first,
+    prop_of_last,
+    prop_of_node,
+)
+from repro.errors import ConditionError
+from repro.paths.path import Path
+
+
+@pytest.fixture
+def moe_to_bart(figure1) -> Path:
+    """(n1, e1, n2, e2, n3): Moe -Knows-> Lisa -Knows-> Bart."""
+    return Path.from_interleaved(figure1, ("n1", "e1", "n2", "e2", "n3"))
+
+
+class TestLabelConditions:
+    def test_label_of_edge(self, moe_to_bart) -> None:
+        assert label_of_edge(1, "Knows").evaluate(moe_to_bart)
+        assert not label_of_edge(1, "Likes").evaluate(moe_to_bart)
+
+    def test_label_of_node(self, moe_to_bart) -> None:
+        assert label_of_node(1, "Person").evaluate(moe_to_bart)
+        assert not label_of_node(1, "Message").evaluate(moe_to_bart)
+
+    def test_label_of_first_and_last(self, moe_to_bart) -> None:
+        assert label_of_first("Person").evaluate(moe_to_bart)
+        assert label_of_last("Person").evaluate(moe_to_bart)
+        assert not label_of_last("Message").evaluate(moe_to_bart)
+
+    def test_out_of_range_position_is_false(self, moe_to_bart) -> None:
+        assert not label_of_edge(3, "Knows").evaluate(moe_to_bart)
+        assert not label_of_node(4, "Person").evaluate(moe_to_bart)
+
+    def test_inequality_comparator(self, moe_to_bart) -> None:
+        assert label_of_edge(1, "Likes", Comparator.NE).evaluate(moe_to_bart)
+
+    def test_position_required(self) -> None:
+        with pytest.raises(ConditionError):
+            LabelCondition(Target.EDGE, "Knows", None)
+        with pytest.raises(ConditionError):
+            LabelCondition(Target.NODE, "Person", 0)
+
+
+class TestPropertyConditions:
+    def test_first_and_last_properties(self, moe_to_bart) -> None:
+        assert prop_of_first("name", "Moe").evaluate(moe_to_bart)
+        assert prop_of_last("name", "Bart").evaluate(moe_to_bart)
+        assert not prop_of_last("name", "Apu").evaluate(moe_to_bart)
+
+    def test_positional_properties(self, moe_to_bart) -> None:
+        assert prop_of_node(2, "name", "Lisa").evaluate(moe_to_bart)
+        assert prop_of_edge(1, "since", 2010).evaluate(moe_to_bart)
+        assert not prop_of_edge(2, "since", 2010).evaluate(moe_to_bart)
+
+    def test_missing_property_is_false(self, moe_to_bart) -> None:
+        assert not prop_of_first("salary", 10).evaluate(moe_to_bart)
+
+    def test_numeric_comparators(self, moe_to_bart) -> None:
+        assert prop_of_edge(1, "since", 2015, Comparator.LT).evaluate(moe_to_bart)
+        assert prop_of_edge(1, "since", 2010, Comparator.GE).evaluate(moe_to_bart)
+        assert not prop_of_edge(1, "since", 2000, Comparator.LE).evaluate(moe_to_bart)
+
+    def test_incomparable_types_are_false(self, moe_to_bart) -> None:
+        assert not prop_of_first("name", 42, Comparator.LT).evaluate(moe_to_bart)
+
+    def test_position_required(self) -> None:
+        with pytest.raises(ConditionError):
+            PropertyCondition(Target.NODE, "name", "Moe", None)
+
+
+class TestLengthConditions:
+    def test_equality(self, moe_to_bart, figure1) -> None:
+        assert length_equals(2).evaluate(moe_to_bart)
+        assert not length_equals(1).evaluate(moe_to_bart)
+        assert length_equals(0).evaluate(Path.from_node(figure1, "n1"))
+
+    def test_bounds(self, moe_to_bart) -> None:
+        assert length_at_most(2).evaluate(moe_to_bart)
+        assert length_at_most(5).evaluate(moe_to_bart)
+        assert not length_at_most(1).evaluate(moe_to_bart)
+        assert length_at_least(2).evaluate(moe_to_bart)
+        assert not length_at_least(3).evaluate(moe_to_bart)
+
+    def test_negative_length_rejected(self) -> None:
+        with pytest.raises(ConditionError):
+            LengthCondition(-1)
+
+
+class TestBooleanCombinators:
+    def test_and_or_not(self, moe_to_bart) -> None:
+        knows_first = label_of_edge(1, "Knows")
+        moe_first = prop_of_first("name", "Moe")
+        apu_last = prop_of_last("name", "Apu")
+
+        assert And(knows_first, moe_first).evaluate(moe_to_bart)
+        assert not And(knows_first, apu_last).evaluate(moe_to_bart)
+        assert Or(apu_last, moe_first).evaluate(moe_to_bart)
+        assert not Or(apu_last, Not(moe_first)).evaluate(moe_to_bart)
+        assert Not(apu_last).evaluate(moe_to_bart)
+
+    def test_operator_overloads(self, moe_to_bart) -> None:
+        condition = label_of_edge(1, "Knows") & prop_of_first("name", "Moe")
+        assert isinstance(condition, And)
+        assert condition.evaluate(moe_to_bart)
+        condition = prop_of_last("name", "Apu") | prop_of_last("name", "Bart")
+        assert isinstance(condition, Or)
+        assert condition.evaluate(moe_to_bart)
+        assert (~prop_of_last("name", "Apu")).evaluate(moe_to_bart)
+
+    def test_true_condition(self, moe_to_bart) -> None:
+        assert TrueCondition().evaluate(moe_to_bart)
+        assert str(TrueCondition()) == "true"
+
+    def test_condition_is_callable(self, moe_to_bart) -> None:
+        assert label_of_edge(1, "Knows")(moe_to_bart)
+
+
+class TestStructuralEqualityAndRendering:
+    def test_equality(self) -> None:
+        assert label_of_edge(1, "Knows") == label_of_edge(1, "Knows")
+        assert label_of_edge(1, "Knows") != label_of_edge(2, "Knows")
+        assert prop_of_first("name", "Moe") == prop_of_first("name", "Moe")
+
+    def test_string_rendering_matches_paper_notation(self) -> None:
+        assert str(label_of_edge(1, "Knows")) == "label(edge(1)) = 'Knows'"
+        assert str(prop_of_first("name", "Moe")) == "first.name = 'Moe'"
+        assert str(length_equals(3)) == "len() = 3"
+        rendered = str(label_of_edge(1, "Knows") & prop_of_last("name", "Apu"))
+        assert "AND" in rendered

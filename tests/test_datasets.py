@@ -1,0 +1,166 @@
+"""Tests for the example graphs and synthetic generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.figure1 import FIGURE1_EDGE_LABELS, FIGURE1_NODE_NAMES, figure1_graph
+from repro.datasets.generators import (
+    binary_tree_graph,
+    chain_graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    layered_graph,
+    random_graph,
+    scale_free_graph,
+)
+from repro.datasets.ldbc import LDBCParameters, ldbc_like_graph
+from repro.graph.stats import compute_statistics, has_directed_cycle
+from repro.graph.validation import validate_graph
+
+
+class TestFigure1:
+    def test_size(self) -> None:
+        graph = figure1_graph()
+        assert graph.num_nodes() == 7
+        assert graph.num_edges() == 11
+
+    def test_node_names_match_paper(self) -> None:
+        graph = figure1_graph()
+        assert graph.node("n1").property("name") == "Moe"
+        assert graph.node("n4").property("name") == "Apu"
+        for node_id, name in FIGURE1_NODE_NAMES.items():
+            if graph.node(node_id).label == "Person":
+                assert graph.node(node_id).property("name") == name
+
+    def test_edge_labels_match_declared_mapping(self) -> None:
+        graph = figure1_graph()
+        for edge_id, label in FIGURE1_EDGE_LABELS.items():
+            assert graph.edge(edge_id).label == label
+
+    def test_knows_edges_match_table3(self) -> None:
+        graph = figure1_graph()
+        assert graph.edge("e1").endpoints() == ("n1", "n2")
+        assert graph.edge("e2").endpoints() == ("n2", "n3")
+        assert graph.edge("e3").endpoints() == ("n3", "n2")
+        assert graph.edge("e4").endpoints() == ("n2", "n4")
+
+    def test_intro_path2_edges_exist(self) -> None:
+        """path2 = (n1, e8, n6, e11, n3, e7, n7, e10, n4) with Likes/Has_creator labels."""
+        graph = figure1_graph()
+        assert graph.edge("e8").endpoints() == ("n1", "n6")
+        assert graph.edge("e8").label == "Likes"
+        assert graph.edge("e11").endpoints() == ("n6", "n3")
+        assert graph.edge("e11").label == "Has_creator"
+        assert graph.edge("e7").endpoints() == ("n3", "n7")
+        assert graph.edge("e7").label == "Likes"
+        assert graph.edge("e10").endpoints() == ("n7", "n4")
+        assert graph.edge("e10").label == "Has_creator"
+
+    def test_inner_and_outer_cycles_exist(self) -> None:
+        graph = figure1_graph()
+        assert has_directed_cycle(graph, edge_label="Knows")
+        # The outer cycle uses both Likes and Has_creator edges.
+        assert has_directed_cycle(graph)
+        assert not has_directed_cycle(graph.subgraph_by_edge_labels(["Has_creator"]))
+
+    def test_is_valid(self) -> None:
+        assert validate_graph(figure1_graph()).is_valid
+
+
+class TestGenerators:
+    def test_chain(self) -> None:
+        graph = chain_graph(10)
+        assert graph.num_nodes() == 10
+        assert graph.num_edges() == 9
+        assert not has_directed_cycle(graph)
+
+    def test_cycle(self) -> None:
+        graph = cycle_graph(5)
+        assert graph.num_edges() == 5
+        assert has_directed_cycle(graph)
+
+    def test_grid(self) -> None:
+        graph = grid_graph(3, 4)
+        assert graph.num_nodes() == 12
+        assert graph.num_edges() == 3 * 3 + 2 * 4  # right edges + down edges
+        assert not has_directed_cycle(graph)
+
+    def test_binary_tree(self) -> None:
+        graph = binary_tree_graph(3)
+        assert graph.num_nodes() == 15
+        assert graph.num_edges() == 14
+
+    def test_random_is_deterministic_per_seed(self) -> None:
+        a = random_graph(30, 60, seed=9)
+        b = random_graph(30, 60, seed=9)
+        assert [e.endpoints() for e in a.edges()] == [e.endpoints() for e in b.edges()]
+        c = random_graph(30, 60, seed=10)
+        assert [e.endpoints() for e in a.edges()] != [e.endpoints() for e in c.edges()]
+
+    def test_random_no_self_loops_by_default(self) -> None:
+        graph = random_graph(10, 50, seed=1)
+        assert all(edge.source != edge.target for edge in graph.edges())
+
+    def test_layered_is_acyclic(self) -> None:
+        graph = layered_graph(4, 3, seed=2)
+        assert graph.num_nodes() == 12
+        assert not has_directed_cycle(graph)
+
+    def test_scale_free_degree_skew(self) -> None:
+        graph = scale_free_graph(100, edges_per_node=2, seed=4)
+        stats = compute_statistics(graph)
+        assert stats.num_edges == pytest.approx(2 * 99, abs=2)
+        assert stats.max_in_degree > 3 * stats.avg_out_degree
+
+    def test_complete(self) -> None:
+        graph = complete_graph(5)
+        assert graph.num_edges() == 20
+
+    def test_generated_graphs_are_valid(self) -> None:
+        for graph in (
+            chain_graph(5),
+            cycle_graph(5),
+            grid_graph(3, 3),
+            random_graph(15, 30, seed=0),
+            layered_graph(3, 3, seed=0),
+            scale_free_graph(20, seed=0),
+        ):
+            assert validate_graph(graph).is_valid, graph.name
+
+
+class TestLDBCLikeGenerator:
+    def test_default_shape(self) -> None:
+        graph = ldbc_like_graph()
+        stats = compute_statistics(graph)
+        assert stats.node_label_counts["Person"] == 50
+        assert stats.node_label_counts["Message"] == 100
+        assert stats.node_label_counts["Forum"] == 5
+        assert stats.edge_label_counts["Has_creator"] == 100  # one creator per message
+        assert stats.edge_label_counts["Knows"] > 0
+        assert stats.edge_label_counts["Likes"] > 0
+
+    def test_deterministic_per_seed(self) -> None:
+        a = ldbc_like_graph(LDBCParameters(num_persons=10, num_messages=20, seed=3))
+        b = ldbc_like_graph(LDBCParameters(num_persons=10, num_messages=20, seed=3))
+        assert a.num_edges() == b.num_edges()
+        assert [e.endpoints() for e in a.edges()] == [e.endpoints() for e in b.edges()]
+
+    def test_reciprocity_creates_knows_cycles(self) -> None:
+        graph = ldbc_like_graph(LDBCParameters(num_persons=30, knows_reciprocity=1.0, seed=1))
+        assert has_directed_cycle(graph, edge_label="Knows")
+
+    def test_paper_queries_run_on_ldbc_graph(self) -> None:
+        from repro.engine.engine import PathQueryEngine
+
+        graph = ldbc_like_graph(LDBCParameters(num_persons=20, num_messages=30, seed=8))
+        engine = PathQueryEngine(graph, default_max_length=4)
+        result = engine.query("MATCH ANY SHORTEST TRAIL p = (?x)-[:Knows]->+(?y)")
+        assert len(result) > 0
+        likes = engine.query("MATCH ALL ACYCLIC p = (?x)-[(Likes/Has_creator)+]->(?y)")
+        assert all(path.len() % 2 == 0 for path in likes.paths)
+
+    def test_is_valid(self) -> None:
+        graph = ldbc_like_graph(LDBCParameters(num_persons=15, num_messages=20, seed=2))
+        assert validate_graph(graph).is_valid

@@ -1,0 +1,127 @@
+"""Tests for the PathQueryEngine facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.conditions import label_of_edge
+from repro.algebra.expressions import EdgesScan, Recursive, Selection
+from repro.datasets.generators import chain_graph
+from repro.engine.engine import PathQueryEngine
+from repro.errors import GQLSyntaxError
+from repro.semantics.restrictors import Restrictor
+
+
+@pytest.fixture
+def engine(figure1) -> PathQueryEngine:
+    return PathQueryEngine(figure1, default_max_length=6)
+
+
+class TestQueryExecution:
+    def test_text_query(self, engine) -> None:
+        result = engine.query('MATCH ANY SHORTEST TRAIL p = (?x {name: "Moe"})-[:Knows]->+(?y)')
+        assert len(result) == 3
+        assert all(path.first() == "n1" for path in result.paths)
+        assert result.elapsed_seconds >= 0.0
+
+    def test_intro_query_simple_paths(self, engine) -> None:
+        result = engine.query(
+            'MATCH ALL SIMPLE p = (?x {name: "Moe"})-[(:Knows+)|((:Likes/:Has_creator)+)]->'
+            '(?y {name: "Apu"})'
+        )
+        assert {path.interleaved() for path in result} == {
+            ("n1", "e1", "n2", "e4", "n4"),
+            ("n1", "e8", "n6", "e11", "n3", "e7", "n7", "e10", "n4"),
+        }
+
+    def test_extended_style_query(self, engine) -> None:
+        result = engine.query(
+            "MATCH ALL PARTITIONS ALL GROUPS 1 PATHS TRAIL p = (?x)-[(:Knows)*]->(?y) "
+            "GROUP BY TARGET ORDER BY PATH"
+        )
+        # One path per distinct target node (7 nodes, all are targets of length-0 paths).
+        assert len(result) == 7
+
+    def test_query_plan_direct(self, engine) -> None:
+        plan = Recursive(Selection(label_of_edge(1, "Knows"), EdgesScan()), Restrictor.TRAIL)
+        result = engine.query_plan(plan)
+        assert len(result) == 12
+        assert result.plan == plan
+
+    def test_execute_regex(self, engine) -> None:
+        paths = engine.execute_regex("Likes/Has_creator", restrictor=Restrictor.TRAIL)
+        assert len(paths) == 4
+        assert all(path.len() == 2 for path in paths)
+
+    def test_walk_query_uses_default_bound(self, engine) -> None:
+        result = engine.query("MATCH ALL WALK p = (?x)-[Knows+]->(?y)")
+        assert all(path.len() <= 6 for path in result.paths)
+
+    def test_statistics_populated(self, engine) -> None:
+        result = engine.query("MATCH ALL TRAIL p = (?x)-[Knows+]->(?y)")
+        assert result.statistics.total_calls() > 0
+        assert result.statistics.intermediate_paths >= len(result.paths)
+
+    def test_iteration_protocol(self, engine) -> None:
+        result = engine.query("MATCH ALL TRAIL p = (?x)-[Knows]->(?y)")
+        assert len(list(result)) == len(result) == 4
+
+    def test_syntax_error_propagates(self, engine) -> None:
+        with pytest.raises(GQLSyntaxError):
+            engine.query("MATCH OOPS")
+
+
+class TestOptimization:
+    def test_optimizer_enabled_by_default(self, figure1) -> None:
+        engine = PathQueryEngine(figure1)
+        result = engine.query("MATCH ANY SHORTEST WALK p = (?x)-[:Knows]->+(?y)")
+        assert "walk-to-shortest" in result.applied_rules
+        assert len(result) == 9
+
+    def test_optimizer_can_be_disabled(self, figure1) -> None:
+        engine = PathQueryEngine(figure1, optimize=False, default_max_length=5)
+        result = engine.query("MATCH ANY SHORTEST WALK p = (?x)-[:Knows]->+(?y)")
+        assert result.applied_rules == []
+        assert result.plan == result.optimized_plan
+
+    def test_optimized_and_unoptimized_agree(self, figure1) -> None:
+        text = 'MATCH ALL TRAIL p = (?x)-[Knows/Knows]->(?y) WHERE x.name = "Moe"'
+        with_opt = PathQueryEngine(figure1, optimize=True).query(text)
+        without_opt = PathQueryEngine(figure1, optimize=False).query(text)
+        assert with_opt.paths == without_opt.paths
+
+
+class TestExplain:
+    def test_explain_reports_rules_and_costs(self, engine) -> None:
+        explanation = engine.explain("MATCH ANY SHORTEST WALK p = (?x)-[:Knows]->+(?y)")
+        assert "walk-to-shortest" in explanation.applied_rules
+        assert explanation.estimated_cost.total_cost < explanation.estimated_cost_unoptimized.total_cost
+        rendered = explanation.render()
+        assert "Logical plan:" in rendered
+        assert "ϕShortest" in rendered
+        assert "Projection" in rendered
+
+    def test_explain_plan_direct(self, engine) -> None:
+        plan = Recursive(Selection(label_of_edge(1, "Knows"), EdgesScan()), Restrictor.TRAIL)
+        explanation = engine.explain_plan(plan)
+        assert explanation.plan == plan
+        assert explanation.estimated_cost.total_cost > 0
+
+    def test_explain_without_optimizer(self, figure1) -> None:
+        engine = PathQueryEngine(figure1, optimize=False)
+        explanation = engine.explain("MATCH ALL TRAIL p = (?x)-[Knows]->(?y)")
+        assert explanation.applied_rules == []
+
+
+class TestOnOtherGraphs:
+    def test_engine_on_chain_graph(self) -> None:
+        engine = PathQueryEngine(chain_graph(6))
+        result = engine.query("MATCH ALL WALK p = (?x)-[Knows+]->(?y)")
+        # A 6-node chain has 5+4+3+2+1 = 15 walks of length >= 1.
+        assert len(result) == 15
+
+    def test_engine_reuse_across_queries(self, engine) -> None:
+        first = engine.query("MATCH ALL TRAIL p = (?x)-[Knows]->(?y)")
+        second = engine.query("MATCH ALL TRAIL p = (?x)-[Likes]->(?y)")
+        assert len(first) == 4
+        assert len(second) == 4

@@ -1,0 +1,182 @@
+"""Tests for the algebra evaluator: core operators and the worked figures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.conditions import label_of_edge, prop_of_first, prop_of_last
+from repro.algebra.evaluator import Evaluator, evaluate, evaluate_to_paths
+from repro.algebra.expressions import (
+    EdgesScan,
+    GroupBy,
+    Join,
+    NodesScan,
+    OrderBy,
+    Projection,
+    Recursive,
+    Selection,
+    Union,
+)
+from repro.algebra.solution_space import GroupByKey, OrderByKey, ProjectionSpec, SolutionSpace
+from repro.errors import EvaluationError
+from repro.paths.path import Path
+from repro.semantics.restrictors import Restrictor
+
+
+def knows_scan() -> Selection:
+    return Selection(label_of_edge(1, "Knows"), EdgesScan())
+
+
+class TestAtoms:
+    def test_nodes_scan(self, figure1) -> None:
+        result = evaluate_to_paths(NodesScan(), figure1)
+        assert len(result) == 7
+        assert all(path.len() == 0 for path in result)
+
+    def test_edges_scan(self, figure1) -> None:
+        result = evaluate_to_paths(EdgesScan(), figure1)
+        assert len(result) == 11
+        assert all(path.len() == 1 for path in result)
+
+
+class TestCoreOperators:
+    def test_selection(self, figure1) -> None:
+        result = evaluate_to_paths(knows_scan(), figure1)
+        assert len(result) == 4
+        assert {path.edge(1) for path in result} == {"e1", "e2", "e3", "e4"}
+
+    def test_join(self, figure1) -> None:
+        plan = Join(knows_scan(), knows_scan())
+        result = evaluate_to_paths(plan, figure1)
+        # Knows ∘ Knows paths: e1e2, e1e4, e2e3, e3e2, e3e4.
+        assert len(result) == 5
+        assert all(path.len() == 2 for path in result)
+
+    def test_union_removes_duplicates(self, figure1) -> None:
+        plan = Union(knows_scan(), knows_scan())
+        result = evaluate_to_paths(plan, figure1)
+        assert len(result) == 4
+
+    def test_figure3_friends_of_friends(self, figure1) -> None:
+        """Figure 3: σ[first.name=Moe]( Knows ∪ (Knows ⋈ Knows) )."""
+        plan = Selection(
+            prop_of_first("name", "Moe"),
+            Union(knows_scan(), Join(knows_scan(), knows_scan())),
+        )
+        result = evaluate_to_paths(plan, figure1)
+        interleaved = {path.interleaved() for path in result}
+        assert interleaved == {
+            ("n1", "e1", "n2"),
+            ("n1", "e1", "n2", "e2", "n3"),
+            ("n1", "e1", "n2", "e4", "n4"),
+        }
+
+
+class TestRecursiveOperator:
+    def test_trail_recursion(self, figure1) -> None:
+        result = evaluate_to_paths(Recursive(knows_scan(), Restrictor.TRAIL), figure1)
+        assert len(result) == 12
+
+    def test_walk_recursion_uses_default_bound(self, figure1) -> None:
+        plan = Recursive(knows_scan(), Restrictor.WALK)
+        evaluator = Evaluator(figure1, default_max_length=3)
+        result = evaluator.evaluate_paths(plan)
+        assert all(path.len() <= 3 for path in result)
+
+    def test_explicit_bound_overrides_nothing_set(self, figure1) -> None:
+        plan = Recursive(knows_scan(), Restrictor.WALK, max_length=2)
+        result = evaluate_to_paths(plan, figure1)
+        assert all(path.len() <= 2 for path in result)
+
+    def test_figure4_star_with_nodes_union(self, figure1) -> None:
+        """Figure 4 (right branch): ϕ(Likes ⋈ Has_creator) ∪ Nodes(G)."""
+        likes = Selection(label_of_edge(1, "Likes"), EdgesScan())
+        creator = Selection(label_of_edge(1, "Has_creator"), EdgesScan())
+        plan = Union(Recursive(Join(likes, creator), Restrictor.ACYCLIC), NodesScan())
+        result = evaluate_to_paths(plan, figure1)
+        # Every length-zero path is included (Kleene star matches the empty word).
+        for node_id in figure1.node_ids():
+            assert Path.from_node(figure1, node_id) in result
+        # And the Likes/Has_creator compositions have even length.
+        assert all(path.len() % 2 == 0 for path in result)
+
+    def test_figure2_moe_to_apu_simple(self, figure1) -> None:
+        """Figure 2 with ϕSimple: exactly the two paths quoted in the introduction."""
+        likes = Selection(label_of_edge(1, "Likes"), EdgesScan())
+        creator = Selection(label_of_edge(1, "Has_creator"), EdgesScan())
+        plan = Selection(
+            prop_of_first("name", "Moe") & prop_of_last("name", "Apu"),
+            Union(
+                Recursive(knows_scan(), Restrictor.SIMPLE),
+                Recursive(Join(likes, creator), Restrictor.SIMPLE),
+            ),
+        )
+        result = evaluate_to_paths(plan, figure1)
+        assert {path.interleaved() for path in result} == {
+            ("n1", "e1", "n2", "e4", "n4"),
+            ("n1", "e8", "n6", "e11", "n3", "e7", "n7", "e10", "n4"),
+        }
+
+
+class TestExtendedOperators:
+    def test_group_by_returns_solution_space(self, figure1) -> None:
+        plan = GroupBy(Recursive(knows_scan(), Restrictor.TRAIL), GroupByKey.ST)
+        result = evaluate(plan, figure1)
+        assert isinstance(result, SolutionSpace)
+        assert result.num_paths() == 12
+
+    def test_evaluate_paths_flattens_solution_space(self, figure1) -> None:
+        plan = GroupBy(Recursive(knows_scan(), Restrictor.TRAIL), GroupByKey.ST)
+        result = evaluate_to_paths(plan, figure1)
+        assert len(result) == 12
+
+    def test_figure5_full_pipeline(self, figure1) -> None:
+        """Figure 5: π(*,*,1)(τA(γST(ϕTrail(σKnows(Edges(G)))))) — one shortest trail per pair."""
+        plan = Projection(
+            OrderBy(
+                GroupBy(Recursive(knows_scan(), Restrictor.TRAIL), GroupByKey.ST),
+                OrderByKey.A,
+            ),
+            ProjectionSpec("*", "*", 1),
+        )
+        result = evaluate_to_paths(plan, figure1)
+        trails = evaluate_to_paths(Recursive(knows_scan(), Restrictor.TRAIL), figure1)
+        pairs = {path.endpoints() for path in trails}
+        assert len(result) == len(pairs)
+        by_pair = trails.group_by_endpoints()
+        for path in result:
+            assert path.len() == min(p.len() for p in by_pair[path.endpoints()])
+
+    def test_projection_of_bare_path_set_wraps_in_group_by(self, figure1) -> None:
+        plan = Projection(knows_scan(), ProjectionSpec("*", "*", 2))
+        result = evaluate_to_paths(plan, figure1)
+        assert len(result) == 2
+
+    def test_order_by_requires_solution_space(self, figure1) -> None:
+        with pytest.raises(EvaluationError):
+            evaluate(OrderBy(knows_scan(), OrderByKey.A), figure1)
+
+    def test_selection_rejects_solution_space_input(self, figure1) -> None:
+        plan = Selection(label_of_edge(1, "Knows"), GroupBy(knows_scan(), GroupByKey.ST))
+        with pytest.raises(EvaluationError):
+            evaluate(plan, figure1)
+
+
+class TestStatistics:
+    def test_operator_statistics_recorded(self, figure1) -> None:
+        evaluator = Evaluator(figure1)
+        plan = Union(knows_scan(), Join(knows_scan(), knows_scan()))
+        evaluator.evaluate(plan)
+        stats = evaluator.statistics
+        assert stats.operator_calls["Edges(G)"] == 3
+        assert stats.operator_calls["∪"] == 1
+        assert stats.operator_calls["⋈"] == 1
+        assert stats.total_calls() == 3 + 3 + 1 + 1
+        assert stats.intermediate_paths > 0
+
+    def test_unknown_expression_type_rejected(self, figure1) -> None:
+        class Strange:  # not an Expression subclass
+            pass
+
+        with pytest.raises(EvaluationError):
+            Evaluator(figure1)._eval(Strange())  # type: ignore[arg-type]

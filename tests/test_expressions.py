@@ -1,0 +1,147 @@
+"""Tests for the expression IR and the plan printers."""
+
+from __future__ import annotations
+
+from repro.algebra.conditions import label_of_edge, prop_of_first
+from repro.algebra.expressions import (
+    EdgesScan,
+    GroupBy,
+    Join,
+    NodesScan,
+    OrderBy,
+    Projection,
+    Recursive,
+    Selection,
+    Union,
+    acyclic,
+    shortest,
+    simple,
+    trail,
+    walk,
+)
+from repro.algebra.printer import to_algebra_notation, to_indented_tree, to_plan_tree
+from repro.algebra.solution_space import GroupByKey, OrderByKey, ProjectionSpec
+from repro.semantics.restrictors import Restrictor
+
+
+def knows_scan() -> Selection:
+    return Selection(label_of_edge(1, "Knows"), EdgesScan())
+
+
+class TestConstruction:
+    def test_atoms_have_no_children(self) -> None:
+        assert NodesScan().children() == ()
+        assert EdgesScan().children() == ()
+
+    def test_children_and_depth(self) -> None:
+        plan = Union(knows_scan(), Join(knows_scan(), knows_scan()))
+        assert len(plan.children()) == 2
+        assert plan.depth() == 4  # Union -> Join -> Selection -> EdgesScan
+        assert plan.count_operators() == 8
+
+    def test_iter_subtree_preorder(self) -> None:
+        plan = Selection(prop_of_first("name", "Moe"), EdgesScan())
+        nodes = list(plan.iter_subtree())
+        assert isinstance(nodes[0], Selection)
+        assert isinstance(nodes[1], EdgesScan)
+
+    def test_structural_equality(self) -> None:
+        assert knows_scan() == knows_scan()
+        assert Join(knows_scan(), EdgesScan()) == Join(knows_scan(), EdgesScan())
+        assert Join(knows_scan(), EdgesScan()) != Join(EdgesScan(), knows_scan())
+        assert Recursive(knows_scan(), Restrictor.TRAIL) != Recursive(
+            knows_scan(), Restrictor.SIMPLE
+        )
+
+    def test_fluent_builders(self) -> None:
+        plan = (
+            EdgesScan()
+            .select(label_of_edge(1, "Knows"))
+            .recursive(Restrictor.TRAIL)
+            .group_by("ST")
+            .order_by("A")
+            .project("*", "*", 1)
+        )
+        assert isinstance(plan, Projection)
+        assert plan.spec == ProjectionSpec("*", "*", 1)
+        assert isinstance(plan.child, OrderBy)
+        assert plan.child.key is OrderByKey.A
+        assert isinstance(plan.child.child, GroupBy)
+        assert plan.child.child.key is GroupByKey.ST
+        assert isinstance(plan.child.child.child, Recursive)
+
+    def test_phi_shorthands(self) -> None:
+        base = knows_scan()
+        assert walk(base).restrictor is Restrictor.WALK
+        assert trail(base).restrictor is Restrictor.TRAIL
+        assert acyclic(base).restrictor is Restrictor.ACYCLIC
+        assert simple(base).restrictor is Restrictor.SIMPLE
+        assert shortest(base).restrictor is Restrictor.SHORTEST
+        assert walk(base, max_length=5).max_length == 5
+
+    def test_returns_solution_space_flags(self) -> None:
+        base = knows_scan()
+        assert not base.returns_solution_space()
+        assert GroupBy(base, GroupByKey.ST).returns_solution_space()
+        assert OrderBy(GroupBy(base, GroupByKey.ST), OrderByKey.A).returns_solution_space()
+        assert not Projection(GroupBy(base, GroupByKey.ST)).returns_solution_space()
+
+
+class TestAlgebraNotation:
+    def test_core_operators(self) -> None:
+        plan = Union(knows_scan(), Join(knows_scan(), NodesScan()))
+        text = to_algebra_notation(plan)
+        assert "∪" in text
+        assert "⋈" in text
+        assert "σ[label(edge(1)) = 'Knows'](Edges(G))" in text
+        assert "Nodes(G)" in text
+
+    def test_recursive_and_extended_operators(self) -> None:
+        plan = (
+            knows_scan()
+            .recursive(Restrictor.WALK)
+            .group_by("ST")
+            .order_by("A")
+            .project("*", "*", 1)
+        )
+        text = to_algebra_notation(plan)
+        assert text == (
+            "π(*,*,1)(τA(γST(ϕWalk(σ[label(edge(1)) = 'Knows'](Edges(G))))))"
+        )
+
+    def test_bounded_recursion_notation(self) -> None:
+        assert "≤3" in to_algebra_notation(walk(knows_scan(), max_length=3))
+
+
+class TestPlanTree:
+    def test_section72_style_output(self) -> None:
+        plan = (
+            knows_scan()
+            .recursive(Restrictor.TRAIL)
+            .group_by("T")
+            .order_by("A")
+            .project("*", "*", 1)
+        )
+        tree = to_plan_tree(plan)
+        lines = tree.splitlines()
+        assert lines[0] == "1 Projection (ALL PARTITIONS ALL GROUPS 1 PATHS)"
+        assert lines[1] == "2 OrderBy (Path)"
+        assert lines[2] == "3 Group (Target)"
+        assert lines[3] == "4 Restrictor (TRAIL)"
+        assert "Recursive Join (restrictor: TRAIL)" in lines[4]
+        assert "Select: (label(edge(1)) = 'Knows')" in lines[5]
+        assert "EDGES(G)" in lines[6]
+
+    def test_plain_query_tree(self) -> None:
+        plan = Union(knows_scan(), knows_scan())
+        tree = to_plan_tree(plan)
+        assert "Union" in tree
+        assert tree.count("Select:") == 2
+
+    def test_indented_tree(self) -> None:
+        plan = Join(knows_scan(), NodesScan())
+        tree = to_indented_tree(plan)
+        lines = tree.splitlines()
+        assert lines[0] == "⋈"
+        assert lines[1].startswith("  ")
+        assert any("Nodes(G)" in line for line in lines)

@@ -1,0 +1,247 @@
+"""Tests for the extended-GQL lexer, parser and planner (Section 7.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.conditions import LengthCondition, PropertyCondition
+from repro.algebra.evaluator import evaluate_to_paths
+from repro.algebra.expressions import GroupBy, OrderBy, Projection, Recursive, Selection
+from repro.algebra.printer import to_algebra_notation, to_plan_tree
+from repro.algebra.solution_space import ALL, GroupByKey, OrderByKey
+from repro.errors import GQLSyntaxError
+from repro.gql.lexer import TokenKind, tokenize
+from repro.gql.parser import parse_query
+from repro.gql.planner import plan_query, plan_text
+from repro.rpq.ast import Concat, Label, Plus, Star
+from repro.semantics.restrictors import Restrictor
+from repro.semantics.selectors import SelectorKind
+
+PAPER_QUERY = (
+    "MATCH ALL PARTITIONS ALL GROUPS 1 PATHS "
+    "TRAIL p = (?x)-[(:Knows)*]->(?y) "
+    "GROUP BY TARGET ORDER BY PATH"
+)
+
+
+class TestLexer:
+    def test_keywords_are_case_insensitive(self) -> None:
+        tokens = tokenize("match All shortest")
+        assert [token.value for token in tokens[:-1]] == ["MATCH", "ALL", "SHORTEST"]
+        assert all(token.kind == TokenKind.KEYWORD for token in tokens[:-1])
+
+    def test_identifiers_strings_numbers(self) -> None:
+        tokens = tokenize('person42 "Moe Szyslak" 17')
+        assert tokens[0].kind == TokenKind.IDENTIFIER
+        assert tokens[1].kind == TokenKind.STRING
+        assert tokens[1].value == "Moe Szyslak"
+        assert tokens[2].kind == TokenKind.NUMBER
+
+    def test_multi_char_punctuation(self) -> None:
+        tokens = tokenize("-> <= >= !=")
+        assert [token.value for token in tokens[:-1]] == ["->", "<=", ">=", "!="]
+
+    def test_positions_tracked(self) -> None:
+        tokens = tokenize("MATCH\n  ALL")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+    def test_unterminated_string(self) -> None:
+        with pytest.raises(GQLSyntaxError):
+            tokenize('MATCH "oops')
+
+    def test_unexpected_character(self) -> None:
+        with pytest.raises(GQLSyntaxError):
+            tokenize("MATCH $")
+
+
+class TestParserExtendedStyle:
+    def test_paper_sample_query(self) -> None:
+        query = parse_query(PAPER_QUERY)
+        assert query.projection is not None
+        assert (query.projection.partitions, query.projection.groups, query.projection.paths) == (
+            ALL,
+            ALL,
+            1,
+        )
+        assert query.restrictor is Restrictor.TRAIL
+        assert query.group_by is GroupByKey.T
+        assert query.order_by is OrderByKey.A
+        assert query.selector is None
+        assert query.pattern.regex == Star(Label("Knows"))
+        assert query.pattern.source.variable == "x"
+        assert query.pattern.target.variable == "y"
+
+    def test_numeric_projection_counts(self) -> None:
+        query = parse_query(
+            "MATCH 2 PARTITIONS 3 GROUPS 4 PATHS WALK p = (?x)-[Knows]->(?y)"
+        )
+        assert (query.projection.partitions, query.projection.groups, query.projection.paths) == (
+            2,
+            3,
+            4,
+        )
+
+    def test_group_by_multiple_keys(self) -> None:
+        query = parse_query(
+            "MATCH ALL PARTITIONS ALL GROUPS ALL PATHS TRAIL p = (?x)-[Knows]->(?y) "
+            "GROUP BY SOURCE TARGET LENGTH ORDER BY PARTITION GROUP PATH"
+        )
+        assert query.group_by is GroupByKey.STL
+        assert query.order_by is OrderByKey.PGA
+
+    def test_shortest_restrictor(self) -> None:
+        query = parse_query(
+            "MATCH ALL PARTITIONS ALL GROUPS ALL PATHS SHORTEST p = (?x)-[Knows+]->(?y)"
+        )
+        assert query.restrictor is Restrictor.SHORTEST
+
+
+class TestParserSelectorStyle:
+    def test_any_shortest_trail(self) -> None:
+        query = parse_query("MATCH ANY SHORTEST TRAIL p = (?x)-[:Knows]->+(?y)")
+        assert query.selector is not None
+        assert query.selector.kind is SelectorKind.ANY_SHORTEST
+        assert query.restrictor is Restrictor.TRAIL
+        # The ]->+ form applies Kleene plus to the bracketed regex.
+        assert query.pattern.regex == Plus(Label("Knows"))
+
+    def test_plain_restrictor_defaults_to_all_selector_in_planner(self) -> None:
+        query = parse_query("MATCH SIMPLE p = (?x)-[Knows+]->(?y)")
+        assert query.selector is None
+        assert query.restrictor is Restrictor.SIMPLE
+
+    def test_selector_with_k(self) -> None:
+        query = parse_query("MATCH SHORTEST 3 WALK p = (?x)-[Knows+]->(?y)")
+        assert query.selector.kind is SelectorKind.SHORTEST_K
+        assert query.selector.k == 3
+
+    def test_shortest_k_group_selector(self) -> None:
+        query = parse_query("MATCH SHORTEST 2 GROUP ACYCLIC p = (?x)-[Knows+]->(?y)")
+        assert query.selector.kind is SelectorKind.SHORTEST_K_GROUP
+        assert query.restrictor is Restrictor.ACYCLIC
+
+    def test_any_k_selector(self) -> None:
+        query = parse_query("MATCH ANY 5 TRAIL p = (?x)-[Knows+]->(?y)")
+        assert query.selector.kind is SelectorKind.ANY_K
+        assert query.selector.k == 5
+
+    def test_missing_restrictor_defaults_to_walk(self) -> None:
+        query = parse_query("MATCH ALL SHORTEST p = (?x)-[Knows+]->(?y)")
+        assert query.selector.kind is SelectorKind.ALL_SHORTEST
+        assert query.restrictor is Restrictor.WALK
+
+
+class TestNodePatternsAndWhere:
+    def test_inline_properties(self) -> None:
+        query = parse_query(
+            'MATCH ALL TRAIL p = (?x :Person {name: "Moe", age: 40})-[Knows+]->(?y {name: "Apu"})'
+        )
+        assert query.pattern.source.label == "Person"
+        assert query.pattern.source.properties == {"name": "Moe", "age": 40}
+        assert query.pattern.target.properties == {"name": "Apu"}
+
+    def test_anonymous_nodes(self) -> None:
+        query = parse_query("MATCH ALL TRAIL p = ()-[Knows]->()")
+        assert query.pattern.source.variable is None
+        assert query.pattern.target.variable is None
+
+    def test_where_clause_with_variables(self) -> None:
+        query = parse_query(
+            'MATCH ALL TRAIL p = (?x)-[Knows+]->(?y) WHERE x.name = "Moe" AND y.name = "Apu"'
+        )
+        assert query.pattern.where is not None
+
+    def test_where_clause_paper_functions(self) -> None:
+        query = parse_query(
+            'MATCH ALL TRAIL p = (?x)-[Knows+]->(?y) '
+            'WHERE label(edge(1)) = "Knows" AND len() <= 3 AND NOT (first.name = "Bart")'
+        )
+        assert query.pattern.where is not None
+
+    def test_where_unknown_variable_rejected(self) -> None:
+        with pytest.raises(GQLSyntaxError):
+            parse_query('MATCH ALL TRAIL p = (?x)-[Knows]->(?y) WHERE z.name = "Moe"')
+
+    def test_where_positional_properties(self) -> None:
+        query = parse_query(
+            'MATCH ALL TRAIL p = (?x)-[Knows+]->(?y) WHERE node(2).name = "Lisa" AND edge(1).since >= 2005'
+        )
+        conjuncts = query.pattern.where
+        assert conjuncts is not None
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "FETCH ALL TRAIL p = (?x)-[Knows]->(?y)",          # wrong verb
+            "MATCH ALL PARTITIONS TRAIL p = (?x)-[Knows]->(?y)",  # incomplete projection
+            "MATCH ALL TRAIL p = (?x)-[Knows]-(?y)",           # missing arrow
+            "MATCH ALL TRAIL p = (?x)-[]->(?y)",               # empty regex
+            "MATCH ALL TRAIL p = (?x)-[Knows]->(?y) ORDER BY", # empty order by
+            "MATCH ALL TRAIL p = (?x)-[Knows]->(?y) extra",    # trailing tokens
+            "MATCH ALL TRAIL p = (?x-[Knows]->(?y)",           # malformed node
+        ],
+    )
+    def test_rejected(self, bad: str) -> None:
+        with pytest.raises(GQLSyntaxError):
+            parse_query(bad)
+
+
+class TestPlanner:
+    def test_paper_query_plan_notation(self) -> None:
+        plan = plan_text(PAPER_QUERY)
+        assert to_algebra_notation(plan) == (
+            "π(*,*,1)(τA(γT((ϕTrail(σ[label(edge(1)) = 'Knows'](Edges(G))) ∪ Nodes(G)))))"
+        )
+
+    def test_paper_query_plan_tree_header(self) -> None:
+        tree = to_plan_tree(plan_text(PAPER_QUERY))
+        assert tree.splitlines()[0] == "1 Projection (ALL PARTITIONS ALL GROUPS 1 PATHS)"
+        assert "OrderBy (Path)" in tree
+        assert "Group (Target)" in tree
+
+    def test_selector_style_plan_uses_table7(self) -> None:
+        plan = plan_text("MATCH ANY SHORTEST TRAIL p = (?x)-[:Knows]->+(?y)")
+        assert isinstance(plan, Projection)
+        assert isinstance(plan.child, OrderBy)
+        assert isinstance(plan.child.child, GroupBy)
+        assert plan.child.child.key is GroupByKey.ST
+
+    def test_endpoint_constraints_become_selection(self) -> None:
+        plan = plan_text('MATCH ALL TRAIL p = (?x {name: "Moe"})-[Knows+]->(?y :Person)')
+        selections = [node for node in plan.iter_subtree() if isinstance(node, Selection)]
+        # One selection from the label scan plus one for the endpoints.
+        assert len(selections) >= 2
+
+    def test_plan_evaluates_on_figure1(self, figure1) -> None:
+        plan = plan_text(
+            'MATCH ALL SIMPLE p = (?x {name: "Moe"})-[(:Knows+)|((:Likes/:Has_creator)+)]->'
+            '(?y {name: "Apu"})'
+        )
+        result = evaluate_to_paths(plan, figure1)
+        assert {path.interleaved() for path in result} == {
+            ("n1", "e1", "n2", "e4", "n4"),
+            ("n1", "e8", "n6", "e11", "n3", "e7", "n7", "e10", "n4"),
+        }
+
+    def test_where_clause_is_applied(self, figure1) -> None:
+        plan = plan_text(
+            'MATCH ALL TRAIL p = (?x)-[Knows+]->(?y) WHERE x.name = "Moe" AND len() = 1'
+        )
+        result = evaluate_to_paths(plan, figure1)
+        assert {path.interleaved() for path in result} == {("n1", "e1", "n2")}
+
+    def test_max_length_forwarded_to_walk(self, figure1) -> None:
+        plan = plan_text("MATCH ALL WALK p = (?x)-[Knows+]->(?y)", max_length=2)
+        recursive = next(node for node in plan.iter_subtree() if isinstance(node, Recursive))
+        assert recursive.max_length == 2
+        result = evaluate_to_paths(plan, figure1)
+        assert all(path.len() <= 2 for path in result)
+
+    def test_group_by_defaults_to_no_key(self) -> None:
+        plan = plan_text("MATCH ALL PARTITIONS ALL GROUPS ALL PATHS TRAIL p = (?x)-[Knows]->(?y)")
+        group = next(node for node in plan.iter_subtree() if isinstance(node, GroupBy))
+        assert group.key is GroupByKey.NONE

@@ -1,0 +1,172 @@
+"""Unit tests for the property-graph model (Definition 2.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DuplicateObjectError, InvalidEdgeError, UnknownObjectError
+from repro.graph.model import PropertyGraph
+
+
+@pytest.fixture
+def graph() -> PropertyGraph:
+    g = PropertyGraph("test")
+    g.add_node("n1", "Person", {"name": "Moe", "age": 40})
+    g.add_node("n2", "Person", {"name": "Lisa"})
+    g.add_node("n3", "Message")
+    g.add_edge("e1", "n1", "n2", "Knows", {"since": 2010})
+    g.add_edge("e2", "n2", "n3", "Likes")
+    return g
+
+
+class TestNodeAccess:
+    def test_node_lookup(self, graph: PropertyGraph) -> None:
+        node = graph.node("n1")
+        assert node.id == "n1"
+        assert node.label == "Person"
+        assert node.property("name") == "Moe"
+
+    def test_node_property_default(self, graph: PropertyGraph) -> None:
+        assert graph.node("n3").property("missing", "fallback") == "fallback"
+
+    def test_unknown_node_raises(self, graph: PropertyGraph) -> None:
+        with pytest.raises(UnknownObjectError):
+            graph.node("nope")
+
+    def test_has_node(self, graph: PropertyGraph) -> None:
+        assert graph.has_node("n1")
+        assert not graph.has_node("e1")
+        assert not graph.has_node("zzz")
+
+    def test_unlabeled_node(self, graph: PropertyGraph) -> None:
+        graph.add_node("n4")
+        assert graph.node("n4").label is None
+
+
+class TestEdgeAccess:
+    def test_edge_lookup(self, graph: PropertyGraph) -> None:
+        edge = graph.edge("e1")
+        assert edge.endpoints() == ("n1", "n2")
+        assert edge.label == "Knows"
+        assert edge.property("since") == 2010
+
+    def test_unknown_edge_raises(self, graph: PropertyGraph) -> None:
+        with pytest.raises(UnknownObjectError):
+            graph.edge("e99")
+
+    def test_edge_requires_known_endpoints(self, graph: PropertyGraph) -> None:
+        with pytest.raises(InvalidEdgeError):
+            graph.add_edge("e3", "n1", "ghost", "Knows")
+        with pytest.raises(InvalidEdgeError):
+            graph.add_edge("e3", "ghost", "n1", "Knows")
+
+    def test_self_loop_allowed(self, graph: PropertyGraph) -> None:
+        edge = graph.add_edge("loop", "n1", "n1", "Knows")
+        assert edge.source == edge.target == "n1"
+
+    def test_parallel_edges_allowed(self, graph: PropertyGraph) -> None:
+        graph.add_edge("e1b", "n1", "n2", "Knows")
+        assert graph.num_edges() == 3
+
+
+class TestIdentifierDisjointness:
+    def test_duplicate_node_id(self, graph: PropertyGraph) -> None:
+        with pytest.raises(DuplicateObjectError):
+            graph.add_node("n1")
+
+    def test_duplicate_edge_id(self, graph: PropertyGraph) -> None:
+        with pytest.raises(DuplicateObjectError):
+            graph.add_edge("e1", "n1", "n2")
+
+    def test_node_edge_id_overlap_rejected(self, graph: PropertyGraph) -> None:
+        with pytest.raises(DuplicateObjectError):
+            graph.add_node("e1")
+        with pytest.raises(DuplicateObjectError):
+            graph.add_edge("n1", "n1", "n2")
+
+
+class TestObjectFunctions:
+    def test_object_dispatch(self, graph: PropertyGraph) -> None:
+        assert graph.object("n1").id == "n1"
+        assert graph.object("e1").id == "e1"
+        with pytest.raises(UnknownObjectError):
+            graph.object("zzz")
+
+    def test_label_of(self, graph: PropertyGraph) -> None:
+        assert graph.label_of("n1") == "Person"
+        assert graph.label_of("e2") == "Likes"
+        assert graph.label_of("n3") == "Message"
+
+    def test_property_of(self, graph: PropertyGraph) -> None:
+        assert graph.property_of("n1", "name") == "Moe"
+        assert graph.property_of("e1", "since") == 2010
+        assert graph.property_of("n1", "missing") is None
+
+
+class TestAdjacency:
+    def test_out_edges(self, graph: PropertyGraph) -> None:
+        assert [edge.id for edge in graph.out_edges("n1")] == ["e1"]
+        assert [edge.id for edge in graph.out_edges("n3")] == []
+
+    def test_in_edges(self, graph: PropertyGraph) -> None:
+        assert [edge.id for edge in graph.in_edges("n2")] == ["e1"]
+        assert [edge.id for edge in graph.in_edges("n1")] == []
+
+    def test_degrees(self, graph: PropertyGraph) -> None:
+        assert graph.out_degree("n2") == 1
+        assert graph.in_degree("n2") == 1
+        assert graph.out_degree("n3") == 0
+
+    def test_neighbors(self, graph: PropertyGraph) -> None:
+        assert graph.neighbors("n1") == ["n2"]
+
+    def test_adjacency_unknown_node(self, graph: PropertyGraph) -> None:
+        with pytest.raises(UnknownObjectError):
+            graph.out_edges("ghost")
+
+
+class TestLabelIndexes:
+    def test_nodes_by_label(self, graph: PropertyGraph) -> None:
+        assert {node.id for node in graph.nodes_by_label("Person")} == {"n1", "n2"}
+        assert graph.nodes_by_label("Forum") == []
+
+    def test_edges_by_label(self, graph: PropertyGraph) -> None:
+        assert [edge.id for edge in graph.edges_by_label("Knows")] == ["e1"]
+
+    def test_label_sets(self, graph: PropertyGraph) -> None:
+        assert graph.node_labels() == {"Person", "Message"}
+        assert graph.edge_labels() == {"Knows", "Likes"}
+
+
+class TestSizeAndCopy:
+    def test_counts(self, graph: PropertyGraph) -> None:
+        assert graph.num_nodes() == 3
+        assert graph.num_edges() == 2
+        assert graph.order() == 3
+        assert graph.size() == 2
+        assert len(graph) == 5
+
+    def test_contains(self, graph: PropertyGraph) -> None:
+        assert "n1" in graph
+        assert "e1" in graph
+        assert "zzz" not in graph
+
+    def test_copy_is_independent(self, graph: PropertyGraph) -> None:
+        clone = graph.copy()
+        clone.add_node("extra")
+        assert graph.num_nodes() == 3
+        assert clone.num_nodes() == 4
+        assert clone.node("n1").properties == graph.node("n1").properties
+
+    def test_subgraph_by_edge_labels(self, graph: PropertyGraph) -> None:
+        sub = graph.subgraph_by_edge_labels(["Knows"])
+        assert sub.num_nodes() == graph.num_nodes()
+        assert [edge.id for edge in sub.edges()] == ["e1"]
+
+    def test_bulk_helpers(self) -> None:
+        g = PropertyGraph()
+        g.add_nodes([("a", "Person", None), ("b", None, {"x": 1})])
+        g.add_edges([("e", "a", "b", "Knows", None)])
+        assert g.num_nodes() == 2
+        assert g.num_edges() == 1
+        assert g.node("b").property("x") == 1

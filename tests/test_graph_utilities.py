@@ -1,0 +1,152 @@
+"""Tests for the graph builder, IO round-trips, statistics and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.io import (
+    graph_from_dict,
+    graph_to_dict,
+    load_csv,
+    load_json,
+    save_csv,
+    save_json,
+)
+from repro.graph.model import PropertyGraph
+from repro.graph.stats import compute_statistics, has_directed_cycle, label_selectivity
+from repro.graph.validation import validate_graph
+from repro.datasets.figure1 import figure1_graph
+from repro.datasets.generators import chain_graph, cycle_graph
+
+
+class TestGraphBuilder:
+    def test_explicit_identifiers(self) -> None:
+        graph = (
+            GraphBuilder("g")
+            .node("a", "Person", name="A")
+            .node("b", "Person")
+            .edge("a", "b", "Knows", id="ab", since=2020)
+            .build()
+        )
+        assert graph.node("a").property("name") == "A"
+        assert graph.edge("ab").property("since") == 2020
+
+    def test_auto_identifiers(self) -> None:
+        graph = GraphBuilder().node().node().edge("n1", "n2", "Knows").build()
+        assert graph.has_node("n1")
+        assert graph.has_node("n2")
+        assert graph.has_edge("e1")
+
+    def test_chain_helper(self) -> None:
+        builder = GraphBuilder()
+        for name in ("a", "b", "c"):
+            builder.node(name)
+        graph = builder.chain(["a", "b", "c"], "Knows").build()
+        assert graph.num_edges() == 2
+        assert graph.neighbors("a") == ["b"]
+
+    def test_cycle_helper(self) -> None:
+        builder = GraphBuilder()
+        for name in ("a", "b", "c"):
+            builder.node(name)
+        graph = builder.cycle(["a", "b", "c"], "Knows").build()
+        assert graph.num_edges() == 3
+        assert has_directed_cycle(graph)
+
+
+class TestGraphIO:
+    def test_dict_round_trip(self) -> None:
+        original = figure1_graph()
+        restored = graph_from_dict(graph_to_dict(original))
+        assert restored.num_nodes() == original.num_nodes()
+        assert restored.num_edges() == original.num_edges()
+        assert restored.node("n1").property("name") == "Moe"
+        assert restored.edge("e1").label == "Knows"
+
+    def test_dict_missing_keys(self) -> None:
+        with pytest.raises(GraphError):
+            graph_from_dict({"nodes": []})
+
+    def test_json_round_trip(self, tmp_path) -> None:
+        original = figure1_graph()
+        path = tmp_path / "graph.json"
+        save_json(original, path)
+        restored = load_json(path)
+        assert restored.num_edges() == original.num_edges()
+        assert restored.edge("e11").label == "Has_creator"
+
+    def test_csv_round_trip(self, tmp_path) -> None:
+        original = figure1_graph()
+        prefix = tmp_path / "figure1"
+        nodes_path, edges_path = save_csv(original, prefix)
+        assert nodes_path.exists()
+        assert edges_path.exists()
+        restored = load_csv(prefix)
+        assert restored.num_nodes() == original.num_nodes()
+        assert restored.num_edges() == original.num_edges()
+        # CSV stores values as strings.
+        assert restored.node("n1").property("name") == "Moe"
+
+    def test_csv_missing_files(self, tmp_path) -> None:
+        with pytest.raises(GraphError):
+            load_csv(tmp_path / "missing")
+
+
+class TestStatistics:
+    def test_figure1_statistics(self) -> None:
+        stats = compute_statistics(figure1_graph())
+        assert stats.num_nodes == 7
+        assert stats.num_edges == 11
+        assert stats.edge_label_counts["Knows"] == 4
+        assert stats.node_label_counts["Person"] == 4
+        assert stats.has_cycle is True
+        assert stats.avg_out_degree == pytest.approx(11 / 7)
+
+    def test_label_fractions(self) -> None:
+        stats = compute_statistics(figure1_graph())
+        assert stats.edge_label_fraction("Knows") == pytest.approx(4 / 11)
+        assert stats.edge_label_fraction("Nope") == 0.0
+        assert stats.node_label_fraction("Message") == pytest.approx(3 / 7)
+
+    def test_empty_graph_statistics(self) -> None:
+        stats = compute_statistics(PropertyGraph())
+        assert stats.num_nodes == 0
+        assert stats.avg_out_degree == 0.0
+        assert stats.edge_label_fraction("Knows") == 0.0
+
+    def test_cycle_detection(self) -> None:
+        assert has_directed_cycle(cycle_graph(3))
+        assert not has_directed_cycle(chain_graph(5))
+
+    def test_cycle_detection_label_restricted(self) -> None:
+        graph = figure1_graph()
+        assert has_directed_cycle(graph, edge_label="Knows")
+        # Has_creator edges alone do not form a cycle.
+        assert not has_directed_cycle(graph, edge_label="Has_creator")
+
+    def test_label_selectivity(self) -> None:
+        assert label_selectivity(figure1_graph(), "Knows") == pytest.approx(4 / 11)
+
+
+class TestValidation:
+    def test_valid_graph(self) -> None:
+        report = validate_graph(figure1_graph())
+        assert report.is_valid
+        report.raise_if_invalid()
+
+    def test_isolated_node_warning(self) -> None:
+        graph = PropertyGraph()
+        graph.add_node("lonely", "Person")
+        report = validate_graph(graph)
+        assert report.is_valid
+        assert any("isolated" in warning for warning in report.warnings)
+
+    def test_unlabeled_edge_warning(self) -> None:
+        graph = PropertyGraph()
+        graph.add_node("a")
+        graph.add_node("b")
+        graph.add_edge("e", "a", "b")
+        report = validate_graph(graph)
+        assert any("unlabeled" in warning for warning in report.warnings)

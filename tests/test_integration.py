@@ -1,0 +1,134 @@
+"""End-to-end integration tests across the whole pipeline.
+
+These tests cross module boundaries on purpose: GQL text through the parser,
+planner, optimizer, logical evaluator, physical pipeline and baselines, on
+the Figure 1 graph and on generated data sets, checking that every layer
+agrees with the others.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.evaluator import evaluate_to_paths
+from repro.algebra.printer import to_algebra_notation
+from repro.baselines.automaton_eval import evaluate_rpq_pairs
+from repro.baselines.traversal import TraversalOptions, evaluate_rpq_traversal
+from repro.datasets.generators import grid_graph, layered_graph, random_graph
+from repro.datasets.ldbc import LDBCParameters, ldbc_like_graph
+from repro.engine.engine import PathQueryEngine
+from repro.engine.physical import execute_pipeline
+from repro.engine.results import bind_paths
+from repro.gql.planner import plan_text
+from repro.optimizer.engine import optimize
+from repro.rpq.automaton import build_nfa
+from repro.rpq.compile import CompileOptions, compile_regex
+from repro.semantics.restrictors import Restrictor
+
+
+class TestFrontEndToResults:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "MATCH ANY SHORTEST TRAIL p = (?x)-[:Knows]->+(?y)",
+            "MATCH ALL SHORTEST ACYCLIC p = (?x)-[:Knows]->+(?y)",
+            "MATCH ALL ACYCLIC p = (?x)-[(Likes/Has_creator)+]->(?y)",
+            "MATCH SHORTEST 2 TRAIL p = (?x)-[:Knows]->+(?y)",
+            'MATCH ALL TRAIL p = (?x)-[Knows+]->(?y) WHERE x.name = "Moe"',
+            "MATCH ALL PARTITIONS ALL GROUPS 1 PATHS TRAIL p = (?x)-[(:Knows)*]->(?y) "
+            "GROUP BY SOURCE TARGET ORDER BY PATH",
+        ],
+    )
+    def test_logical_physical_and_optimized_agree(self, figure1, query) -> None:
+        plan = plan_text(query)
+        optimized = optimize(plan).optimized
+        logical = evaluate_to_paths(plan, figure1)
+        logical_optimized = evaluate_to_paths(optimized, figure1)
+        physical = execute_pipeline(optimized, figure1)
+        assert logical == logical_optimized == physical
+
+    def test_engine_results_consumable_as_bindings(self, figure1) -> None:
+        engine = PathQueryEngine(figure1)
+        result = engine.query("MATCH ALL TRAIL p = (?x)-[:Knows]->+(?y)")
+        table = bind_paths(result.paths)
+        assert len(table) == len(result)
+        moe_rows = table.filter(lambda row: row.source_property("name") == "Moe")
+        assert {row.target_property("name") for row in moe_rows} == {"Lisa", "Bart", "Apu"}
+
+
+class TestAgainstBaselinesOnGeneratedGraphs:
+    #: Length bound shared by the algebra plan and the traversal baseline so
+    #: the acyclic-path enumeration stays small on the denser random graphs.
+    BOUND = 4
+
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: random_graph(25, 45, seed=3),
+            lambda: grid_graph(3, 3),
+            lambda: layered_graph(4, 3, seed=5),
+            lambda: ldbc_like_graph(LDBCParameters(num_persons=15, num_messages=25, seed=6)),
+        ],
+        ids=["random", "grid", "layered", "ldbc-like"],
+    )
+    @pytest.mark.parametrize("regex", ["Knows+", "(Knows/Knows)+", "(Knows|Likes)+"])
+    def test_algebra_agrees_with_traversal_baseline(self, graph_factory, regex) -> None:
+        graph = graph_factory()
+        plan = compile_regex(
+            regex, CompileOptions(restrictor=Restrictor.ACYCLIC, max_length=self.BOUND)
+        )
+        algebra_paths = evaluate_to_paths(plan, graph)
+        baseline_paths = evaluate_rpq_traversal(
+            graph,
+            regex,
+            TraversalOptions(restrictor=Restrictor.ACYCLIC, max_length=self.BOUND),
+        )
+        assert algebra_paths == baseline_paths
+
+    def test_shortest_pipeline_agrees_with_product_bfs_distances(self) -> None:
+        graph = random_graph(30, 70, labels=("Knows",), seed=9)
+        engine = PathQueryEngine(graph)
+        result = engine.query("MATCH ANY SHORTEST WALK p = (?x)-[:Knows]->+(?y)")
+        distances = evaluate_rpq_pairs(graph, "Knows+").distances
+        assert {p.endpoints() for p in result.paths} == set(distances)
+        for path in result.paths:
+            assert path.len() == distances[path.endpoints()]
+
+    def test_result_label_words_match_the_regex(self) -> None:
+        graph = ldbc_like_graph(LDBCParameters(num_persons=20, num_messages=30, seed=11))
+        regex = "(Likes/Has_creator)+|Knows"
+        nfa = build_nfa(regex)
+        plan = compile_regex(regex, CompileOptions(restrictor=Restrictor.TRAIL, max_length=6))
+        for path in evaluate_to_paths(plan, graph):
+            assert nfa.accepts(path.label_sequence())
+
+
+class TestOptimizerEndToEnd:
+    def test_walk_to_shortest_makes_unbounded_query_terminate(self) -> None:
+        graph = random_graph(30, 90, labels=("Knows",), seed=2)  # cyclic with high probability
+        engine_with = PathQueryEngine(graph, optimize=True)
+        result = engine_with.query("MATCH ANY SHORTEST WALK p = (?x)-[:Knows]->+(?y)")
+        assert len(result) > 0
+        assert "walk-to-shortest" in result.applied_rules
+
+    def test_pushdown_visible_in_explain_and_harmless_to_results(self, figure1) -> None:
+        engine = PathQueryEngine(figure1)
+        text = 'MATCH ALL TRAIL p = (?x)-[Knows/Knows]->(?y) WHERE x.name = "Moe"'
+        explanation = engine.explain(text)
+        assert "push-selection" in " ".join(explanation.applied_rules)
+        assert "σ" in to_algebra_notation(explanation.optimized_plan)
+        unopt = PathQueryEngine(figure1, optimize=False).query(text)
+        assert engine.query(text).paths == unopt.paths
+
+
+class TestRoundTripsAcrossStorage:
+    def test_query_results_survive_graph_serialization(self, tmp_path, figure1) -> None:
+        from repro.graph.io import load_json, save_json
+
+        path = tmp_path / "figure1.json"
+        save_json(figure1, path)
+        reloaded = load_json(path)
+        query = "MATCH ANY SHORTEST TRAIL p = (?x)-[:Knows]->+(?y)"
+        original = {p.interleaved() for p in PathQueryEngine(figure1).query(query).paths}
+        roundtrip = {p.interleaved() for p in PathQueryEngine(reloaded).query(query).paths}
+        assert original == roundtrip

@@ -1,0 +1,172 @@
+"""Unit tests for paths and the Section 3.1 path operators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidPathError, PathConcatenationError
+from repro.paths import operators
+from repro.paths.path import Path
+
+
+class TestConstruction:
+    def test_from_node(self, figure1) -> None:
+        path = Path.from_node(figure1, "n1")
+        assert path.len() == 0
+        assert path.first() == path.last() == "n1"
+
+    def test_from_edge(self, figure1) -> None:
+        path = Path.from_edge(figure1, "e1")
+        assert path.len() == 1
+        assert path.first() == "n1"
+        assert path.last() == "n2"
+
+    def test_from_interleaved(self, figure1) -> None:
+        path = Path.from_interleaved(figure1, ("n1", "e1", "n2", "e2", "n3"))
+        assert path.len() == 2
+        assert path.node_ids == ("n1", "n2", "n3")
+        assert path.edge_ids == ("e1", "e2")
+
+    def test_from_interleaved_even_length_rejected(self, figure1) -> None:
+        with pytest.raises(InvalidPathError):
+            Path.from_interleaved(figure1, ("n1", "e1"))
+
+    def test_empty_path_rejected(self, figure1) -> None:
+        with pytest.raises(InvalidPathError):
+            Path(figure1, [])
+
+    def test_node_edge_count_mismatch(self, figure1) -> None:
+        with pytest.raises(InvalidPathError):
+            Path(figure1, ["n1", "n2"], [])
+
+    def test_unknown_node_rejected(self, figure1) -> None:
+        with pytest.raises(InvalidPathError):
+            Path(figure1, ["ghost"])
+
+    def test_disconnected_edge_rejected(self, figure1) -> None:
+        # e1 connects n1 to n2, not n1 to n3.
+        with pytest.raises(InvalidPathError):
+            Path(figure1, ["n1", "n3"], ["e1"])
+
+
+class TestPathOperators:
+    """The First/Last/Node/Edge/Len/Label/Prop operators of Section 3.1."""
+
+    @pytest.fixture
+    def path(self, figure1) -> Path:
+        # (n1, e1, n2, e2, n3) — Moe knows Lisa knows Bart.
+        return Path.from_interleaved(figure1, ("n1", "e1", "n2", "e2", "n3"))
+
+    def test_first_and_last(self, path: Path) -> None:
+        assert path.first() == "n1"
+        assert path.last() == "n3"
+        assert operators.first(path) == "n1"
+        assert operators.last(path) == "n3"
+
+    def test_node_positions_are_one_based(self, path: Path) -> None:
+        assert path.node(1) == "n1"
+        assert path.node(2) == "n2"
+        assert path.node(3) == "n3"
+        assert operators.node(path, 2) == "n2"
+
+    def test_edge_positions_are_one_based(self, path: Path) -> None:
+        assert path.edge(1) == "e1"
+        assert path.edge(2) == "e2"
+        assert operators.edge(path, 1) == "e1"
+
+    def test_out_of_range_positions(self, path: Path) -> None:
+        with pytest.raises(InvalidPathError):
+            path.node(0)
+        with pytest.raises(InvalidPathError):
+            path.node(4)
+        with pytest.raises(InvalidPathError):
+            path.edge(3)
+
+    def test_len(self, path: Path) -> None:
+        assert path.len() == 2
+        assert len(path) == 2
+        assert operators.length(path) == 2
+
+    def test_label_concatenation(self, path: Path) -> None:
+        assert path.label() == "KnowsKnows"
+        assert path.label_sequence() == ("Knows", "Knows")
+
+    def test_label_and_prop_of_objects(self, path: Path) -> None:
+        assert operators.label(path, "n1") == "Person"
+        assert operators.label(path, "e1") == "Knows"
+        assert operators.prop(path, "n1", "name") == "Moe"
+        assert operators.prop(path, "n1", "missing", "dflt") == "dflt"
+
+    def test_endpoints(self, path: Path) -> None:
+        assert path.endpoints() == ("n1", "n3")
+        assert path.reverse_endpoints() == ("n3", "n1")
+
+    def test_nodes_and_edges_objects(self, path: Path) -> None:
+        assert [node.id for node in path.nodes()] == ["n1", "n2", "n3"]
+        assert [edge.id for edge in path.edges()] == ["e1", "e2"]
+        assert path.first_node().property("name") == "Moe"
+        assert path.last_node().property("name") == "Bart"
+
+    def test_interleaved_round_trip(self, path: Path, figure1) -> None:
+        assert Path.from_interleaved(figure1, path.interleaved()) == path
+
+
+class TestConcatenation:
+    def test_concat_matching_endpoints(self, figure1) -> None:
+        p1 = Path.from_edge(figure1, "e1")  # n1 -> n2
+        p2 = Path.from_edge(figure1, "e2")  # n2 -> n3
+        joined = p1.concat(p2)
+        assert joined.interleaved() == ("n1", "e1", "n2", "e2", "n3")
+        assert operators.concat(p1, p2) == joined
+        assert (p1 @ p2) == joined
+
+    def test_concat_mismatch_raises(self, figure1) -> None:
+        p1 = Path.from_edge(figure1, "e1")  # n1 -> n2
+        p4 = Path.from_edge(figure1, "e3")  # n3 -> n2
+        with pytest.raises(PathConcatenationError):
+            p1.concat(p4)
+        assert not p1.can_concat(p4)
+
+    def test_concat_with_zero_length_identity(self, figure1) -> None:
+        p1 = Path.from_edge(figure1, "e1")
+        node_path = Path.from_node(figure1, "n2")
+        assert p1.concat(node_path) == p1
+        left_identity = Path.from_node(figure1, "n1")
+        assert left_identity.concat(p1) == p1
+
+    def test_prefix_suffix(self, figure1) -> None:
+        path = Path.from_interleaved(figure1, ("n1", "e1", "n2", "e2", "n3"))
+        assert path.prefix(1).interleaved() == ("n1", "e1", "n2")
+        assert path.prefix(0).interleaved() == ("n1",)
+        assert path.suffix(1).interleaved() == ("n2", "e2", "n3")
+        assert path.suffix(0).interleaved() == ("n3",)
+        with pytest.raises(InvalidPathError):
+            path.prefix(3)
+        with pytest.raises(InvalidPathError):
+            path.suffix(-1)
+
+
+class TestEqualityAndHashing:
+    def test_equality_by_sequence(self, figure1) -> None:
+        p1 = Path.from_edge(figure1, "e1")
+        p2 = Path(figure1, ["n1", "n2"], ["e1"])
+        assert p1 == p2
+        assert hash(p1) == hash(p2)
+
+    def test_inequality(self, figure1) -> None:
+        assert Path.from_edge(figure1, "e1") != Path.from_edge(figure1, "e2")
+        assert Path.from_node(figure1, "n1") != Path.from_node(figure1, "n2")
+        assert Path.from_node(figure1, "n1") != "n1"
+
+    def test_ordering_is_lexicographic_on_interleaved(self, figure1) -> None:
+        shorter = Path.from_node(figure1, "n1")
+        longer = Path.from_edge(figure1, "e1")
+        assert sorted([longer, shorter]) == [shorter, longer]
+
+    def test_usable_in_sets(self, figure1) -> None:
+        paths = {Path.from_edge(figure1, "e1"), Path(figure1, ["n1", "n2"], ["e1"])}
+        assert len(paths) == 1
+
+    def test_str_matches_paper_notation(self, figure1) -> None:
+        path = Path.from_interleaved(figure1, ("n1", "e1", "n2"))
+        assert str(path) == "(n1, e1, n2)"

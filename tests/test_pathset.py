@@ -1,0 +1,134 @@
+"""Unit tests for PathSet: the carrier of the algebra."""
+
+from __future__ import annotations
+
+from repro.paths.path import Path
+from repro.paths.pathset import PathSet
+
+
+class TestAtoms:
+    def test_nodes_of(self, figure1) -> None:
+        nodes = PathSet.nodes_of(figure1)
+        assert len(nodes) == 7
+        assert all(path.len() == 0 for path in nodes)
+
+    def test_edges_of(self, figure1) -> None:
+        edges = PathSet.edges_of(figure1)
+        assert len(edges) == 11
+        assert all(path.len() == 1 for path in edges)
+
+    def test_empty(self) -> None:
+        assert len(PathSet.empty()) == 0
+        assert not PathSet.empty()
+
+
+class TestSetBehaviour:
+    def test_duplicates_eliminated(self, figure1) -> None:
+        p = Path.from_edge(figure1, "e1")
+        paths = PathSet([p, p, Path(figure1, ["n1", "n2"], ["e1"])])
+        assert len(paths) == 1
+
+    def test_add_returns_whether_added(self, figure1) -> None:
+        paths = PathSet()
+        p = Path.from_edge(figure1, "e1")
+        assert paths.add(p) is True
+        assert paths.add(p) is False
+
+    def test_update_counts_new_items(self, figure1) -> None:
+        paths = PathSet([Path.from_edge(figure1, "e1")])
+        added = paths.update([Path.from_edge(figure1, "e1"), Path.from_edge(figure1, "e2")])
+        assert added == 1
+        assert len(paths) == 2
+
+    def test_iteration_preserves_insertion_order(self, figure1) -> None:
+        p1 = Path.from_edge(figure1, "e2")
+        p2 = Path.from_edge(figure1, "e1")
+        paths = PathSet([p1, p2])
+        assert paths.paths() == [p1, p2]
+
+    def test_contains(self, figure1) -> None:
+        p1 = Path.from_edge(figure1, "e1")
+        paths = PathSet([p1])
+        assert p1 in paths
+        assert Path.from_edge(figure1, "e2") not in paths
+
+    def test_equality_ignores_order(self, figure1) -> None:
+        p1 = Path.from_edge(figure1, "e1")
+        p2 = Path.from_edge(figure1, "e2")
+        assert PathSet([p1, p2]) == PathSet([p2, p1])
+        assert PathSet([p1]) != PathSet([p2])
+
+
+class TestAlgebraOperations:
+    def test_union(self, figure1) -> None:
+        a = PathSet([Path.from_edge(figure1, "e1")])
+        b = PathSet([Path.from_edge(figure1, "e1"), Path.from_edge(figure1, "e2")])
+        union = a.union(b)
+        assert len(union) == 2
+        assert union == (a | b)
+
+    def test_intersection_and_difference(self, figure1) -> None:
+        a = PathSet([Path.from_edge(figure1, "e1"), Path.from_edge(figure1, "e2")])
+        b = PathSet([Path.from_edge(figure1, "e2"), Path.from_edge(figure1, "e3")])
+        assert (a & b).paths() == [Path.from_edge(figure1, "e2")]
+        assert (a - b).paths() == [Path.from_edge(figure1, "e1")]
+
+    def test_filter(self, figure1) -> None:
+        edges = PathSet.edges_of(figure1)
+        knows = edges.filter(lambda p: figure1.edge(p.edge(1)).label == "Knows")
+        assert len(knows) == 4
+
+    def test_join_concatenates_compatible_pairs(self, figure1) -> None:
+        e1 = PathSet([Path.from_edge(figure1, "e1")])  # n1 -> n2
+        e2 = PathSet([Path.from_edge(figure1, "e2")])  # n2 -> n3
+        joined = e1.join(e2)
+        assert len(joined) == 1
+        assert joined.paths()[0].interleaved() == ("n1", "e1", "n2", "e2", "n3")
+
+    def test_join_with_incompatible_pairs_is_empty(self, figure1) -> None:
+        e1 = PathSet([Path.from_edge(figure1, "e1")])  # n1 -> n2
+        e8 = PathSet([Path.from_edge(figure1, "e8")])  # n1 -> n6
+        assert len(e1.join(e8)) == 0
+
+    def test_join_with_nodes_is_identity_like(self, figure1) -> None:
+        edges = PathSet.edges_of(figure1)
+        nodes = PathSet.nodes_of(figure1)
+        assert edges.join(nodes) == edges
+        assert nodes.join(edges) == edges
+
+    def test_join_is_not_commutative(self, figure1) -> None:
+        knows = PathSet([Path.from_edge(figure1, "e1")])  # n1->n2
+        likes = PathSet([Path.from_edge(figure1, "e5")])  # n2->n5
+        assert len(knows.join(likes)) == 1
+        assert len(likes.join(knows)) == 0
+
+
+class TestQueries:
+    def test_endpoints_and_lengths(self, figure1) -> None:
+        paths = PathSet(
+            [
+                Path.from_node(figure1, "n1"),
+                Path.from_edge(figure1, "e1"),
+                Path.from_interleaved(figure1, ("n1", "e1", "n2", "e2", "n3")),
+            ]
+        )
+        assert ("n1", "n3") in paths.endpoints()
+        assert paths.lengths() == [0, 1, 2]
+        assert paths.min_length() == 0
+        assert paths.max_length() == 2
+
+    def test_min_max_of_empty(self) -> None:
+        assert PathSet().min_length() is None
+        assert PathSet().max_length() is None
+
+    def test_group_by_endpoints(self, figure1) -> None:
+        paths = PathSet([Path.from_edge(figure1, "e4"), Path.from_edge(figure1, "e10")])
+        groups = paths.group_by_endpoints()
+        # e4: n2 -> n4, e10: n7 -> n4 — distinct endpoint pairs.
+        assert len(groups) == 2
+
+    def test_sorted_default_key(self, figure1) -> None:
+        long_path = Path.from_interleaved(figure1, ("n1", "e1", "n2", "e2", "n3"))
+        short_path = Path.from_node(figure1, "n4")
+        paths = PathSet([long_path, short_path])
+        assert paths.sorted() == [short_path, long_path]

@@ -1,0 +1,106 @@
+"""Tests for the walk/trail/acyclic/simple path predicates (Section 2.2, Table 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.paths.path import Path
+from repro.paths.predicates import (
+    has_repeated_edges,
+    has_repeated_nodes,
+    is_acyclic,
+    is_cycle,
+    is_simple,
+    is_trail,
+    is_walk,
+    satisfies_restrictor_name,
+)
+
+
+@pytest.fixture
+def paths(figure1):
+    """Named paths from Table 3 of the paper."""
+    make = lambda seq: Path.from_interleaved(figure1, seq)
+    return {
+        # p1 .. p6 of Table 3 (Knows+ paths starting at n1).
+        "p1": make(("n1", "e1", "n2")),
+        "p2": make(("n1", "e1", "n2", "e2", "n3", "e3", "n2")),
+        "p3": make(("n1", "e1", "n2", "e2", "n3")),
+        "p4": make(("n1", "e1", "n2", "e2", "n3", "e3", "n2", "e2", "n3")),
+        "p5": make(("n1", "e1", "n2", "e4", "n4")),
+        "p7": make(("n2", "e2", "n3", "e3", "n2")),
+        "zero": Path.from_node(figure1, "n1"),
+    }
+
+
+class TestWalk:
+    def test_every_path_is_a_walk(self, paths) -> None:
+        assert all(is_walk(path) for path in paths.values())
+
+
+class TestTrail:
+    def test_single_edge_is_trail(self, paths) -> None:
+        assert is_trail(paths["p1"])
+
+    def test_table3_trail_examples(self, paths) -> None:
+        # p2 visits n2 twice but repeats no edge: it is a trail.
+        assert is_trail(paths["p2"])
+        # p4 repeats edge e2: not a trail.
+        assert not is_trail(paths["p4"])
+
+    def test_repeated_edges_helper(self, paths) -> None:
+        assert has_repeated_edges(paths["p4"])
+        assert not has_repeated_edges(paths["p3"])
+
+
+class TestAcyclic:
+    def test_acyclic_examples(self, paths) -> None:
+        assert is_acyclic(paths["p1"])
+        assert is_acyclic(paths["p3"])
+        assert is_acyclic(paths["p5"])
+
+    def test_repeated_node_is_not_acyclic(self, paths) -> None:
+        assert not is_acyclic(paths["p2"])
+        assert not is_acyclic(paths["p7"])
+
+    def test_repeated_nodes_helper(self, paths) -> None:
+        assert has_repeated_nodes(paths["p2"])
+        assert not has_repeated_nodes(paths["p5"])
+
+    def test_zero_length_is_acyclic(self, paths) -> None:
+        assert is_acyclic(paths["zero"])
+
+
+class TestSimple:
+    def test_acyclic_paths_are_simple(self, paths) -> None:
+        assert is_simple(paths["p1"])
+        assert is_simple(paths["p5"])
+
+    def test_closed_cycle_is_simple(self, paths) -> None:
+        # p7 = (n2, e2, n3, e3, n2): first == last, interior nodes distinct.
+        assert is_simple(paths["p7"])
+        assert is_cycle(paths["p7"])
+
+    def test_interior_repetition_is_not_simple(self, paths) -> None:
+        # p2 revisits n2 in the middle, not only at the endpoints.
+        assert not is_simple(paths["p2"])
+        assert not is_simple(paths["p4"])
+
+    def test_zero_length_path_is_simple_but_not_cycle(self, paths) -> None:
+        assert is_simple(paths["zero"])
+        assert not is_cycle(paths["zero"])
+
+
+class TestRestrictorNameDispatch:
+    def test_names_case_insensitive(self, paths) -> None:
+        assert satisfies_restrictor_name(paths["p2"], "trail")
+        assert not satisfies_restrictor_name(paths["p2"], "ACYCLIC")
+        assert satisfies_restrictor_name(paths["p7"], "Simple")
+        assert satisfies_restrictor_name(paths["p4"], "WALK")
+
+    def test_shortest_is_accepted_at_path_level(self, paths) -> None:
+        assert satisfies_restrictor_name(paths["p4"], "SHORTEST")
+
+    def test_unknown_restrictor(self, paths) -> None:
+        with pytest.raises(ValueError):
+            satisfies_restrictor_name(paths["p1"], "ZIGZAG")

@@ -1,0 +1,222 @@
+"""Tests for the recursive operator ϕ and its five restrictor variants (Section 4, Table 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NonTerminatingQueryError
+from repro.paths.path import Path
+from repro.paths.pathset import PathSet
+from repro.paths.predicates import is_acyclic, is_simple, is_trail
+from repro.semantics.restrictors import (
+    Restrictor,
+    filter_by_restrictor,
+    recursive_closure,
+    recursive_closure_postfilter,
+    shortest_paths_per_pair,
+)
+
+
+def _table3_path(graph, *sequence: str) -> Path:
+    return Path.from_interleaved(graph, sequence)
+
+
+class TestWalkClosure:
+    def test_walk_on_acyclic_input_terminates_without_bound(self, small_chain) -> None:
+        edges = PathSet.edges_of(small_chain)
+        closure = recursive_closure(edges, Restrictor.WALK)
+        # A chain of 5 nodes has 4 + 3 + 2 + 1 = 10 sub-paths of length >= 1.
+        assert len(closure) == 10
+
+    def test_walk_on_cyclic_input_raises_without_bound(self, knows_edges) -> None:
+        with pytest.raises(NonTerminatingQueryError):
+            recursive_closure(knows_edges, Restrictor.WALK)
+
+    def test_walk_with_bound_terminates_on_cycles(self, knows_edges) -> None:
+        closure = recursive_closure(knows_edges, Restrictor.WALK, max_length=4)
+        assert all(path.len() <= 4 for path in closure)
+        assert len(closure) > len(knows_edges)
+
+    def test_walk_closure_contains_base(self, knows_edges) -> None:
+        closure = recursive_closure(knows_edges, Restrictor.WALK, max_length=3)
+        for path in knows_edges:
+            assert path in closure
+
+    def test_walk_includes_non_trail_paths(self, figure1, knows_edges) -> None:
+        closure = recursive_closure(knows_edges, Restrictor.WALK, max_length=4)
+        # p4 repeats edge e2 (a walk but not a trail).
+        p4 = _table3_path(figure1, "n1", "e1", "n2", "e2", "n3", "e3", "n2", "e2", "n3")
+        assert p4 in closure
+
+    def test_zero_length_base_is_fixed_point(self, figure1) -> None:
+        nodes = PathSet.nodes_of(figure1)
+        assert recursive_closure(nodes, Restrictor.WALK) == nodes
+
+
+class TestTable3Membership:
+    """Membership of the fourteen named paths of Table 3 under each semantics."""
+
+    @pytest.fixture
+    def table3(self, figure1):
+        make = lambda *seq: _table3_path(figure1, *seq)
+        return {
+            "p1": make("n1", "e1", "n2"),
+            "p2": make("n1", "e1", "n2", "e2", "n3", "e3", "n2"),
+            "p3": make("n1", "e1", "n2", "e2", "n3"),
+            "p4": make("n1", "e1", "n2", "e2", "n3", "e3", "n2", "e2", "n3"),
+            "p5": make("n1", "e1", "n2", "e4", "n4"),
+            "p6": make("n1", "e1", "n2", "e2", "n3", "e3", "n2", "e4", "n4"),
+            "p7": make("n2", "e2", "n3", "e3", "n2"),
+            "p8": make("n2", "e2", "n3", "e3", "n2", "e2", "n3", "e3", "n2"),
+            "p9": make("n2", "e2", "n3"),
+            "p10": make("n2", "e2", "n3", "e3", "n2", "e2", "n3"),
+            "p11": make("n2", "e4", "n4"),
+            "p12": make("n2", "e2", "n3", "e3", "n2", "e4", "n4"),
+            "p13": make("n3", "e3", "n2", "e4", "n4"),
+            "p14": make("n3", "e3", "n2", "e2", "n3", "e3", "n2", "e4", "n4"),
+        }
+
+    def test_all_table3_paths_are_walks(self, knows_edges, table3) -> None:
+        walks = recursive_closure(knows_edges, Restrictor.WALK, max_length=8)
+        for name, path in table3.items():
+            assert path in walks, f"{name} should be a Knows+ walk"
+
+    def test_trail_membership(self, knows_edges, table3) -> None:
+        trails = recursive_closure(knows_edges, Restrictor.TRAIL)
+        expected_trails = {"p1", "p2", "p3", "p5", "p6", "p7", "p9", "p11", "p12", "p13"}
+        for name, path in table3.items():
+            assert (path in trails) == (name in expected_trails), name
+
+    def test_acyclic_membership(self, knows_edges, table3) -> None:
+        acyclic = recursive_closure(knows_edges, Restrictor.ACYCLIC)
+        expected = {"p1", "p3", "p5", "p9", "p11", "p13"}
+        for name, path in table3.items():
+            assert (path in acyclic) == (name in expected), name
+
+    def test_simple_membership(self, knows_edges, table3) -> None:
+        simple = recursive_closure(knows_edges, Restrictor.SIMPLE)
+        # Simple adds the closed cycle p7 to the acyclic paths.
+        expected = {"p1", "p3", "p5", "p7", "p9", "p11", "p13"}
+        for name, path in table3.items():
+            assert (path in simple) == (name in expected), name
+
+    def test_shortest_membership(self, knows_edges, table3) -> None:
+        shortest = recursive_closure(knows_edges, Restrictor.SHORTEST)
+        # Shortest Knows+ paths per endpoint pair among the Table 3 paths.
+        expected = {"p1", "p3", "p5", "p7", "p9", "p11", "p13"}
+        for name, path in table3.items():
+            assert (path in shortest) == (name in expected), name
+
+    def test_intro_path1_is_simple_answer(self, knows_edges, figure1) -> None:
+        simple = recursive_closure(knows_edges, Restrictor.SIMPLE)
+        path1 = _table3_path(figure1, "n1", "e1", "n2", "e4", "n4")
+        assert path1 in simple
+
+
+class TestRestrictedClosureInvariants:
+    def test_trail_closure_contains_only_trails(self, knows_edges) -> None:
+        assert all(is_trail(path) for path in recursive_closure(knows_edges, Restrictor.TRAIL))
+
+    def test_acyclic_closure_contains_only_acyclic(self, knows_edges) -> None:
+        assert all(
+            is_acyclic(path) for path in recursive_closure(knows_edges, Restrictor.ACYCLIC)
+        )
+
+    def test_simple_closure_contains_only_simple(self, knows_edges) -> None:
+        assert all(is_simple(path) for path in recursive_closure(knows_edges, Restrictor.SIMPLE))
+
+    def test_closures_are_nested(self, knows_edges) -> None:
+        trails = recursive_closure(knows_edges, Restrictor.TRAIL)
+        acyclic = recursive_closure(knows_edges, Restrictor.ACYCLIC)
+        simple = recursive_closure(knows_edges, Restrictor.SIMPLE)
+        # acyclic ⊆ simple ⊆ trail? No: simple ⊆ trail only when no parallel
+        # edges close a 2-cycle; but acyclic ⊆ simple always, and acyclic ⊆ trail.
+        for path in acyclic:
+            assert path in simple
+            assert path in trails
+
+    def test_terminates_on_cyclic_graphs(self, small_cycle) -> None:
+        edges = PathSet.edges_of(small_cycle)
+        for restrictor in (Restrictor.TRAIL, Restrictor.ACYCLIC, Restrictor.SIMPLE, Restrictor.SHORTEST):
+            closure = recursive_closure(edges, restrictor)
+            assert len(closure) > 0
+
+    def test_max_length_respected_by_restricted_closures(self, knows_edges) -> None:
+        trails = recursive_closure(knows_edges, Restrictor.TRAIL, max_length=2)
+        assert all(path.len() <= 2 for path in trails)
+
+
+class TestShortestClosure:
+    def test_one_length_per_pair(self, knows_edges) -> None:
+        shortest = recursive_closure(knows_edges, Restrictor.SHORTEST)
+        best: dict[tuple[str, str], int] = {}
+        for path in shortest:
+            best.setdefault(path.endpoints(), path.len())
+            assert path.len() == best[path.endpoints()]
+
+    def test_all_equally_short_paths_returned(self, diamond) -> None:
+        edges = PathSet.edges_of(diamond)
+        shortest = recursive_closure(edges, Restrictor.SHORTEST)
+        a_to_d = [path for path in shortest if path.endpoints() == ("a", "d")]
+        # The direct edge (length 1) beats the two length-2 paths.
+        assert len(a_to_d) == 1
+        assert a_to_d[0].len() == 1
+
+    def test_ties_are_all_kept(self, small_grid) -> None:
+        edges = PathSet.edges_of(small_grid)
+        shortest = recursive_closure(edges, Restrictor.SHORTEST)
+        corner_paths = [
+            path for path in shortest if path.endpoints() == ("v0_0", "v1_1")
+        ]
+        # Two equal-length (right-down / down-right) shortest paths.
+        assert len(corner_paths) == 2
+        assert all(path.len() == 2 for path in corner_paths)
+
+    def test_shortest_terminates_on_cycles_without_bound(self, small_cycle) -> None:
+        edges = PathSet.edges_of(small_cycle)
+        shortest = recursive_closure(edges, Restrictor.SHORTEST)
+        # n*(n-1) ordered pairs plus n full cycles back to the start node.
+        assert len(shortest) == 4 * 3 + 4
+
+    def test_agreement_with_postfilter_oracle(self, knows_edges) -> None:
+        pruned = recursive_closure(knows_edges, Restrictor.SHORTEST)
+        oracle = recursive_closure_postfilter(knows_edges, Restrictor.SHORTEST, max_length=6)
+        assert pruned == oracle
+
+
+class TestPostfilterOracle:
+    @pytest.mark.parametrize(
+        "restrictor", [Restrictor.TRAIL, Restrictor.ACYCLIC, Restrictor.SIMPLE]
+    )
+    def test_pruned_equals_postfiltered(self, knows_edges, restrictor) -> None:
+        pruned = recursive_closure(knows_edges, restrictor)
+        # max_length=4 covers every conforming Knows+ path of Figure 1
+        # (only 4 Knows edges exist, so trails have length <= 4).
+        oracle = recursive_closure_postfilter(knows_edges, restrictor, max_length=4)
+        assert pruned == oracle
+
+    def test_walk_postfilter_is_bounded_walk(self, knows_edges) -> None:
+        walks = recursive_closure(knows_edges, Restrictor.WALK, max_length=3)
+        assert recursive_closure_postfilter(knows_edges, Restrictor.WALK, max_length=3) == walks
+
+
+class TestFilterHelpers:
+    def test_filter_by_restrictor_walk_is_identity(self, knows_edges) -> None:
+        assert filter_by_restrictor(knows_edges, Restrictor.WALK) == knows_edges
+
+    def test_filter_by_restrictor_shortest(self, figure1) -> None:
+        p_short = Path.from_edge(figure1, "e4")  # n2 -> n4, length 1
+        p_long = Path.from_interleaved(figure1, ("n2", "e2", "n3", "e3", "n2", "e4", "n4"))
+        filtered = filter_by_restrictor(PathSet([p_long, p_short]), Restrictor.SHORTEST)
+        assert filtered == PathSet([p_short])
+
+    def test_shortest_paths_per_pair_keeps_ties(self, figure1) -> None:
+        p_e4 = Path.from_edge(figure1, "e4")   # n2 -> n4 via e4
+        p_e10_like = Path.from_interleaved(figure1, ("n2", "e4", "n4"))
+        assert shortest_paths_per_pair(PathSet([p_e4, p_e10_like])) == PathSet([p_e4])
+
+    def test_restrictor_parsing(self) -> None:
+        assert Restrictor.from_string("trail") is Restrictor.TRAIL
+        assert Restrictor.from_string("WALK") is Restrictor.WALK
+        with pytest.raises(ValueError):
+            Restrictor.from_string("BANANA")

@@ -1,0 +1,89 @@
+"""Tests for the binding table (tabular view of path results, group variables)."""
+
+from __future__ import annotations
+
+from repro.algebra.conditions import label_of_edge
+from repro.algebra.evaluator import evaluate_to_paths
+from repro.algebra.expressions import EdgesScan, Recursive, Selection
+from repro.engine.results import BindingTable, PathBinding, bind_paths
+from repro.paths.path import Path
+from repro.semantics.restrictors import Restrictor
+
+
+def knows_trails(graph):
+    plan = Recursive(Selection(label_of_edge(1, "Knows"), EdgesScan()), Restrictor.TRAIL)
+    return evaluate_to_paths(plan, graph)
+
+
+class TestPathBinding:
+    def test_from_path_collects_group_variables(self, figure1) -> None:
+        path = Path.from_interleaved(figure1, ("n1", "e1", "n2", "e2", "n3"))
+        binding = PathBinding.from_path(path)
+        assert binding.source == "n1"
+        assert binding.target == "n3"
+        assert binding.length == 2
+        assert binding.nodes == ("n1", "n2", "n3")
+        assert binding.edges == ("e1", "e2")
+        assert binding.labels == ("Knows", "Knows")
+
+    def test_property_access(self, figure1) -> None:
+        binding = PathBinding.from_path(Path.from_interleaved(figure1, ("n1", "e1", "n2")))
+        assert binding.source_property("name") == "Moe"
+        assert binding.target_property("name") == "Lisa"
+        assert binding.node_property(2, "name") == "Lisa"
+        assert binding.source_property("missing", "dflt") == "dflt"
+
+    def test_to_dict_round_trip(self, figure1) -> None:
+        binding = PathBinding.from_path(Path.from_edge(figure1, "e1"))
+        record = binding.to_dict()
+        assert record["source"] == "n1"
+        assert record["edges"] == ["e1"]
+        assert record["labels"] == ["Knows"]
+
+
+class TestBindingTable:
+    def test_one_row_per_path(self, figure1) -> None:
+        paths = knows_trails(figure1)
+        table = bind_paths(paths)
+        assert len(table) == len(paths)
+        assert all(isinstance(row, PathBinding) for row in table)
+
+    def test_columns(self, figure1) -> None:
+        table = bind_paths(knows_trails(figure1))
+        columns = table.columns("source", "target", "length")
+        assert ("n1", "n2", 1) in columns
+
+    def test_endpoints_deduplicates(self, figure1) -> None:
+        paths = knows_trails(figure1)
+        table = bind_paths(paths)
+        assert len(table.endpoints()) == len({p.endpoints() for p in paths})
+
+    def test_project_properties(self, figure1) -> None:
+        table = bind_paths(knows_trails(figure1))
+        records = table.project_properties(source_properties=("name",), target_properties=("name",))
+        moe_rows = [r for r in records if r["source.name"] == "Moe"]
+        assert moe_rows
+        assert all("target.name" in r and "length" in r for r in records)
+
+    def test_sort_and_filter(self, figure1) -> None:
+        table = bind_paths(knows_trails(figure1))
+        shortest_first = table.sort_by(lambda row: row.length)
+        assert shortest_first.rows[0].length <= shortest_first.rows[-1].length
+        only_moe = table.filter(lambda row: row.source_property("name") == "Moe")
+        assert len(only_moe) == 5  # the five Knows+ trails starting at Moe
+        assert all(row.source == "n1" for row in only_moe)
+
+    def test_group_sizes_match_gamma_st_partitions(self, figure1) -> None:
+        from repro.algebra.solution_space import GroupByKey, group_by
+
+        paths = knows_trails(figure1)
+        table = bind_paths(paths)
+        space = group_by(paths, GroupByKey.ST)
+        assert len(table.group_sizes()) == space.num_partitions()
+        assert sum(table.group_sizes().values()) == len(paths)
+
+    def test_empty_table(self) -> None:
+        table = BindingTable()
+        assert len(table) == 0
+        assert table.endpoints() == []
+        assert table.group_sizes() == {}

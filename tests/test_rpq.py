@@ -1,0 +1,220 @@
+"""Tests for the RPQ regex AST, parser, automaton, and algebra compiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.evaluator import evaluate_to_paths
+from repro.algebra.expressions import Join, NodesScan, Recursive, Selection, Union
+from repro.errors import RegexSyntaxError
+from repro.rpq.ast import (
+    Alternation,
+    AnyLabel,
+    Concat,
+    Epsilon,
+    Label,
+    Optional,
+    Plus,
+    Star,
+    alternation,
+    concat,
+)
+from repro.rpq.automaton import build_nfa
+from repro.rpq.compile import CompileOptions, compile_pattern, compile_regex, label_scan
+from repro.rpq.parser import parse_regex
+from repro.semantics.restrictors import Restrictor
+
+
+class TestRegexAST:
+    def test_labels_and_nullability(self) -> None:
+        expr = Concat(Label("Likes"), Label("Has_creator"))
+        assert expr.labels() == {"Likes", "Has_creator"}
+        assert not expr.nullable()
+        assert Star(expr).nullable()
+        assert Plus(expr).nullable() is False
+        assert Optional(Label("Knows")).nullable()
+        assert Epsilon().nullable()
+
+    def test_min_path_length(self) -> None:
+        assert Label("Knows").min_path_length() == 1
+        assert Concat(Label("a"), Label("b")).min_path_length() == 2
+        assert Alternation(Label("a"), Concat(Label("a"), Label("b"))).min_path_length() == 1
+        assert Star(Label("a")).min_path_length() == 0
+        assert Plus(Concat(Label("a"), Label("b"))).min_path_length() == 2
+
+    def test_is_recursive(self) -> None:
+        assert Plus(Label("Knows")).is_recursive()
+        assert Star(Label("Knows")).is_recursive()
+        assert not Concat(Label("a"), Label("b")).is_recursive()
+        assert not Optional(Label("a")).is_recursive()
+
+    def test_builders(self) -> None:
+        assert concat() == Epsilon()
+        assert concat(Label("a")) == Label("a")
+        assert concat(Label("a"), Label("b"), Label("c")) == Concat(
+            Concat(Label("a"), Label("b")), Label("c")
+        )
+        assert alternation(Label("a"), Label("b")) == Alternation(Label("a"), Label("b"))
+        with pytest.raises(ValueError):
+            alternation()
+
+    def test_rendering_round_trips(self) -> None:
+        for text in ("Knows", "Knows+", "(Knows/Likes)*", "(a|b)/c", "a?", "%"):
+            node = parse_regex(text)
+            assert parse_regex(str(node)) == node
+
+
+class TestRegexParser:
+    def test_single_label(self) -> None:
+        assert parse_regex("Knows") == Label("Knows")
+        assert parse_regex(":Knows") == Label("Knows")
+
+    def test_quoted_label_with_space(self) -> None:
+        assert parse_regex('"Has creator"') == Label("Has creator")
+
+    def test_concat_and_alternation_precedence(self) -> None:
+        # '/' binds tighter than '|'.
+        assert parse_regex("a/b|c") == Alternation(Concat(Label("a"), Label("b")), Label("c"))
+        assert parse_regex("a/(b|c)") == Concat(Label("a"), Alternation(Label("b"), Label("c")))
+
+    def test_closure_operators(self) -> None:
+        assert parse_regex("Knows+") == Plus(Label("Knows"))
+        assert parse_regex("Knows*") == Star(Label("Knows"))
+        assert parse_regex("Knows?") == Optional(Label("Knows"))
+        assert parse_regex("(Likes/Has_creator)+") == Plus(
+            Concat(Label("Likes"), Label("Has_creator"))
+        )
+
+    def test_paper_intro_regex(self) -> None:
+        node = parse_regex("(:Knows+)|((:Likes/:Has_creator)*)")
+        assert isinstance(node, Alternation)
+        assert node.left == Plus(Label("Knows"))
+        assert node.right == Star(Concat(Label("Likes"), Label("Has_creator")))
+
+    def test_wildcard_and_epsilon(self) -> None:
+        assert parse_regex("%") == AnyLabel()
+        assert parse_regex("()") == Epsilon()
+
+    def test_stacked_quantifiers(self) -> None:
+        assert parse_regex("a+*") == Star(Plus(Label("a")))
+
+    @pytest.mark.parametrize("bad", ["", "   ", "a|", "(a", "a)", "/a", "a//b", '"unterminated', "a b"])
+    def test_syntax_errors(self, bad: str) -> None:
+        with pytest.raises(RegexSyntaxError):
+            parse_regex(bad)
+
+
+class TestAutomaton:
+    def test_single_label(self) -> None:
+        nfa = build_nfa("Knows")
+        assert nfa.accepts(["Knows"])
+        assert not nfa.accepts(["Likes"])
+        assert not nfa.accepts([])
+        assert not nfa.accepts(["Knows", "Knows"])
+
+    def test_plus_and_star(self) -> None:
+        plus = build_nfa("Knows+")
+        assert plus.accepts(["Knows"])
+        assert plus.accepts(["Knows"] * 5)
+        assert not plus.accepts([])
+        star = build_nfa("Knows*")
+        assert star.accepts([])
+        assert star.matches_empty_word()
+        assert star.accepts(["Knows", "Knows"])
+
+    def test_concat_alternation_optional(self) -> None:
+        nfa = build_nfa("(Likes/Has_creator)+|Knows?")
+        assert nfa.accepts(["Likes", "Has_creator"])
+        assert nfa.accepts(["Likes", "Has_creator", "Likes", "Has_creator"])
+        assert nfa.accepts(["Knows"])
+        assert nfa.accepts([])  # Knows? matches the empty word
+        assert not nfa.accepts(["Likes"])
+        assert not nfa.accepts(["Has_creator", "Likes"])
+
+    def test_wildcard(self) -> None:
+        nfa = build_nfa("%/Knows")
+        assert nfa.accepts(["Anything", "Knows"])
+        assert nfa.accepts([None, "Knows"])
+        assert not nfa.accepts(["Knows"])
+
+    def test_alphabet(self) -> None:
+        assert build_nfa("(a/b)|c*").alphabet() == {"a", "b", "c"}
+
+    def test_word_acceptance_matches_path_labels(self, figure1, knows_edges) -> None:
+        from repro.semantics.restrictors import recursive_closure
+
+        nfa = build_nfa("Knows+")
+        for path in recursive_closure(knows_edges, Restrictor.TRAIL):
+            assert nfa.accepts(path.label_sequence())
+
+
+class TestCompilation:
+    def test_label_compiles_to_selection_over_edges(self) -> None:
+        plan = compile_regex("Knows")
+        assert plan == label_scan("Knows")
+        assert isinstance(plan, Selection)
+
+    def test_concat_compiles_to_join(self) -> None:
+        plan = compile_regex("Likes/Has_creator")
+        assert isinstance(plan, Join)
+
+    def test_alternation_compiles_to_union(self) -> None:
+        assert isinstance(compile_regex("Knows|Likes"), Union)
+
+    def test_plus_compiles_to_recursive(self) -> None:
+        plan = compile_regex("Knows+", CompileOptions(restrictor=Restrictor.TRAIL))
+        assert isinstance(plan, Recursive)
+        assert plan.restrictor is Restrictor.TRAIL
+
+    def test_star_compiles_to_recursive_union_nodes(self) -> None:
+        plan = compile_regex("Knows*")
+        assert isinstance(plan, Union)
+        assert isinstance(plan.left, Recursive)
+        assert plan.right == NodesScan()
+
+    def test_optional_compiles_to_union_nodes(self) -> None:
+        plan = compile_regex("Knows?")
+        assert isinstance(plan, Union)
+        assert plan.right == NodesScan()
+
+    def test_epsilon_and_wildcard(self) -> None:
+        assert compile_regex("()") == NodesScan()
+        from repro.algebra.expressions import EdgesScan
+
+        assert compile_regex("%") == EdgesScan()
+
+    def test_max_length_propagated(self) -> None:
+        plan = compile_regex("Knows+", CompileOptions(max_length=7))
+        assert isinstance(plan, Recursive)
+        assert plan.max_length == 7
+
+    def test_compiled_plan_paths_match_nfa_acceptance(self, figure1) -> None:
+        """Every path produced by the compiled plan has a label word accepted by the NFA."""
+        regex = "(Likes/Has_creator)+|Knows"
+        plan = compile_regex(regex, CompileOptions(restrictor=Restrictor.ACYCLIC))
+        nfa = build_nfa(regex)
+        for path in evaluate_to_paths(plan, figure1):
+            assert nfa.accepts(path.label_sequence())
+
+    def test_compile_pattern_with_endpoint_conditions(self, figure1) -> None:
+        from repro.algebra.conditions import prop_of_first, prop_of_last
+
+        plan = compile_pattern(
+            "Knows+",
+            source_condition=prop_of_first("name", "Moe"),
+            target_condition=prop_of_last("name", "Apu"),
+            options=CompileOptions(restrictor=Restrictor.SIMPLE),
+        )
+        result = evaluate_to_paths(plan, figure1)
+        assert {path.interleaved() for path in result} == {("n1", "e1", "n2", "e4", "n4")}
+
+    def test_compile_pattern_single_condition(self, figure1) -> None:
+        from repro.algebra.conditions import prop_of_first
+
+        plan = compile_pattern(
+            "Knows",
+            source_condition=prop_of_first("name", "Lisa"),
+        )
+        result = evaluate_to_paths(plan, figure1)
+        assert all(path.first() == "n2" for path in result)
+        assert len(result) == 2  # e2 and e4

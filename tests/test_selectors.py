@@ -1,0 +1,162 @@
+"""Tests for selector semantics (Table 1) and the Table 7 algebra pipelines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.solution_space import ALL, GroupByKey, OrderByKey
+from repro.paths.pathset import PathSet
+from repro.semantics.restrictors import Restrictor, recursive_closure
+from repro.semantics.selectors import Selector, SelectorKind, apply_selector, selector_plan
+
+
+@pytest.fixture
+def knows_trails(knows_edges) -> PathSet:
+    return recursive_closure(knows_edges, Restrictor.TRAIL)
+
+
+class TestSelectorParsing:
+    @pytest.mark.parametrize(
+        "text, kind, k",
+        [
+            ("ALL", SelectorKind.ALL, None),
+            ("ANY SHORTEST", SelectorKind.ANY_SHORTEST, None),
+            ("ALL SHORTEST", SelectorKind.ALL_SHORTEST, None),
+            ("ANY", SelectorKind.ANY, None),
+            ("ANY 3", SelectorKind.ANY_K, 3),
+            ("SHORTEST 2", SelectorKind.SHORTEST_K, 2),
+            ("SHORTEST 2 GROUP", SelectorKind.SHORTEST_K_GROUP, 2),
+            ("any shortest", SelectorKind.ANY_SHORTEST, None),
+        ],
+    )
+    def test_parse(self, text: str, kind: SelectorKind, k: int | None) -> None:
+        selector = Selector.parse(text)
+        assert selector.kind is kind
+        assert selector.k == k
+
+    def test_parse_rejects_garbage(self) -> None:
+        with pytest.raises(ValueError):
+            Selector.parse("SOME OF THEM")
+        with pytest.raises(ValueError):
+            Selector.parse("")
+
+    def test_k_validation(self) -> None:
+        with pytest.raises(ValueError):
+            Selector(SelectorKind.ANY_K)          # missing k
+        with pytest.raises(ValueError):
+            Selector(SelectorKind.SHORTEST_K, 0)  # non-positive k
+        with pytest.raises(ValueError):
+            Selector(SelectorKind.ALL, 3)         # spurious k
+
+    def test_round_trip_str(self) -> None:
+        for text in ("ALL", "ANY SHORTEST", "ANY 2", "SHORTEST 3", "SHORTEST 3 GROUP"):
+            assert str(Selector.parse(text)) == text
+
+    def test_determinism_classification(self) -> None:
+        assert Selector.parse("ALL").kind.is_deterministic
+        assert Selector.parse("ALL SHORTEST").kind.is_deterministic
+        assert Selector.parse("SHORTEST 2 GROUP").kind.is_deterministic
+        assert not Selector.parse("ANY").kind.is_deterministic
+        assert not Selector.parse("ANY SHORTEST").kind.is_deterministic
+        assert not Selector.parse("SHORTEST 2").kind.is_deterministic
+
+
+class TestTable7Pipelines:
+    """The group-by / order-by / projection triples of Table 7."""
+
+    def test_all(self) -> None:
+        plan = selector_plan(Selector(SelectorKind.ALL))
+        assert plan.group_key is GroupByKey.NONE
+        assert plan.order_key is None
+        assert (plan.projection.partitions, plan.projection.groups, plan.projection.paths) == (
+            ALL,
+            ALL,
+            ALL,
+        )
+
+    def test_any_shortest(self) -> None:
+        plan = selector_plan(Selector(SelectorKind.ANY_SHORTEST))
+        assert plan.group_key is GroupByKey.ST
+        assert plan.order_key is OrderByKey.A
+        assert plan.projection.paths == 1
+
+    def test_all_shortest(self) -> None:
+        plan = selector_plan(Selector(SelectorKind.ALL_SHORTEST))
+        assert plan.group_key is GroupByKey.STL
+        assert plan.order_key is OrderByKey.G
+        assert plan.projection.groups == 1
+
+    def test_any(self) -> None:
+        plan = selector_plan(Selector(SelectorKind.ANY))
+        assert plan.group_key is GroupByKey.ST
+        assert plan.order_key is None
+        assert plan.projection.paths == 1
+
+    def test_any_k(self) -> None:
+        plan = selector_plan(Selector(SelectorKind.ANY_K, 4))
+        assert plan.projection.paths == 4
+        assert plan.order_key is None
+
+    def test_shortest_k(self) -> None:
+        plan = selector_plan(Selector(SelectorKind.SHORTEST_K, 4))
+        assert plan.order_key is OrderByKey.A
+        assert plan.projection.paths == 4
+
+    def test_shortest_k_group(self) -> None:
+        plan = selector_plan(Selector(SelectorKind.SHORTEST_K_GROUP, 3))
+        assert plan.group_key is GroupByKey.STL
+        assert plan.order_key is OrderByKey.G
+        assert plan.projection.groups == 3
+
+
+class TestApplySelector:
+    """Set-level selector application against the Table 1 informal semantics."""
+
+    def test_all_returns_everything(self, knows_trails) -> None:
+        assert apply_selector(knows_trails, Selector(SelectorKind.ALL)) == knows_trails
+
+    def test_any_shortest_one_shortest_per_pair(self, knows_trails) -> None:
+        result = apply_selector(knows_trails, Selector(SelectorKind.ANY_SHORTEST))
+        by_pair = knows_trails.group_by_endpoints()
+        assert len(result) == len(by_pair)
+        for path in result:
+            assert path.len() == min(p.len() for p in by_pair[path.endpoints()])
+
+    def test_all_shortest_keeps_ties(self, small_grid) -> None:
+        edges = PathSet.edges_of(small_grid)
+        walks = recursive_closure(edges, Restrictor.ACYCLIC)
+        result = apply_selector(walks, Selector(SelectorKind.ALL_SHORTEST))
+        corner = [p for p in result if p.endpoints() == ("v0_0", "v1_1")]
+        assert len(corner) == 2  # both right-down and down-right survive
+
+    def test_any_one_per_pair(self, knows_trails) -> None:
+        result = apply_selector(knows_trails, Selector(SelectorKind.ANY))
+        assert len(result) == len(knows_trails.group_by_endpoints())
+
+    def test_any_k_caps_per_pair(self, knows_trails) -> None:
+        result = apply_selector(knows_trails, Selector(SelectorKind.ANY_K, 2))
+        by_pair = knows_trails.group_by_endpoints()
+        expected = sum(min(2, len(paths)) for paths in by_pair.values())
+        assert len(result) == expected
+
+    def test_shortest_k_returns_k_shortest(self, knows_trails) -> None:
+        result = apply_selector(knows_trails, Selector(SelectorKind.SHORTEST_K, 2))
+        by_pair = knows_trails.group_by_endpoints()
+        for pair, paths in by_pair.items():
+            selected = [p for p in result if p.endpoints() == pair]
+            expected_lengths = sorted(p.len() for p in paths)[: min(2, len(paths))]
+            assert sorted(p.len() for p in selected) == expected_lengths
+
+    def test_shortest_k_group_returns_whole_length_groups(self, knows_trails) -> None:
+        result = apply_selector(knows_trails, Selector(SelectorKind.SHORTEST_K_GROUP, 1))
+        by_pair = knows_trails.group_by_endpoints()
+        # k=1 keeps exactly the full set of minimum-length paths per pair.
+        expected = sum(
+            sum(1 for p in paths if p.len() == min(q.len() for q in paths))
+            for paths in by_pair.values()
+        )
+        assert len(result) == expected
+
+    def test_fewer_than_k_keeps_all(self, knows_trails) -> None:
+        result = apply_selector(knows_trails, Selector(SelectorKind.ANY_K, 100))
+        assert result == knows_trails

@@ -1,0 +1,135 @@
+"""Tests for the Intersection and Difference operators (beyond-GQL extensions).
+
+The paper notes that its algebra includes "several natural graph operators
+missing from the two proposals"; path-set intersection and difference are the
+canonical examples, since GQL cannot combine two path-query answer sets this
+way while the algebra (being closed over sets of paths) can.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.conditions import label_of_edge, length_equals, prop_of_first
+from repro.algebra.evaluator import evaluate_to_paths
+from repro.algebra.expressions import (
+    Difference,
+    EdgesScan,
+    GroupBy,
+    Intersection,
+    Recursive,
+    Selection,
+)
+from repro.algebra.printer import to_algebra_notation, to_plan_tree
+from repro.algebra.solution_space import GroupByKey
+from repro.errors import EvaluationError
+from repro.optimizer.cost import CostModel
+from repro.optimizer.engine import optimize
+from repro.semantics.restrictors import Restrictor
+
+
+def knows_scan() -> Selection:
+    return Selection(label_of_edge(1, "Knows"), EdgesScan())
+
+
+def trails() -> Recursive:
+    return Recursive(knows_scan(), Restrictor.TRAIL)
+
+
+def acyclics() -> Recursive:
+    return Recursive(knows_scan(), Restrictor.ACYCLIC)
+
+
+class TestIntersection:
+    def test_trail_intersect_acyclic_is_acyclic(self, figure1) -> None:
+        plan = Intersection(trails(), acyclics())
+        result = evaluate_to_paths(plan, figure1)
+        assert result == evaluate_to_paths(acyclics(), figure1)
+
+    def test_intersection_is_commutative(self, figure1) -> None:
+        left = evaluate_to_paths(Intersection(trails(), acyclics()), figure1)
+        right = evaluate_to_paths(Intersection(acyclics(), trails()), figure1)
+        assert left == right
+
+    def test_intersection_with_disjoint_sets_is_empty(self, figure1) -> None:
+        likes = Selection(label_of_edge(1, "Likes"), EdgesScan())
+        result = evaluate_to_paths(Intersection(knows_scan(), likes), figure1)
+        assert len(result) == 0
+
+    def test_fluent_builder(self, figure1) -> None:
+        plan = trails().intersect(acyclics())
+        assert isinstance(plan, Intersection)
+        # The 7 acyclic Knows+ paths of Figure 1 are all trails.
+        assert len(evaluate_to_paths(plan, figure1)) == 7
+
+    def test_rejects_solution_space_input(self, figure1) -> None:
+        plan = Intersection(GroupBy(knows_scan(), GroupByKey.ST), knows_scan())
+        with pytest.raises(EvaluationError):
+            evaluate_to_paths(plan, figure1)
+
+
+class TestDifference:
+    def test_trails_minus_acyclic_leaves_node_repeating_trails(self, figure1) -> None:
+        plan = Difference(trails(), acyclics())
+        result = evaluate_to_paths(plan, figure1)
+        # 12 trails minus the 7 acyclic paths = 5 trails that revisit a node.
+        assert len(result) == 5
+        assert all(len(set(path.node_ids)) < len(path.node_ids) for path in result)
+
+    def test_difference_with_self_is_empty(self, figure1) -> None:
+        assert len(evaluate_to_paths(Difference(trails(), trails()), figure1)) == 0
+
+    def test_difference_is_not_commutative(self, figure1) -> None:
+        forward = evaluate_to_paths(Difference(trails(), acyclics()), figure1)
+        backward = evaluate_to_paths(Difference(acyclics(), trails()), figure1)
+        assert forward != backward
+        assert len(backward) == 0
+
+    def test_fluent_builder_and_selection_on_top(self, figure1) -> None:
+        plan = Selection(length_equals(2), trails().difference(acyclics()))
+        result = evaluate_to_paths(plan, figure1)
+        assert all(path.len() == 2 for path in result)
+
+    def test_combination_answers_beyond_gql_question(self, figure1) -> None:
+        """'Knows-trails from Moe that are not acyclic' — not expressible in GQL directly."""
+        plan = Selection(prop_of_first("name", "Moe"), Difference(trails(), acyclics()))
+        result = evaluate_to_paths(plan, figure1)
+        assert {path.interleaved() for path in result} == {
+            ("n1", "e1", "n2", "e2", "n3", "e3", "n2"),
+            ("n1", "e1", "n2", "e2", "n3", "e3", "n2", "e4", "n4"),
+        }
+
+
+class TestPlanMachinery:
+    def test_notation(self) -> None:
+        plan = Intersection(knows_scan(), Difference(EdgesScan(), knows_scan()))
+        text = to_algebra_notation(plan)
+        assert "∩" in text
+        assert "∖" in text
+
+    def test_plan_tree_descriptions(self) -> None:
+        tree = to_plan_tree(Difference(knows_scan(), EdgesScan()))
+        assert "Difference" in tree
+        tree = to_plan_tree(Intersection(knows_scan(), EdgesScan()))
+        assert "Intersection" in tree
+
+    def test_optimizer_traverses_new_operators(self, figure1) -> None:
+        inner = Selection(prop_of_first("name", "Moe"), Selection(label_of_edge(1, "Knows"), EdgesScan()))
+        plan = Intersection(inner, EdgesScan())
+        result = optimize(plan)
+        # The nested selections below the intersection are merged.
+        assert "merge-selections" in result.applied_rules
+        assert evaluate_to_paths(plan, figure1) == evaluate_to_paths(result.optimized, figure1)
+
+    def test_cost_model_estimates(self, figure1) -> None:
+        model = CostModel(figure1)
+        intersection = model.estimate(Intersection(knows_scan(), EdgesScan()))
+        difference = model.estimate(Difference(EdgesScan(), knows_scan()))
+        assert intersection.output_cardinality <= 4
+        assert difference.output_cardinality >= 11 - 4
+        assert intersection.total_cost > 0
+        assert difference.total_cost > 0
+
+    def test_structural_equality(self) -> None:
+        assert Intersection(knows_scan(), EdgesScan()) == Intersection(knows_scan(), EdgesScan())
+        assert Difference(knows_scan(), EdgesScan()) != Difference(EdgesScan(), knows_scan())

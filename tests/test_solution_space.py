@@ -1,0 +1,259 @@
+"""Tests for solution spaces, group-by, order-by and projection (Section 5).
+
+The expectations encode Table 4 (group-by shapes), Table 5 (the worked γST
+example), Table 6 (order-by ranks) and Algorithm 1 (projection).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.solution_space import (
+    ALL,
+    GroupByKey,
+    OrderByKey,
+    ProjectionSpec,
+    group_by,
+    order_by,
+    project,
+)
+from repro.errors import SolutionSpaceError
+from repro.paths.path import Path
+from repro.paths.pathset import PathSet
+from repro.semantics.restrictors import Restrictor, recursive_closure
+
+
+@pytest.fixture
+def knows_trails(knows_edges) -> PathSet:
+    """ϕTrail over the Knows edges of Figure 1 — the input of the Table 5 example."""
+    return recursive_closure(knows_edges, Restrictor.TRAIL)
+
+
+class TestGroupByKeys:
+    def test_from_string(self) -> None:
+        assert GroupByKey.from_string("st") is GroupByKey.ST
+        assert GroupByKey.from_string("TS") is GroupByKey.ST  # order normalized
+        assert GroupByKey.from_string("") is GroupByKey.NONE
+        assert GroupByKey.from_string("stl") is GroupByKey.STL
+        with pytest.raises(SolutionSpaceError):
+            GroupByKey.from_string("X")
+
+    def test_component_flags(self) -> None:
+        assert GroupByKey.SL.uses_source and GroupByKey.SL.uses_length
+        assert not GroupByKey.SL.uses_target
+        assert GroupByKey.NONE.value == ""
+
+
+class TestGroupByShapes:
+    """Table 4: the solution-space organization induced by each ψ."""
+
+    def test_no_key_single_partition_single_group(self, knows_trails) -> None:
+        space = group_by(knows_trails, GroupByKey.NONE)
+        assert space.num_partitions() == 1
+        assert space.num_groups() == 1
+        assert space.num_paths() == len(knows_trails)
+
+    def test_source_key(self, knows_trails) -> None:
+        space = group_by(knows_trails, GroupByKey.S)
+        sources = {path.first() for path in knows_trails}
+        assert space.num_partitions() == len(sources)
+        # One group per partition.
+        assert space.num_groups() == space.num_partitions()
+
+    def test_target_key(self, knows_trails) -> None:
+        space = group_by(knows_trails, GroupByKey.T)
+        targets = {path.last() for path in knows_trails}
+        assert space.num_partitions() == len(targets)
+        assert space.num_groups() == space.num_partitions()
+
+    def test_length_key_single_partition_many_groups(self, knows_trails) -> None:
+        space = group_by(knows_trails, GroupByKey.L)
+        lengths = {path.len() for path in knows_trails}
+        assert space.num_partitions() == 1
+        assert space.num_groups() == len(lengths)
+
+    def test_source_target_key(self, knows_trails) -> None:
+        space = group_by(knows_trails, GroupByKey.ST)
+        pairs = {path.endpoints() for path in knows_trails}
+        assert space.num_partitions() == len(pairs)
+        assert space.num_groups() == space.num_partitions()
+
+    def test_source_target_length_key(self, knows_trails) -> None:
+        space = group_by(knows_trails, GroupByKey.STL)
+        triples = {(path.first(), path.last(), path.len()) for path in knows_trails}
+        pairs = {path.endpoints() for path in knows_trails}
+        assert space.num_partitions() == len(pairs)
+        assert space.num_groups() == len(triples)
+
+    def test_source_length_and_target_length(self, knows_trails) -> None:
+        space_sl = group_by(knows_trails, GroupByKey.SL)
+        assert space_sl.num_partitions() == len({p.first() for p in knows_trails})
+        space_tl = group_by(knows_trails, GroupByKey.TL)
+        assert space_tl.num_partitions() == len({p.last() for p in knows_trails})
+        # Groups subdivide by length inside each partition.
+        assert space_sl.num_groups() >= space_sl.num_partitions()
+
+    def test_group_by_accepts_strings(self, knows_trails) -> None:
+        assert group_by(knows_trails, "ST").shape() == group_by(knows_trails, GroupByKey.ST).shape()
+
+    def test_all_paths_preserved(self, knows_trails) -> None:
+        for key in GroupByKey:
+            space = group_by(knows_trails, key)
+            assert space.all_paths() == knows_trails
+
+    def test_initial_ranks_are_one(self, knows_trails) -> None:
+        space = group_by(knows_trails, GroupByKey.ST)
+        for partition in space.partitions:
+            assert partition.rank == 1
+            for group in partition.groups:
+                assert group.rank == 1
+                assert all(rank == 1 for rank in group.path_ranks.values())
+
+
+class TestTable5Example:
+    """The worked γST example of Table 5 (restricted to the paths the paper lists)."""
+
+    def test_partition_of_n1_n2_contains_p1_and_p2(self, figure1, knows_trails) -> None:
+        space = group_by(knows_trails, GroupByKey.ST)
+        p1 = Path.from_interleaved(figure1, ("n1", "e1", "n2"))
+        p2 = Path.from_interleaved(figure1, ("n1", "e1", "n2", "e2", "n3", "e3", "n2"))
+        partition = space.partition_for(p1)
+        assert partition is not None
+        assert partition is space.partition_for(p2)
+        group = space.group_for(p1)
+        assert group is space.group_for(p2)
+        assert group.min_length() == 1
+        assert partition.min_length() == 1
+
+    def test_min_lengths_match_table5(self, figure1, knows_trails) -> None:
+        space = group_by(knows_trails, GroupByKey.ST)
+        expectations = {
+            ("n1", "n2"): 1,  # part1: p1 (len 1), p2 (len 3)
+            ("n1", "n3"): 2,  # part2-equivalent in the paper's numbering
+            ("n1", "n4"): 2,  # part3: p5 (len 2), p6 (len 4)
+            ("n2", "n2"): 2,  # part4: p7
+            ("n2", "n3"): 1,  # part5: p9
+            ("n2", "n4"): 1,  # part6: p11 (len 1), p12 (len 3)
+            ("n3", "n4"): 2,  # part7: p13
+        }
+        by_endpoints = {partition.key: partition for partition in space.partitions}
+        for (source, target), expected_min in expectations.items():
+            partition = by_endpoints[(source, target)]
+            assert partition.min_length() == expected_min
+
+
+class TestOrderBy:
+    def test_order_by_path_sets_path_ranks_to_length(self, knows_trails) -> None:
+        space = order_by(group_by(knows_trails, GroupByKey.ST), OrderByKey.A)
+        for group in space.groups():
+            for path in group.paths:
+                assert group.path_rank(path) == path.len()
+            # Partition/group ranks untouched (Table 6, row A).
+        assert all(partition.rank == 1 for partition in space.partitions)
+
+    def test_order_by_group_sets_group_rank_to_min_length(self, knows_trails) -> None:
+        space = order_by(group_by(knows_trails, GroupByKey.STL), OrderByKey.G)
+        for partition in space.partitions:
+            for group in partition.groups:
+                assert group.rank == group.min_length()
+        assert all(partition.rank == 1 for partition in space.partitions)
+
+    def test_order_by_partition_sets_partition_rank(self, knows_trails) -> None:
+        space = order_by(group_by(knows_trails, GroupByKey.ST), OrderByKey.P)
+        for partition in space.partitions:
+            assert partition.rank == partition.min_length()
+
+    def test_combined_orders(self, knows_trails) -> None:
+        space = order_by(group_by(knows_trails, GroupByKey.STL), OrderByKey.PGA)
+        for partition in space.partitions:
+            assert partition.rank == partition.min_length()
+            for group in partition.groups:
+                assert group.rank == group.min_length()
+                for path in group.paths:
+                    assert group.path_rank(path) == path.len()
+
+    def test_order_by_does_not_mutate_input(self, knows_trails) -> None:
+        original = group_by(knows_trails, GroupByKey.ST)
+        order_by(original, OrderByKey.PGA)
+        assert all(partition.rank == 1 for partition in original.partitions)
+
+    def test_order_by_key_parsing(self) -> None:
+        assert OrderByKey.from_string("ap") is OrderByKey.PA
+        assert OrderByKey.from_string("pga") is OrderByKey.PGA
+        with pytest.raises(SolutionSpaceError):
+            OrderByKey.from_string("Z")
+
+
+class TestProjection:
+    def test_project_all(self, knows_trails) -> None:
+        space = group_by(knows_trails, GroupByKey.ST)
+        assert project(space, ProjectionSpec(ALL, ALL, ALL)) == knows_trails
+
+    def test_project_one_path_per_group_after_order(self, knows_trails) -> None:
+        """The Figure 5 pipeline: γST, τA, π(*,*,1) returns one shortest path per pair."""
+        space = order_by(group_by(knows_trails, GroupByKey.ST), OrderByKey.A)
+        result = project(space, ProjectionSpec(ALL, ALL, 1))
+        pairs = {path.endpoints() for path in knows_trails}
+        assert len(result) == len(pairs)
+        # Each projected path has the minimal length within its endpoint pair.
+        by_pair = knows_trails.group_by_endpoints()
+        for path in result:
+            min_length = min(candidate.len() for candidate in by_pair[path.endpoints()])
+            assert path.len() == min_length
+
+    def test_project_without_order_takes_first_inserted(self, knows_trails) -> None:
+        space = group_by(knows_trails, GroupByKey.ST)
+        result = project(space, ProjectionSpec(ALL, ALL, 1))
+        assert len(result) == len({path.endpoints() for path in knows_trails})
+
+    def test_project_limit_groups(self, knows_trails) -> None:
+        space = order_by(group_by(knows_trails, GroupByKey.STL), OrderByKey.G)
+        result = project(space, ProjectionSpec(ALL, 1, ALL))
+        # All shortest paths per endpoint pair (ALL SHORTEST semantics).
+        by_pair = knows_trails.group_by_endpoints()
+        expected = sum(
+            sum(1 for p in paths if p.len() == min(q.len() for q in paths))
+            for paths in by_pair.values()
+        )
+        assert len(result) == expected
+
+    def test_project_limit_partitions(self, knows_trails) -> None:
+        space = order_by(group_by(knows_trails, GroupByKey.ST), OrderByKey.P)
+        result = project(space, ProjectionSpec(1, ALL, ALL))
+        partitions_by_rank = sorted(space.partitions, key=lambda p: p.rank)
+        assert len(result) == len(partitions_by_rank[0].paths())
+
+    def test_count_larger_than_available_keeps_all(self, knows_trails) -> None:
+        space = group_by(knows_trails, GroupByKey.ST)
+        assert project(space, ProjectionSpec(999, 999, 999)) == knows_trails
+
+    def test_projection_spec_validation(self) -> None:
+        with pytest.raises(SolutionSpaceError):
+            ProjectionSpec(0, ALL, ALL)
+        with pytest.raises(SolutionSpaceError):
+            ProjectionSpec(ALL, -3, ALL)
+        with pytest.raises(SolutionSpaceError):
+            ProjectionSpec(ALL, ALL, "two")
+
+    def test_projection_accepts_tuples(self, knows_trails) -> None:
+        space = group_by(knows_trails, GroupByKey.ST)
+        assert project(space, (ALL, ALL, 1)) == project(space, ProjectionSpec(ALL, ALL, 1))
+
+
+class TestSolutionSpaceIntrospection:
+    def test_shape_and_lookup(self, knows_trails) -> None:
+        space = group_by(knows_trails, GroupByKey.ST)
+        partitions, groups, paths = space.shape()
+        assert partitions == groups
+        assert paths == len(knows_trails)
+        missing = Path.from_node(next(iter(knows_trails)).graph, "n5")
+        assert space.partition_for(missing) is None
+        assert space.group_for(missing) is None
+
+    def test_empty_group_min_length_raises(self) -> None:
+        from repro.algebra.solution_space import Group, Partition
+
+        with pytest.raises(SolutionSpaceError):
+            Group().min_length()
+        with pytest.raises(SolutionSpaceError):
+            Partition().min_length()

@@ -1,0 +1,146 @@
+"""Tests for the GQL-to-algebra translation (Section 6, Table 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.conditions import label_of_edge
+from repro.algebra.evaluator import evaluate_to_paths
+from repro.algebra.expressions import EdgesScan, GroupBy, OrderBy, Projection, Recursive, Selection
+from repro.algebra.printer import to_algebra_notation
+from repro.semantics.restrictors import Restrictor, recursive_closure
+from repro.semantics.selectors import Selector, SelectorKind, apply_selector
+from repro.semantics.translate import (
+    PathQuerySpec,
+    all_selector_restrictor_combinations,
+    translate_path_query,
+    translate_selector_restrictor,
+)
+
+
+def knows_scan() -> Selection:
+    return Selection(label_of_edge(1, "Knows"), EdgesScan())
+
+
+class TestPlanShapes:
+    def test_any_shortest_walk_matches_table7(self) -> None:
+        plan = translate_selector_restrictor(
+            Selector(SelectorKind.ANY_SHORTEST),
+            Restrictor.WALK,
+            knows_scan(),
+            already_recursive=False,
+        )
+        assert to_algebra_notation(plan) == (
+            "π(*,*,1)(τA(γST(ϕWalk(σ[label(edge(1)) = 'Knows'](Edges(G))))))"
+        )
+
+    def test_all_shortest_acyclic_matches_section6_example(self) -> None:
+        """The Section 6 worked example: ALL SHORTEST ACYCLIC over Knows+."""
+        plan = translate_selector_restrictor(
+            Selector(SelectorKind.ALL_SHORTEST),
+            Restrictor.ACYCLIC,
+            knows_scan(),
+            already_recursive=False,
+        )
+        assert to_algebra_notation(plan) == (
+            "π(*,1,*)(τG(γSTL(ϕAcyclic(σ[label(edge(1)) = 'Knows'](Edges(G))))))"
+        )
+
+    def test_all_walk_has_trivial_pipeline(self) -> None:
+        plan = translate_selector_restrictor(
+            Selector(SelectorKind.ALL), Restrictor.WALK, knows_scan(), already_recursive=False
+        )
+        assert isinstance(plan, Projection)
+        assert isinstance(plan.child, GroupBy)       # no order-by for ALL
+        assert isinstance(plan.child.child, Recursive)
+
+    def test_already_recursive_skips_phi_wrapper(self) -> None:
+        recursive_pattern = Recursive(knows_scan(), Restrictor.TRAIL)
+        plan = translate_selector_restrictor(
+            Selector(SelectorKind.ANY), Restrictor.TRAIL, recursive_pattern, already_recursive=True
+        )
+        # Exactly one Recursive node in the tree.
+        recursives = [node for node in plan.iter_subtree() if isinstance(node, Recursive)]
+        assert len(recursives) == 1
+
+    def test_max_length_is_forwarded(self) -> None:
+        plan = translate_selector_restrictor(
+            Selector(SelectorKind.ALL),
+            Restrictor.WALK,
+            knows_scan(),
+            already_recursive=False,
+            max_length=4,
+        )
+        recursive = next(node for node in plan.iter_subtree() if isinstance(node, Recursive))
+        assert recursive.max_length == 4
+
+    def test_path_query_spec_wrapper(self) -> None:
+        spec = PathQuerySpec(Selector(SelectorKind.ANY), Restrictor.SIMPLE, knows_scan())
+        plan = translate_path_query(spec)
+        recursive = next(node for node in plan.iter_subtree() if isinstance(node, Recursive))
+        assert recursive.restrictor is Restrictor.SIMPLE
+
+
+class TestAllCombinations:
+    def test_28_combinations_enumerated(self) -> None:
+        combos = all_selector_restrictor_combinations()
+        assert len(combos) == 28
+        selectors = {str(selector) for selector, _ in combos}
+        restrictors = {restrictor for _, restrictor in combos}
+        assert len(selectors) == 7
+        assert len(restrictors) == 4
+
+    @pytest.mark.parametrize("selector, restrictor", all_selector_restrictor_combinations())
+    def test_every_combination_plans_and_evaluates(self, figure1, selector, restrictor) -> None:
+        plan = translate_selector_restrictor(
+            selector,
+            restrictor,
+            knows_scan(),
+            already_recursive=False,
+            max_length=4,  # keeps WALK finite on the cyclic Figure 1 graph
+        )
+        result = evaluate_to_paths(plan, figure1)
+        assert len(result) > 0
+        # Structure check: projection at the root, group-by somewhere below.
+        assert isinstance(plan, Projection)
+        assert any(isinstance(node, GroupBy) for node in plan.iter_subtree())
+
+    @pytest.mark.parametrize(
+        "selector",
+        [
+            Selector(SelectorKind.ALL),
+            Selector(SelectorKind.ANY_SHORTEST),
+            Selector(SelectorKind.ALL_SHORTEST),
+            Selector(SelectorKind.ANY),
+            Selector(SelectorKind.ANY_K, 2),
+            Selector(SelectorKind.SHORTEST_K, 2),
+            Selector(SelectorKind.SHORTEST_K_GROUP, 2),
+        ],
+    )
+    def test_plan_evaluation_matches_direct_selector_application(
+        self, figure1, knows_edges, selector
+    ) -> None:
+        """Evaluating the Table 7 plan equals applying the selector to ϕTrail's output."""
+        plan = translate_selector_restrictor(
+            selector, Restrictor.TRAIL, knows_scan(), already_recursive=False
+        )
+        via_plan = evaluate_to_paths(plan, figure1)
+        trails = recursive_closure(knows_edges, Restrictor.TRAIL)
+        via_sets = apply_selector(trails, selector)
+        assert via_plan == via_sets
+
+
+class TestBeyondGQLExpressions:
+    def test_sample_trail_per_length_query(self, figure1) -> None:
+        """The Section 6 expression not expressible in GQL: one sample trail per length."""
+        plan = (
+            knows_scan()
+            .recursive(Restrictor.TRAIL)
+            .group_by("L")
+            .order_by("G")
+            .project("*", "*", 1)
+        )
+        result = evaluate_to_paths(plan, figure1)
+        lengths = sorted(path.len() for path in result)
+        # Figure 1 trails over Knows have lengths 1..4; exactly one sample per length.
+        assert lengths == [1, 2, 3, 4]
