@@ -5,15 +5,68 @@ DESIGN.md's per-experiment index) and additionally measures the wall-clock
 cost of the operation via pytest-benchmark.  The reproduced rows are printed
 with ``-s`` / captured in the benchmark output so they can be compared with
 the paper side by side; EXPERIMENTS.md records that comparison.
+
+Two harness modes exist (PERFORMANCE.md, "Running the benchmarks"):
+
+* the default mode runs every size-parameterized benchmark at all sizes;
+* the **quick** mode (``BENCH_QUICK=1``, or selecting the ``quick`` marker)
+  runs each bench at its smallest configured size.
+
+In both modes the session writes ``BENCH_closure.json`` at the repo root via
+:func:`repro.bench.reporting.write_bench_json`: wall-clock timings of the
+incremental closure engine (:func:`~repro.semantics.restrictors.recursive_closure`)
+against the pre-incremental baseline
+(:func:`~repro.semantics.restrictors.recursive_closure_baseline`) on the
+restrictor-scaling workloads, giving future PRs a perf trajectory to compare
+against.
 """
 
 from __future__ import annotations
 
+import time
+from pathlib import Path as FilePath
+
 import pytest
 
+from repro.bench.reporting import write_bench_json
+from repro.bench.workloads import quick_mode
 from repro.datasets.figure1 import figure1_graph
+from repro.datasets.generators import complete_graph, cycle_graph
 from repro.graph.model import PropertyGraph
 from repro.paths.pathset import PathSet
+from repro.semantics.restrictors import (
+    Restrictor,
+    recursive_closure,
+    recursive_closure_baseline,
+)
+
+_REPO_ROOT = FilePath(__file__).resolve().parent.parent
+
+#: Closure workloads recorded in BENCH_closure.json: (name, base factory,
+#: restrictors, max_length).  Cycles mirror the sparse tier of
+#: test_bench_restrictor_scaling; cliques its dense tier (the bound keeps the
+#: Trail closure tractable and covers every acyclic/simple path).
+_TRAJECTORY_SIZES = {"cycle": (4, 16), "clique": (4, 6)}
+_TRAJECTORY_RESTRICTORS = (
+    Restrictor.TRAIL,
+    Restrictor.ACYCLIC,
+    Restrictor.SIMPLE,
+    Restrictor.SHORTEST,
+)
+
+
+_quick_session = False
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    global _quick_session
+    config.addinivalue_line(
+        "markers",
+        "quick: smallest-size variant of a scaling benchmark (run with -m quick or BENCH_QUICK=1)",
+    )
+    # Either entry point to quick mode — the env var or selecting the quick
+    # marker — must also shrink the trajectory measurement below.
+    _quick_session = quick_mode() or "quick" in (config.option.markexpr or "")
 
 
 @pytest.fixture(scope="module")
@@ -27,4 +80,67 @@ def knows_edges(figure1: PropertyGraph) -> PathSet:
     """The Knows edges of Figure 1 (the base set of the Table 3 / Figure 5 examples)."""
     return PathSet.edges_of(figure1).filter(
         lambda path: figure1.edge(path.edge(1)).label == "Knows"
+    )
+
+
+def _best_of(callable_, repetitions: int = 3) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _closure_trajectory_entries() -> list[dict]:
+    quick = _quick_session
+    entries: list[dict] = []
+    for family, sizes in _TRAJECTORY_SIZES.items():
+        size = sizes[0] if quick else sizes[-1]
+        if family == "cycle":
+            graph = cycle_graph(size)
+            max_length = None
+        else:
+            graph = complete_graph(size)
+            max_length = size - 1
+        base = PathSet.edges_of(graph)
+        for restrictor in _TRAJECTORY_RESTRICTORS:
+            incremental_s, result = _best_of(
+                lambda: recursive_closure(base, restrictor, max_length)
+            )
+            baseline_s, baseline_result = _best_of(
+                lambda: recursive_closure_baseline(base, restrictor, max_length)
+            )
+            assert result == baseline_result, (family, size, restrictor)
+            entries.append(
+                {
+                    "workload": f"{family}-{size}",
+                    "restrictor": restrictor.value,
+                    "max_length": max_length,
+                    "paths": len(result),
+                    "incremental_s": round(incremental_s, 6),
+                    "baseline_s": round(baseline_s, 6),
+                    "speedup": round(baseline_s / incremental_s, 2),
+                }
+            )
+    return entries
+
+
+@pytest.fixture(scope="session", autouse=True)
+def closure_perf_trajectory() -> None:
+    """Write BENCH_closure.json after the benchmark session (both modes)."""
+    yield
+    entries = _closure_trajectory_entries()
+    write_bench_json(
+        str(_REPO_ROOT / "BENCH_closure.json"),
+        "closure-incremental-vs-baseline",
+        entries,
+        metadata={
+            "mode": "quick" if _quick_session else "full",
+            "strategies": {
+                "incremental": "recursive_closure (indexed frontier, O(1) restrictor checks)",
+                "baseline": "recursive_closure_baseline (per-round re-index + full re-scans)",
+            },
+        },
     )

@@ -3,10 +3,16 @@
 DESIGN.md design decision 1: the production evaluator prunes non-conforming
 paths *during* the fix point, while the reference strategy enumerates bounded
 walks and filters afterwards.  This experiment measures both strategies for
-each restrictor on cyclic graphs and layered DAGs of increasing size, asserts
-they agree, and reports how the restrictor choice affects the result size
-(the shape the paper's Section 4 discussion predicts: Walk ⊇ Trail ⊇
-Acyclic, Shortest smallest).
+each restrictor on cyclic graphs, layered DAGs and dense cliques of
+increasing size, asserts they agree, and reports how the restrictor choice
+affects the result size (the shape the paper's Section 4 discussion predicts:
+Walk ⊇ Trail ⊇ Acyclic, Shortest smallest).
+
+The clique tier stresses the restrictor *checks* themselves: almost every
+frontier extension is rejected, which is exactly the case the incremental
+closure engine (PERFORMANCE.md) turns from an O(path length) re-scan into an
+O(1) probe.  The smallest size of every tier carries the ``quick`` marker and
+is the only size run under ``BENCH_QUICK=1``.
 """
 
 from __future__ import annotations
@@ -14,17 +20,29 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.reporting import format_table
-from repro.datasets.generators import cycle_graph, layered_graph
+from repro.bench.workloads import select_sizes
+from repro.datasets.generators import complete_graph, cycle_graph, layered_graph
 from repro.paths.pathset import PathSet
 from repro.semantics.restrictors import (
     Restrictor,
     recursive_closure,
+    recursive_closure_baseline,
     recursive_closure_postfilter,
 )
 
 CYCLE_SIZES = (4, 8, 16)
+CLIQUE_SIZES = (4, 5, 6)
 POSTFILTER_BOUND = 8
 RESTRICTORS = (Restrictor.TRAIL, Restrictor.ACYCLIC, Restrictor.SIMPLE, Restrictor.SHORTEST)
+
+
+def _sized_params(sizes):
+    """Mark the smallest size of a tier as the quick-mode representative."""
+    selected = select_sizes(sizes)
+    return [
+        pytest.param(size, marks=pytest.mark.quick) if index == 0 else size
+        for index, size in enumerate(selected)
+    ]
 
 
 @pytest.fixture(scope="module")
@@ -33,16 +51,44 @@ def cycle_bases():
 
 
 @pytest.fixture(scope="module")
+def clique_bases():
+    return {size: PathSet.edges_of(complete_graph(size)) for size in CLIQUE_SIZES}
+
+
+@pytest.fixture(scope="module")
 def dag_base():
     return PathSet.edges_of(layered_graph(layers=5, width=4, fanout=2, seed=3))
 
 
-@pytest.mark.parametrize("size", CYCLE_SIZES)
+@pytest.mark.parametrize("size", _sized_params(CYCLE_SIZES))
 @pytest.mark.parametrize("restrictor", RESTRICTORS, ids=[r.value for r in RESTRICTORS])
 def test_pruned_closure_on_cycles(benchmark, cycle_bases, size, restrictor) -> None:
     base = cycle_bases[size]
     result = benchmark(recursive_closure, base, restrictor)
     assert len(result) > 0
+
+
+@pytest.mark.parametrize("size", _sized_params(CLIQUE_SIZES))
+@pytest.mark.parametrize("restrictor", RESTRICTORS, ids=[r.value for r in RESTRICTORS])
+def test_pruned_closure_on_cliques(benchmark, clique_bases, size, restrictor) -> None:
+    """Dense tier: out-degree n-1 everywhere, so restrictor checks dominate.
+
+    The bound ``n - 1`` covers every acyclic/simple path and keeps the Trail
+    closure tractable on the larger cliques.
+    """
+    base = clique_bases[size]
+    result = benchmark(recursive_closure, base, restrictor, size - 1)
+    assert len(result) > 0
+
+
+@pytest.mark.parametrize("restrictor", RESTRICTORS, ids=[r.value for r in RESTRICTORS])
+def test_incremental_equals_baseline_on_largest_clique(clique_bases, restrictor) -> None:
+    """The incremental engine and the per-round-rebuild baseline agree exactly."""
+    size = max(CLIQUE_SIZES)
+    base = clique_bases[size]
+    assert recursive_closure(base, restrictor, size - 1) == recursive_closure_baseline(
+        base, restrictor, size - 1
+    )
 
 
 @pytest.mark.parametrize("restrictor", RESTRICTORS, ids=[r.value for r in RESTRICTORS])

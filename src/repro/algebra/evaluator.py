@@ -32,6 +32,7 @@ from repro.algebra.expressions import (
 from repro.algebra.solution_space import SolutionSpace, group_by, order_by, project
 from repro.errors import EvaluationError
 from repro.graph.model import PropertyGraph
+from repro.paths.join_index import JoinIndex
 from repro.paths.pathset import PathSet
 from repro.semantics.restrictors import recursive_closure
 
@@ -182,7 +183,11 @@ class Evaluator:
         max_length = expression.max_length
         if max_length is None:
             max_length = self.default_max_length
-        result = recursive_closure(child, expression.restrictor, max_length)
+        # The base is already materialized, so the join index is built exactly
+        # once here and shared by every fix-point round of the closure.
+        result = recursive_closure(
+            child, expression.restrictor, max_length, join_index=JoinIndex(child)
+        )
         return self._record(expression, result)
 
     def _eval_group_by(self, expression: GroupBy) -> SolutionSpace:

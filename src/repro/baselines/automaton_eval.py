@@ -97,12 +97,16 @@ def evaluate_rpq_shortest_witnesses(
     witness among equally short ones depends on edge iteration order).
     """
     nfa = build_nfa(regex)
-    results = PathSet()
     start_nodes = sources if sources is not None else tuple(graph.node_ids())
 
-    for source in start_nodes:
-        results.update(_shortest_witnesses_from(graph, nfa, source))
-    return results
+    # Witnesses are unique by construction: every witness starts at its BFS
+    # source and at most one is produced per (source, target) pair, so the
+    # result set can be bulk-built without per-path dedup probes.  Duplicate
+    # caller-supplied sources are collapsed to keep that guarantee.
+    witnesses: list[Path] = []
+    for source in dict.fromkeys(start_nodes):
+        witnesses.extend(_shortest_witnesses_from(graph, nfa, source))
+    return PathSet.from_unique(witnesses)
 
 
 def _shortest_witnesses_from(graph: PropertyGraph, nfa: NFA, source: str) -> list[Path]:

@@ -1,12 +1,14 @@
 """Benchmark-harness utilities: workloads and result formatting."""
 
-from repro.bench.reporting import format_check, format_table, print_table
+from repro.bench.reporting import format_check, format_table, print_table, write_bench_json
 from repro.bench.workloads import (
     Workload,
     cyclic_workloads,
     dag_workloads,
     figure1_workload,
+    quick_mode,
     scaling_workloads,
+    select_sizes,
     selectivity_workloads,
 )
 
@@ -20,4 +22,7 @@ __all__ = [
     "format_table",
     "format_check",
     "print_table",
+    "write_bench_json",
+    "quick_mode",
+    "select_sizes",
 ]

@@ -8,9 +8,10 @@ they can also be used from the examples.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import json
+from typing import Iterable, Mapping, Sequence
 
-__all__ = ["format_table", "format_check", "print_table"]
+__all__ = ["format_table", "format_check", "print_table", "write_bench_json"]
 
 
 def format_table(
@@ -52,6 +53,28 @@ def print_table(
     """Print a table built by :func:`format_table` (convenience for benchmarks)."""
     print()
     print(format_table(headers, rows, title))
+
+
+def write_bench_json(
+    path: str,
+    benchmark: str,
+    entries: Iterable[Mapping[str, object]],
+    metadata: Mapping[str, object] | None = None,
+) -> dict:
+    """Write a machine-readable benchmark report (the ``BENCH_*.json`` trajectory).
+
+    ``entries`` is a sequence of flat dictionaries, one per measured workload
+    (name, timings, sizes, derived ratios).  The file is deterministic
+    (sorted keys, trailing newline) so successive PRs produce meaningful
+    diffs.  Returns the payload that was written.
+    """
+    payload: dict = {"benchmark": benchmark, "entries": [dict(entry) for entry in entries]}
+    if metadata:
+        payload["metadata"] = dict(metadata)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
 
 
 def _stringify(cell: object) -> str:

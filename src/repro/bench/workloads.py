@@ -7,14 +7,44 @@ benchmark file in ``benchmarks/`` stays declarative.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence, TypeVar
 
 from repro.datasets.figure1 import figure1_graph
 from repro.datasets.generators import chain_graph, cycle_graph, grid_graph, layered_graph, random_graph
 from repro.graph.model import PropertyGraph
 
-__all__ = ["Workload", "figure1_workload", "scaling_workloads", "selectivity_workloads"]
+__all__ = [
+    "Workload",
+    "figure1_workload",
+    "scaling_workloads",
+    "selectivity_workloads",
+    "quick_mode",
+    "select_sizes",
+]
+
+_SizeT = TypeVar("_SizeT")
+
+
+def quick_mode() -> bool:
+    """Whether the ``quick`` benchmark mode is active (``BENCH_QUICK=1``).
+
+    In quick mode every size-parameterized benchmark runs only at its smallest
+    configured size, so a full pass over ``benchmarks/`` stays cheap enough
+    for CI while still exercising every code path and refreshing the
+    ``BENCH_*.json`` perf trajectory.
+    """
+    return os.environ.get("BENCH_QUICK", "") not in ("", "0")
+
+
+def select_sizes(sizes: Sequence[_SizeT]) -> Sequence[_SizeT]:
+    """Return ``sizes`` unchanged, or only the smallest in quick mode.
+
+    Benchmarks list their sizes in ascending order; quick mode keeps the
+    first entry.
+    """
+    return sizes[:1] if quick_mode() else sizes
 
 
 @dataclass

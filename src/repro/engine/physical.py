@@ -44,6 +44,7 @@ from repro.algebra.expressions import (
 from repro.algebra.solution_space import group_by, order_by, project
 from repro.errors import EvaluationError
 from repro.graph.model import PropertyGraph
+from repro.paths.join_index import JoinIndex
 from repro.paths.path import Path
 from repro.paths.pathset import PathSet
 from repro.semantics.restrictors import recursive_closure
@@ -125,13 +126,10 @@ class _HashJoinOp(_PhysicalOperator):
         self._right = right
 
     def paths(self) -> Iterator[Path]:
-        by_first: dict[str, list[Path]] = {}
-        for path in self._right.paths():
-            by_first.setdefault(path.first(), []).append(path)
+        index = JoinIndex(self._right.paths())
         seen: set[Path] = set()
         for left_path in self._left.paths():
-            for right_path in by_first.get(left_path.last(), ()):
-                joined = left_path.concat(right_path)
+            for joined in index.join_from(left_path):
                 if joined not in seen:
                     seen.add(joined)
                     yield self._emit(joined)
@@ -198,11 +196,16 @@ class _RecursiveOp(_PhysicalOperator):
         self._default_max_length = default_max_length
 
     def paths(self) -> Iterator[Path]:
-        base = PathSet(self._child.paths())
+        # Every upstream operator deduplicates while streaming, so the base
+        # can be bulk-materialized without re-probing each path; the join
+        # index over it is built once and shared by all fix-point rounds.
+        base = PathSet.from_unique(self._child.paths())
         max_length = self._expression.max_length
         if max_length is None:
             max_length = self._default_max_length
-        closure = recursive_closure(base, self._expression.restrictor, max_length)
+        closure = recursive_closure(
+            base, self._expression.restrictor, max_length, join_index=JoinIndex(base)
+        )
         for path in closure:
             yield self._emit(path)
 
@@ -227,7 +230,7 @@ class _SolutionSpaceOp(_PhysicalOperator):
         self._pipeline = pipeline
 
     def paths(self) -> Iterator[Path]:
-        current = PathSet(self._child.paths())
+        current = PathSet.from_unique(self._child.paths())
         space = None
         for stage in self._pipeline:
             if isinstance(stage, GroupBy):
@@ -256,8 +259,12 @@ class PhysicalPlan:
     logical_plan: Expression
 
     def execute(self) -> PathSet:
-        """Run the pipeline to completion and return the result paths."""
-        return PathSet(self.root.paths())
+        """Run the pipeline to completion and return the result paths.
+
+        Physical operators deduplicate while streaming, so the root's output
+        is bulk-collected without a second round of dedup probes.
+        """
+        return PathSet.from_unique(self.root.paths())
 
     def stream(self, limit: int | None = None) -> Iterator[Path]:
         """Yield result paths lazily; stop after ``limit`` paths when given."""

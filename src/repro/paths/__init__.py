@@ -1,5 +1,6 @@
 """Paths, path sets and path predicates (paper Section 2.2 and 3.1)."""
 
+from repro.paths.join_index import JoinIndex
 from repro.paths.operators import concat, edge, first, label, last, length, node, prop
 from repro.paths.path import Path
 from repro.paths.pathset import PathSet
@@ -17,6 +18,7 @@ from repro.paths.predicates import (
 __all__ = [
     "Path",
     "PathSet",
+    "JoinIndex",
     "first",
     "last",
     "node",

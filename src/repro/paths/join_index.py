@@ -1,0 +1,72 @@
+"""Reusable first-node join index over a set of base paths.
+
+Every consumer of the path join ``S1 ⋈ S2`` — :meth:`PathSet.join
+<repro.paths.pathset.PathSet.join>`, the four closure strategies of
+:mod:`repro.semantics.restrictors`, and the physical ``_RecursiveOp`` — needs
+the same auxiliary structure: the right-hand paths bucketed by their first
+node, so that the extensions of a path ending in node ``v`` can be enumerated
+in time proportional to their number.
+
+The seed implementation rebuilt that dictionary on *every* fix-point round
+even though the base set never changes during a closure.  :class:`JoinIndex`
+makes the index a first-class value that is built once and shared: a closure
+builds it before entering the fix point, and a caller that already holds an
+index (for example the physical recursive operator, which materializes its
+input anyway) can hand it to :func:`~repro.semantics.restrictors.recursive_closure`
+so the work is never repeated.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.paths.path import Path
+
+__all__ = ["JoinIndex"]
+
+_EMPTY: tuple[Path, ...] = ()
+
+
+class JoinIndex:
+    """Paths of a base set bucketed by their first node.
+
+    The index is immutable by convention: it is built once from an iterable of
+    paths and only queried afterwards, which is what makes it safe to share
+    between a ``PathSet`` join and the rounds of a fix-point closure.
+    """
+
+    __slots__ = ("_by_first", "_size")
+
+    def __init__(self, paths: Iterable[Path]) -> None:
+        by_first: dict[str, list[Path]] = {}
+        size = 0
+        for path in paths:
+            by_first.setdefault(path.first(), []).append(path)
+            size += 1
+        self._by_first = by_first
+        self._size = size
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def extensions(self, node_id: str) -> list[Path] | tuple[Path, ...]:
+        """Return the base paths starting at ``node_id`` (possibly empty)."""
+        return self._by_first.get(node_id, _EMPTY)
+
+    def first_nodes(self) -> Iterator[str]:
+        """Iterate over the distinct first nodes occurring in the base."""
+        return iter(self._by_first)
+
+    def join_from(self, left: Path) -> Iterator[Path]:
+        """Yield ``left ∘ e`` for every indexed extension ``e`` of ``left``."""
+        for extension in self._by_first.get(left.last(), _EMPTY):
+            yield left.concat(extension)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __repr__(self) -> str:
+        return f"JoinIndex(paths={self._size}, first_nodes={len(self._by_first)})"

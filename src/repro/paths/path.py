@@ -43,11 +43,30 @@ class Path:
         self._graph = graph
         self._nodes: tuple[str, ...] = tuple(nodes)
         self._edges: tuple[str, ...] = tuple(edges)
-        self._hash = hash((self._nodes, self._edges))
+        # Hashing is lazy: frontier paths produced during a closure that are
+        # pruned before entering any set never pay for it.
+        self._hash: int | None = None
 
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
+    @classmethod
+    def _unchecked(
+        cls, graph: PropertyGraph, nodes: tuple[str, ...], edges: tuple[str, ...]
+    ) -> "Path":
+        """Build a path from already-validated tuples, bypassing ``__init__``.
+
+        Internal fast path for :meth:`concat`, :meth:`prefix` / :meth:`suffix`
+        and the closure engine, where the alternating-sequence invariant holds
+        by construction.
+        """
+        path = object.__new__(cls)
+        path._graph = graph
+        path._nodes = nodes
+        path._edges = edges
+        path._hash = None
+        return path
+
     @classmethod
     def from_node(cls, graph: PropertyGraph, node_id: str) -> "Path":
         """Return the length-zero path consisting of ``node_id``."""
@@ -164,9 +183,9 @@ class Path:
             raise PathConcatenationError(
                 f"cannot concatenate: Last(p1)={self.last()!r} != First(p2)={other.first()!r}"
             )
-        nodes = self._nodes + other._nodes[1:]
-        edges = self._edges + other._edges
-        return Path(self._graph, nodes, edges, validate=False)
+        return Path._unchecked(
+            self._graph, self._nodes + other._nodes[1:], self._edges + other._edges
+        )
 
     def can_concat(self, other: "Path") -> bool:
         """Return ``True`` when ``self ∘ other`` is defined."""
@@ -176,16 +195,16 @@ class Path:
         """Return the prefix of the path containing the first ``length`` edges."""
         if length < 0 or length > self.len():
             raise InvalidPathError(f"prefix length {length} out of range 0..{self.len()}")
-        return Path(self._graph, self._nodes[: length + 1], self._edges[:length], validate=False)
+        return Path._unchecked(self._graph, self._nodes[: length + 1], self._edges[:length])
 
     def suffix(self, length: int) -> "Path":
         """Return the suffix of the path containing the last ``length`` edges."""
         if length < 0 or length > self.len():
             raise InvalidPathError(f"suffix length {length} out of range 0..{self.len()}")
         if length == 0:
-            return Path(self._graph, [self._nodes[-1]], [], validate=False)
-        return Path(
-            self._graph, self._nodes[-(length + 1):], self._edges[-length:], validate=False
+            return Path._unchecked(self._graph, (self._nodes[-1],), ())
+        return Path._unchecked(
+            self._graph, self._nodes[-(length + 1):], self._edges[-length:]
         )
 
     def reverse_endpoints(self) -> tuple[str, str]:
@@ -208,10 +227,19 @@ class Path:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Path):
             return NotImplemented
+        if (
+            self._hash is not None
+            and other._hash is not None
+            and self._hash != other._hash
+        ):
+            return False
         return self._nodes == other._nodes and self._edges == other._edges
 
     def __hash__(self) -> int:
-        return self._hash
+        value = self._hash
+        if value is None:
+            value = self._hash = hash((self._nodes, self._edges))
+        return value
 
     def __lt__(self, other: "Path") -> bool:
         if not isinstance(other, Path):

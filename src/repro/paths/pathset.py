@@ -12,19 +12,26 @@ from __future__ import annotations
 from typing import Callable, Iterable, Iterator
 
 from repro.graph.model import PropertyGraph
+from repro.paths.join_index import JoinIndex
 from repro.paths.path import Path
 
 __all__ = ["PathSet"]
 
 
 class PathSet:
-    """An ordered, duplicate-free collection of paths."""
+    """An ordered, duplicate-free collection of paths.
+
+    The membership index (a hash set over the paths) is built lazily: sets
+    constructed through :meth:`from_unique` defer hashing until the first
+    containment / equality / ``add`` call, so pipelines that only iterate a
+    result never pay for it.
+    """
 
     __slots__ = ("_paths", "_index")
 
     def __init__(self, paths: Iterable[Path] = ()) -> None:
         self._paths: list[Path] = []
-        self._index: set[Path] = set()
+        self._index: set[Path] | None = set()
         for path in paths:
             self.add(path)
 
@@ -34,26 +41,47 @@ class PathSet:
     @classmethod
     def nodes_of(cls, graph: PropertyGraph) -> "PathSet":
         """``Nodes(G)`` — all length-zero paths of the graph."""
-        return cls(Path.from_node(graph, node_id) for node_id in graph.node_ids())
+        return cls.from_unique(Path.from_node(graph, node_id) for node_id in graph.node_ids())
 
     @classmethod
     def edges_of(cls, graph: PropertyGraph) -> "PathSet":
         """``Edges(G)`` — all length-one paths of the graph."""
-        return cls(Path.from_edge(graph, edge_id) for edge_id in graph.edge_ids())
+        return cls.from_unique(Path.from_edge(graph, edge_id) for edge_id in graph.edge_ids())
 
     @classmethod
     def empty(cls) -> "PathSet":
         """Return an empty path set."""
         return cls()
 
+    @classmethod
+    def from_unique(cls, paths: Iterable[Path]) -> "PathSet":
+        """Bulk-build from paths the producer guarantees to be duplicate-free.
+
+        Skips the per-path dedup probe of :meth:`add` and defers building the
+        membership index until it is first needed.  Callers are responsible
+        for the uniqueness guarantee (scans, filters of unique inputs, and
+        the physical pipeline operators, which all dedup while streaming).
+        """
+        result = object.__new__(cls)
+        result._paths = list(paths)
+        result._index = None
+        return result
+
     # ------------------------------------------------------------------
     # Mutation (used during construction only)
     # ------------------------------------------------------------------
+    def _ensure_index(self) -> set[Path]:
+        index = self._index
+        if index is None:
+            index = self._index = set(self._paths)
+        return index
+
     def add(self, path: Path) -> bool:
         """Add ``path`` if not already present; return ``True`` if it was added."""
-        if path in self._index:
+        index = self._ensure_index()
+        if path in index:
             return False
-        self._index.add(path)
+        index.add(path)
         self._paths.append(path)
         return True
 
@@ -70,36 +98,35 @@ class PathSet:
     # ------------------------------------------------------------------
     def union(self, other: "PathSet") -> "PathSet":
         """Return the set union, preserving this set's order first."""
-        result = PathSet(self._paths)
+        result = PathSet.from_unique(self._paths)
         result.update(other._paths)
         return result
 
     def intersection(self, other: "PathSet") -> "PathSet":
         """Return the paths present in both sets."""
-        return PathSet(path for path in self._paths if path in other)
+        return PathSet.from_unique(path for path in self._paths if path in other)
 
     def difference(self, other: "PathSet") -> "PathSet":
         """Return the paths present in this set but not in ``other``."""
-        return PathSet(path for path in self._paths if path not in other)
+        return PathSet.from_unique(path for path in self._paths if path not in other)
 
     def filter(self, predicate: Callable[[Path], bool]) -> "PathSet":
         """Return the paths satisfying ``predicate`` (order preserved)."""
-        return PathSet(path for path in self._paths if predicate(path))
+        return PathSet.from_unique(path for path in self._paths if predicate(path))
 
-    def join(self, other: "PathSet") -> "PathSet":
+    def join(self, other: "PathSet | JoinIndex") -> "PathSet":
         """Path join ``self ⋈ other``: concatenate every compatible pair.
 
         A pair ``(p1, p2)`` is compatible when ``Last(p1) == First(p2)``.  The
-        implementation indexes ``other`` by first node so the join costs
-        ``O(|self| + |other| + |result|)`` pair probes rather than the naive
-        quadratic scan.
+        right side is indexed by first node (see :class:`JoinIndex`) so the
+        join costs ``O(|self| + |other| + |result|)`` pair probes rather than
+        the naive quadratic scan; callers that join against the same base
+        repeatedly can pass a prebuilt :class:`JoinIndex` directly.
         """
-        by_first: dict[str, list[Path]] = {}
-        for path in other._paths:
-            by_first.setdefault(path.first(), []).append(path)
+        index = other if isinstance(other, JoinIndex) else JoinIndex(other._paths)
         result = PathSet()
         for left in self._paths:
-            for right in by_first.get(left.last(), ()):
+            for right in index.extensions(left.last()):
                 result.add(left.concat(right))
         return result
 
@@ -147,7 +174,7 @@ class PathSet:
     # Dunder protocol
     # ------------------------------------------------------------------
     def __contains__(self, path: object) -> bool:
-        return path in self._index
+        return path in self._ensure_index()
 
     def __iter__(self) -> Iterator[Path]:
         return iter(self._paths)
@@ -161,7 +188,7 @@ class PathSet:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, PathSet):
             return NotImplemented
-        return self._index == other._index
+        return self._ensure_index() == other._ensure_index()
 
     def __or__(self, other: "PathSet") -> "PathSet":
         return self.union(other)

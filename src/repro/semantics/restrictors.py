@@ -16,14 +16,23 @@ implements the five variants of the paper:
 * :data:`Restrictor.SIMPLE`   — no repeated nodes except first == last;
 * :data:`Restrictor.SHORTEST` — only minimum-length paths per endpoint pair.
 
-Two evaluation strategies are provided:
+Three evaluation strategies are provided:
 
-* :func:`recursive_closure` — the production strategy, which prunes paths
-  violating the restrictor *during* the fix point so that Trail / Acyclic /
-  Simple / Shortest terminate on any graph;
+* :func:`recursive_closure` — the production strategy: an *incremental*
+  fix point that builds the :class:`~repro.paths.join_index.JoinIndex` once,
+  carries per-frontier-path visited-edge/node state so restrictor conformance
+  of an extension is an O(1) membership probe on the appended segment, and
+  never constructs (or hashes) a pruned candidate path;
+* :func:`recursive_closure_baseline` — the pre-incremental strategy that
+  re-indexes the base and re-scans every candidate end-to-end on each round;
+  kept as the performance baseline for ``BENCH_closure.json`` and as an
+  additional oracle;
 * :func:`recursive_closure_postfilter` — the reference strategy that first
   enumerates bounded walks and then filters, used by the ablation benchmark
   (DESIGN.md, design decision 1) and by property tests as an oracle.
+
+The execution model and the invariants that make incremental pruning complete
+are documented in ``PERFORMANCE.md``.
 """
 
 from __future__ import annotations
@@ -34,13 +43,22 @@ from itertools import count
 from typing import Callable
 
 from repro.errors import NonTerminatingQueryError
+from repro.paths.join_index import JoinIndex
 from repro.paths.path import Path
 from repro.paths.pathset import PathSet
-from repro.paths.predicates import is_acyclic, is_simple, is_trail
+from repro.paths.predicates import (
+    extend_acyclic_state,
+    extend_simple_state,
+    extend_trail_state,
+    is_acyclic,
+    is_simple,
+    is_trail,
+)
 
 __all__ = [
     "Restrictor",
     "recursive_closure",
+    "recursive_closure_baseline",
     "recursive_closure_postfilter",
     "shortest_paths_per_pair",
     "filter_by_restrictor",
@@ -79,7 +97,7 @@ def filter_by_restrictor(paths: PathSet, restrictor: Restrictor) -> PathSet:
     only the minimum-length paths.
     """
     if restrictor is Restrictor.WALK:
-        return PathSet(paths)
+        return PathSet.from_unique(paths)
     if restrictor is Restrictor.SHORTEST:
         return shortest_paths_per_pair(paths)
     predicate = _PREDICATES[restrictor]
@@ -87,20 +105,30 @@ def filter_by_restrictor(paths: PathSet, restrictor: Restrictor) -> PathSet:
 
 
 def shortest_paths_per_pair(paths: PathSet) -> PathSet:
-    """Keep, for every ``(First(p), Last(p))`` pair, only the minimum-length paths."""
+    """Keep, for every ``(First(p), Last(p))`` pair, only the minimum-length paths.
+
+    Endpoints and lengths are computed once per path in a single pass; the
+    final selection runs over the cached annotations, preserving input order.
+    """
     best: dict[tuple[str, str], int] = {}
+    annotated: list[tuple[tuple[str, str], int, Path]] = []
     for path in paths:
         key = path.endpoints()
         length = path.len()
-        if key not in best or length < best[key]:
+        annotated.append((key, length, path))
+        known = best.get(key)
+        if known is None or length < known:
             best[key] = length
-    return paths.filter(lambda path: path.len() == best[path.endpoints()])
+    return PathSet.from_unique(
+        path for key, length, path in annotated if length == best[key]
+    )
 
 
 def recursive_closure(
     base: PathSet,
     restrictor: Restrictor = Restrictor.WALK,
     max_length: int | None = None,
+    join_index: JoinIndex | None = None,
 ) -> PathSet:
     """Evaluate ``ϕ_restrictor(base)`` (Definition 4.1 specialized per Section 4).
 
@@ -110,6 +138,10 @@ def recursive_closure(
         max_length: Optional bound on the length of produced paths.  Mandatory
             for WALK over inputs whose closure is infinite; ignored by
             SHORTEST (which always terminates).
+        join_index: Optional prebuilt :class:`JoinIndex` over ``base``.
+            Callers that materialize the base anyway (the physical
+            ``_RecursiveOp``, the logical evaluator) pass it in so the index
+            is built exactly once per closure.
 
     Raises:
         NonTerminatingQueryError: for WALK without ``max_length`` when the
@@ -117,12 +149,13 @@ def recursive_closure(
             the total number of distinct edges in the base, which implies a
             reachable cycle and therefore infinitely many walks).
     """
+    if join_index is None:
+        join_index = JoinIndex(base)
     if restrictor is Restrictor.SHORTEST:
-        return _closure_shortest(base, max_length)
+        return _closure_shortest(base, max_length, join_index)
     if restrictor is Restrictor.WALK:
-        return _closure_walk(base, max_length)
-    predicate = _PREDICATES[restrictor]
-    return _closure_pruned(base, predicate, max_length)
+        return _closure_walk(base, max_length, join_index)
+    return _closure_pruned(base, restrictor, max_length, join_index)
 
 
 def recursive_closure_postfilter(
@@ -137,50 +170,96 @@ def recursive_closure_postfilter(
     the restrictor.  Results are identical to the pruning strategy whenever
     ``max_length`` is large enough to cover every conforming path.
     """
-    walks = _closure_walk(base, max_length)
+    walks = _closure_walk(base, max_length, JoinIndex(base))
     return filter_by_restrictor(walks, restrictor)
 
 
 # ----------------------------------------------------------------------
 # Walk closure
 # ----------------------------------------------------------------------
-def _closure_walk(base: PathSet, max_length: int | None) -> PathSet:
+def _closure_walk(base: PathSet, max_length: int | None, index: JoinIndex) -> PathSet:
     """Fix point of Definition 4.1 with an optional length bound.
 
     Without a bound, a sound non-termination detector is used: if any produced
     path becomes longer than the total number of distinct edges occurring in
     ``base``, some edge repeats, hence the base contains a reachable cycle and
     the walk closure is infinite.
+
+    The length bound is checked *before* the candidate path is constructed, so
+    out-of-bound extensions cost two integer additions and nothing else.
     """
     distinct_edges = {edge_id for path in base for edge_id in path.edge_ids}
     termination_bound = len(distinct_edges)
 
-    result = PathSet(base)
-    frontier = list(base)
+    if not len(base):
+        return PathSet.from_unique(base)
+    graph = next(iter(base)).graph
+    bound = max_length if max_length is not None else termination_bound
+    guard = max_length is None
+    buckets = _annotate_extensions(index, lambda ext: ())
+    unchecked = Path._unchecked
+    bucket_of = buckets.get
+
+    # Accumulate into a plain list + set: Path hashes are cached, so handing
+    # the list to from_unique at the end costs nothing extra.
+    result_paths: list[Path] = list(base)
+    seen: set[Path] = set(result_paths)
+    frontier: list[Path] = list(result_paths)
     while frontier:
         produced: list[Path] = []
-        joined = PathSet(frontier).join(base)
-        for path in joined:
-            if max_length is not None and path.len() > max_length:
+        for path in frontier:
+            extensions = bucket_of(path.last())
+            if not extensions:
                 continue
-            if max_length is None and path.len() > termination_bound:
-                raise NonTerminatingQueryError(
-                    "ϕWalk does not terminate on this input (cycle detected); "
-                    "provide max_length or use a restricted ϕ variant"
-                )
-            if result.add(path):
-                produced.append(path)
+            length = path.len()
+            nodes = path.node_ids
+            edges = path.edge_ids
+            for ext_len, _, nodes_tail, ext_edges in extensions:
+                if length + ext_len > bound:
+                    if guard:
+                        raise NonTerminatingQueryError(
+                            "ϕWalk does not terminate on this input (cycle detected); "
+                            "provide max_length or use a restricted ϕ variant"
+                        )
+                    continue
+                joined = unchecked(graph, nodes + nodes_tail, edges + ext_edges)
+                if joined not in seen:
+                    seen.add(joined)
+                    result_paths.append(joined)
+                    produced.append(joined)
         frontier = produced
-    return result
+    return PathSet.from_unique(result_paths)
 
 
 # ----------------------------------------------------------------------
 # Pruned closures (Trail / Acyclic / Simple)
 # ----------------------------------------------------------------------
+def _annotate_extensions(
+    index: JoinIndex,
+    check_ids_of: Callable[[Path], tuple[str, ...]],
+) -> dict[str, list[tuple[int, tuple[str, ...], tuple[str, ...], tuple[str, ...]]]]:
+    """Precompute, per first node, the per-extension data the hot loop needs.
+
+    Each entry is ``(length, check_ids, appended_nodes, appended_edges)``:
+    the identifiers probed by the incremental restrictor check and the tuples
+    concatenated onto an accepted frontier path.  Derived from the shared
+    :class:`JoinIndex` once per closure so the fix-point rounds never re-slice
+    an extension.
+    """
+    buckets: dict[str, list[tuple[int, tuple[str, ...], tuple[str, ...], tuple[str, ...]]]] = {}
+    for node_id in index.first_nodes():
+        buckets[node_id] = [
+            (ext.len(), check_ids_of(ext), ext.node_ids[1:], ext.edge_ids)
+            for ext in index.extensions(node_id)
+        ]
+    return buckets
+
+
 def _closure_pruned(
     base: PathSet,
-    predicate: Callable[[Path], bool],
+    restrictor: Restrictor,
     max_length: int | None,
+    index: JoinIndex,
 ) -> PathSet:
     """Fix point that discards non-conforming paths as soon as they appear.
 
@@ -188,28 +267,76 @@ def _closure_pruned(
     last base segment from a conforming path yields a conforming path: the
     prefix of a trail is a trail, the prefix of an acyclic path is acyclic,
     and the prefix of a simple path is acyclic (hence simple).
+
+    Each frontier entry carries the set of visited edges (Trail) or nodes
+    (Acyclic / Simple), so conformance of an extension is decided by O(1)
+    membership probes on the appended segment — see the ``extend_*_state``
+    checkers in :mod:`repro.paths.predicates` — and rejected candidates are
+    never constructed, hashed, or re-scanned.  The path-level predicates
+    remain as oracles for the property tests.
     """
+    predicate = _PREDICATES[restrictor]
     conforming_base = [path for path in base if predicate(path)]
-    result = PathSet(conforming_base)
-    frontier = list(conforming_base)
+    if not conforming_base:
+        return PathSet.from_unique(conforming_base)
+
+    trail = restrictor is Restrictor.TRAIL
+    simple = restrictor is Restrictor.SIMPLE
+    graph = conforming_base[0].graph
+    bound = max_length if max_length is not None else float("inf")
+    if trail:
+        buckets = _annotate_extensions(index, lambda ext: ext.edge_ids)
+        frontier = [(path, set(path.edge_ids)) for path in conforming_base]
+    else:
+        buckets = _annotate_extensions(index, lambda ext: ext.node_ids[1:])
+        frontier = [(path, set(path.node_ids)) for path in conforming_base]
+
+    unchecked = Path._unchecked
+    bucket_of = buckets.get
+    extend_trail = extend_trail_state
+    extend_acyclic = extend_acyclic_state
+    extend_simple = extend_simple_state
+
+    result_paths: list[Path] = list(conforming_base)
+    seen: set[Path] = set(result_paths)
     while frontier:
-        produced: list[Path] = []
-        joined = PathSet(frontier).join(base)
-        for path in joined:
-            if max_length is not None and path.len() > max_length:
+        produced: list[tuple[Path, set[str]]] = []
+        for path, visited in frontier:
+            extensions = bucket_of(path.last())
+            if not extensions:
                 continue
-            if not predicate(path):
-                continue
-            if result.add(path):
-                produced.append(path)
+            length = path.len()
+            nodes = path.node_ids
+            edges = path.edge_ids
+            if simple:
+                first = nodes[0]
+                closed = length > 0 and first == nodes[-1]
+            for ext_len, check_ids, nodes_tail, ext_edges in extensions:
+                if length + ext_len > bound:
+                    continue
+                if trail:
+                    extended = extend_trail(visited, check_ids)
+                elif simple:
+                    extended = extend_simple(visited, first, closed, check_ids)
+                else:
+                    extended = extend_acyclic(visited, check_ids)
+                if extended is None:
+                    continue
+                joined = unchecked(graph, nodes + nodes_tail, edges + ext_edges)
+                if joined not in seen:
+                    seen.add(joined)
+                    result_paths.append(joined)
+                    produced.append((joined, extended))
         frontier = produced
-    return result
+    return PathSet.from_unique(result_paths)
 
 
 # ----------------------------------------------------------------------
 # Shortest closure
 # ----------------------------------------------------------------------
-def _closure_shortest(base: PathSet, max_length: int | None) -> PathSet:
+def _closure_shortest(
+    base: PathSet, max_length: int | None, index: JoinIndex
+) -> PathSet:
     """All minimum-length closure paths per endpoint pair (ϕShortest).
 
     The base paths are treated as weighted edges of a *derived graph* (weight
@@ -219,7 +346,115 @@ def _closure_shortest(base: PathSet, max_length: int | None) -> PathSet:
     endpoints can never be prefixes of new shortest compositions (a shorter
     prefix always exists in the closure), so they are discarded, which
     guarantees termination even on cyclic inputs.
+
+    Base paths that are already dominated at insert time — another base path
+    connects the same endpoint pair with strictly fewer edges — are skipped
+    instead of pushed: the shorter path pops first, so the dominated one could
+    only ever be discarded at pop time anyway.
     """
+    best_base: dict[tuple[str, str], int] = {}
+    for path in base:
+        if max_length is not None and path.len() > max_length:
+            continue
+        key = path.endpoints()
+        length = path.len()
+        known = best_base.get(key)
+        if known is None or length < known:
+            best_base[key] = length
+
+    best: dict[tuple[str, str], int] = {}
+    results = PathSet()
+    tie_breaker = count()
+
+    heap: list[tuple[int, int, Path]] = []
+    for path in base:
+        length = path.len()
+        if max_length is not None and length > max_length:
+            continue
+        if length > best_base[path.endpoints()]:
+            continue
+        heapq.heappush(heap, (length, next(tie_breaker), path))
+
+    seen: set[Path] = set()
+    while heap:
+        length, _, path = heapq.heappop(heap)
+        if path in seen:
+            continue
+        seen.add(path)
+        key = path.endpoints()
+        known = best.get(key)
+        if known is None:
+            best[key] = length
+        elif length > known:
+            continue
+        results.add(path)
+        last = path.last()
+        for extension in index.extensions(last):
+            new_length = length + extension.len()
+            if max_length is not None and new_length > max_length:
+                continue
+            new_key = (path.first(), extension.last())
+            known_new = best.get(new_key)
+            if known_new is not None and new_length > known_new:
+                continue
+            new_path = path.concat(extension)
+            if new_path not in seen:
+                heapq.heappush(heap, (new_length, next(tie_breaker), new_path))
+    return results
+
+
+# ----------------------------------------------------------------------
+# Pre-incremental baseline (perf oracle)
+# ----------------------------------------------------------------------
+def recursive_closure_baseline(
+    base: PathSet,
+    restrictor: Restrictor = Restrictor.WALK,
+    max_length: int | None = None,
+) -> PathSet:
+    """The pre-incremental closure strategy, retained as a measurable baseline.
+
+    On every fix-point round it wraps the frontier in a fresh :class:`PathSet`
+    (re-hashing every path), re-indexes the unchanged base via
+    :meth:`PathSet.join`, and classifies each candidate with a full
+    end-to-end predicate scan.  Results are identical to
+    :func:`recursive_closure` (asserted by the equivalence property tests);
+    only the work per candidate differs.  ``BENCH_closure.json`` records the
+    speedup of the incremental engine over this strategy.
+    """
+    if restrictor is Restrictor.SHORTEST:
+        return _baseline_shortest(base, max_length)
+    predicate = _PREDICATES.get(restrictor)
+    if predicate is None:
+        conforming = list(base)
+    else:
+        conforming = [path for path in base if predicate(path)]
+
+    distinct_edges = {edge_id for path in base for edge_id in path.edge_ids}
+    termination_bound = len(distinct_edges)
+
+    result = PathSet(conforming)
+    frontier = list(conforming)
+    while frontier:
+        produced: list[Path] = []
+        joined = PathSet(frontier).join(base)
+        for path in joined:
+            if max_length is not None and path.len() > max_length:
+                continue
+            if predicate is None and max_length is None and path.len() > termination_bound:
+                raise NonTerminatingQueryError(
+                    "ϕWalk does not terminate on this input (cycle detected); "
+                    "provide max_length or use a restricted ϕ variant"
+                )
+            if predicate is not None and not predicate(path):
+                continue
+            if result.add(path):
+                produced.append(path)
+        frontier = produced
+    return result
+
+
+def _baseline_shortest(base: PathSet, max_length: int | None) -> PathSet:
+    """The pre-incremental ϕShortest: no insert-time domination check."""
     best: dict[tuple[str, str], int] = {}
     results = PathSet()
     tie_breaker = count()
@@ -230,7 +465,6 @@ def _closure_shortest(base: PathSet, max_length: int | None) -> PathSet:
             continue
         heapq.heappush(heap, (path.len(), next(tie_breaker), path))
 
-    # Index the base by first node for efficient extension.
     base_by_first: dict[str, list[Path]] = {}
     for path in base:
         base_by_first.setdefault(path.first(), []).append(path)

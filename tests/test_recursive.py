@@ -183,6 +183,54 @@ class TestShortestClosure:
         oracle = recursive_closure_postfilter(knows_edges, Restrictor.SHORTEST, max_length=6)
         assert pruned == oracle
 
+    def test_dominated_base_paths_are_skipped_not_lost(self, figure1) -> None:
+        """Regression for the insert-time domination skip on multigraph bases.
+
+        The base mixes, for the same endpoint pair, paths of different
+        lengths: a direct edge n2->n4 (e4) next to the two-edge detour
+        n2->n3->n2->... — here modelled directly by composing paths of length
+        1 and 2 between identical endpoints.  The dominated longer base path
+        must be skipped at heap insert without changing the result.
+        """
+        direct = Path.from_edge(figure1, "e4")  # n2 -> n4, length 1
+        detour = Path.from_interleaved(
+            figure1, ("n2", "e2", "n3", "e3", "n2", "e4", "n4")
+        )  # n2 -> n4, length 3 — dominated at insert time
+        feeder = Path.from_edge(figure1, "e1")  # n1 -> n2
+        base = PathSet([feeder, direct, detour])
+        shortest = recursive_closure(base, Restrictor.SHORTEST)
+        # Per pair only minimum lengths survive, including compositions
+        # through the dominated pair's endpoints.
+        assert direct in shortest
+        assert detour not in shortest
+        assert feeder.concat(direct) in shortest
+        assert feeder.concat(detour) not in shortest
+        oracle = recursive_closure_postfilter(base, Restrictor.SHORTEST, max_length=6)
+        assert shortest == oracle
+
+    def test_parallel_edges_of_equal_length_keep_ties(self) -> None:
+        """Parallel edges between the same pair are all kept when equally short."""
+        from repro.graph.builder import GraphBuilder
+
+        graph = (
+            GraphBuilder("parallel")
+            .node("a", "Person")
+            .node("b", "Person")
+            .node("c", "Person")
+            .edge("a", "b", "Knows", id="ab1")
+            .edge("a", "b", "Knows", id="ab2")
+            .edge("b", "c", "Knows", id="bc")
+            .build()
+        )
+        edges = PathSet.edges_of(graph)
+        shortest = recursive_closure(edges, Restrictor.SHORTEST)
+        a_to_b = [path for path in shortest if path.endpoints() == ("a", "b")]
+        a_to_c = [path for path in shortest if path.endpoints() == ("a", "c")]
+        assert len(a_to_b) == 2  # both parallel edges tie
+        assert len(a_to_c) == 2  # one two-edge composition per parallel edge
+        oracle = recursive_closure_postfilter(edges, Restrictor.SHORTEST, max_length=3)
+        assert shortest == oracle
+
 
 class TestPostfilterOracle:
     @pytest.mark.parametrize(
