@@ -50,7 +50,10 @@ def test_figure2_hand_built_plan(benchmark, figure1) -> None:
 
 
 def test_figure2_through_gql_front_end(benchmark, figure1) -> None:
-    engine = PathQueryEngine(figure1)
+    # Plan caching is disabled so every iteration measures the full
+    # parse/plan/optimize/execute path (cache hits are measured separately
+    # by test_bench_executor_pipeline).
+    engine = PathQueryEngine(figure1, plan_cache_size=0)
     result = benchmark(lambda: engine.query(INTRO_QUERY))
     assert {path.interleaved() for path in result.paths} == EXPECTED_PATHS
 

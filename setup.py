@@ -1,10 +1,20 @@
-"""Setup shim.
+"""Packaging for the ``repro`` path-algebra engine.
 
-The project is fully described by ``pyproject.toml``; this file exists only so
-that ``pip install -e . --no-use-pep517`` (legacy editable install) works on
-environments without the ``wheel`` package.
+Kept as a plain ``setup.py`` (no ``pyproject.toml``) so the editable install
+works on minimal environments: ``pip install -e .``.  The package has no
+runtime dependencies beyond the standard library.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-path-algebra",
+    version="1.0.0",
+    description=(
+        "Reference implementation of 'Path-based Algebraic Foundations of "
+        "Graph Query Languages' (EDBT 2025) with a pluggable-executor query engine"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

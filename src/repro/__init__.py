@@ -43,7 +43,16 @@ from repro.algebra import (
     to_plan_tree,
 )
 from repro.datasets import figure1_graph, ldbc_like_graph
-from repro.engine import ExplainResult, PathQueryEngine, QueryResult
+from repro.engine import (
+    ExecutionStatistics,
+    Executor,
+    ExplainResult,
+    MaterializeExecutor,
+    PathQueryEngine,
+    PipelineExecutor,
+    PlanCache,
+    QueryResult,
+)
 from repro.graph import Edge, GraphBuilder, Node, PropertyGraph
 from repro.gql import parse_query, plan_query, plan_text
 from repro.optimizer import Optimizer, optimize
@@ -114,6 +123,11 @@ __all__ = [
     "PathQueryEngine",
     "QueryResult",
     "ExplainResult",
+    "Executor",
+    "ExecutionStatistics",
+    "MaterializeExecutor",
+    "PipelineExecutor",
+    "PlanCache",
     # datasets
     "figure1_graph",
     "ldbc_like_graph",

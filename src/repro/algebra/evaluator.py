@@ -13,8 +13,6 @@ invocation counts), which the benchmarks and the EXPLAIN facility report.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.algebra.expressions import (
     Difference,
     EdgesScan,
@@ -31,6 +29,7 @@ from repro.algebra.expressions import (
 )
 from repro.algebra.solution_space import SolutionSpace, group_by, order_by, project
 from repro.errors import EvaluationError
+from repro.execution import ExecutionStatistics
 from repro.graph.model import PropertyGraph
 from repro.paths.join_index import JoinIndex
 from repro.paths.pathset import PathSet
@@ -38,26 +37,9 @@ from repro.semantics.restrictors import recursive_closure
 
 __all__ = ["EvaluationStatistics", "Evaluator", "evaluate", "evaluate_to_paths"]
 
-
-@dataclass
-class EvaluationStatistics:
-    """Counters collected while evaluating a plan."""
-
-    operator_calls: dict[str, int] = field(default_factory=dict)
-    operator_output_sizes: dict[str, int] = field(default_factory=dict)
-    intermediate_paths: int = 0
-
-    def record(self, operator: str, output_size: int) -> None:
-        """Record one evaluation of ``operator`` producing ``output_size`` paths."""
-        self.operator_calls[operator] = self.operator_calls.get(operator, 0) + 1
-        self.operator_output_sizes[operator] = (
-            self.operator_output_sizes.get(operator, 0) + output_size
-        )
-        self.intermediate_paths += output_size
-
-    def total_calls(self) -> int:
-        """Total number of operator evaluations."""
-        return sum(self.operator_calls.values())
+#: Historical name of the materializing evaluator's statistics; the counters
+#: are now shared with the physical pipeline (see :mod:`repro.execution`).
+EvaluationStatistics = ExecutionStatistics
 
 
 class Evaluator:
@@ -75,7 +57,7 @@ class Evaluator:
         """
         self.graph = graph
         self.default_max_length = default_max_length
-        self.statistics = EvaluationStatistics()
+        self.statistics = ExecutionStatistics()
 
     # ------------------------------------------------------------------
     # Public API

@@ -20,6 +20,7 @@ __all__ = [
     "figure1_workload",
     "scaling_workloads",
     "selectivity_workloads",
+    "executor_workloads",
     "quick_mode",
     "select_sizes",
 ]
@@ -135,6 +136,45 @@ def selectivity_workloads(num_nodes: int = 120, seed: int = 11) -> list[Workload
             )
         )
     return workloads
+
+
+def executor_workloads(num_nodes: int | None = None, seed: int = 13) -> list[Workload]:
+    """Streaming-friendly workloads for the executor comparison (BENCH_engine.json).
+
+    Every workload is a join/union plan with no recursion — the shape the
+    ``auto`` policy routes to the pull-based pipeline — and carries a
+    ``limit`` parameter for the early-termination (``LIMIT k``) measurement:
+    the pipeline stops pulling after ``limit`` paths while the materializing
+    evaluator always computes the full join.
+    """
+    nodes = num_nodes if num_nodes is not None else (60 if quick_mode() else 200)
+    edges = 3 * nodes
+    factory = lambda: random_graph(  # noqa: E731 - shared by all workloads
+        nodes, edges, labels=("Knows", "Likes"), seed=seed
+    )
+    return [
+        Workload(
+            name=f"join2-{nodes}",
+            graph_factory=factory,
+            regex="Knows/Knows",
+            description="two-step join; streaming hash join end to end",
+            parameters={"nodes": nodes, "edges": edges, "limit": 5},
+        ),
+        Workload(
+            name=f"join3-{nodes}",
+            graph_factory=factory,
+            regex="Knows/Knows/Knows",
+            description="three-step join; deepest streaming pipeline",
+            parameters={"nodes": nodes, "edges": edges, "limit": 5},
+        ),
+        Workload(
+            name=f"union-{nodes}",
+            graph_factory=factory,
+            regex="Knows|Likes",
+            description="label union; pure scan + filter streaming",
+            parameters={"nodes": nodes, "edges": edges, "limit": 10},
+        ),
+    ]
 
 
 def cyclic_workloads(sizes: tuple[int, ...] = (4, 8, 16, 32)) -> list[Workload]:

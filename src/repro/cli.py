@@ -29,6 +29,7 @@ from repro.datasets.figure1 import figure1_graph
 from repro.datasets.generators import chain_graph, cycle_graph, grid_graph, random_graph
 from repro.datasets.ldbc import LDBCParameters, ldbc_like_graph
 from repro.engine.engine import PathQueryEngine
+from repro.engine.executor import EXECUTOR_NAMES
 from repro.errors import PathAlgebraError
 from repro.graph.io import load_csv, load_json, save_json
 from repro.graph.model import PropertyGraph
@@ -50,7 +51,26 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("text", help="the query text")
     query.add_argument("--max-length", type=int, default=None, help="bound for WALK recursion")
     query.add_argument("--no-optimize", action="store_true", help="disable the plan optimizer")
-    query.add_argument("--limit", type=int, default=None, help="print at most this many paths")
+    query.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="produce at most this many paths (pushed into the pipeline executor: "
+        "it stops pulling after the limit instead of materializing everything; "
+        "which paths survive the cut is executor-dependent)",
+    )
+    query.add_argument(
+        "--executor",
+        choices=list(EXECUTOR_NAMES),
+        default="auto",
+        help="execution strategy: the materializing evaluator, the pull-based "
+        "pipeline, or cost-based automatic selection (default: auto)",
+    )
+    query.add_argument(
+        "--phases",
+        action="store_true",
+        help="report per-phase timings (parse / plan / optimize / execute)",
+    )
 
     explain = subparsers.add_parser("explain", help="show the plan without executing")
     _add_graph_arguments(explain)
@@ -101,18 +121,31 @@ def _load_graph(args: argparse.Namespace) -> PropertyGraph:
 
 def _command_query(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    engine = PathQueryEngine(graph, optimize=not args.no_optimize, default_max_length=args.max_length)
-    result = engine.query(args.text, max_length=args.max_length)
-    print(f"# {len(result)} paths  ({result.elapsed_seconds * 1e3:.2f} ms)")
+    engine = PathQueryEngine(
+        graph,
+        optimize=not args.no_optimize,
+        default_max_length=args.max_length,
+        executor=args.executor,
+    )
+    result = engine.query(args.text, max_length=args.max_length, limit=args.limit)
+    print(
+        f"# {len(result)} paths  ({result.elapsed_seconds * 1e3:.2f} ms)"
+        f"  [{result.executor} executor]"
+    )
+    if args.phases:
+        timings = ", ".join(
+            f"{phase} {seconds * 1e3:.2f} ms" for phase, seconds in result.phase_seconds.items()
+        )
+        print(f"# phases: {timings}")
     if result.applied_rules:
         print(f"# optimizer rewrites: {', '.join(result.applied_rules)}")
-    paths = result.paths.sorted()
-    if args.limit is not None:
-        paths = paths[: args.limit]
-    for path in paths:
+    for path in result.paths.sorted():
         print(path)
-    if args.limit is not None and len(result) > args.limit:
-        print(f"# ... and {len(result) - args.limit} more")
+    if result.truncated:
+        if result.total_paths is not None:
+            print(f"# ... and {result.total_paths - len(result)} more")
+        else:
+            print(f"# ... stopped after {len(result)} paths (limit pushed into the pipeline)")
     return 0
 
 

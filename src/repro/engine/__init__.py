@@ -1,6 +1,21 @@
 """Query engine facade: parse, plan, optimize and execute path queries."""
 
-from repro.engine.engine import ExplainResult, PathQueryEngine, QueryResult
+from repro.engine.engine import (
+    CachedPlan,
+    ExplainResult,
+    PathQueryEngine,
+    PlanCache,
+    QueryResult,
+)
+from repro.engine.executor import (
+    EXECUTOR_NAMES,
+    ExecutionResult,
+    Executor,
+    MaterializeExecutor,
+    PipelineExecutor,
+    choose_executor,
+    resolve_executor,
+)
 from repro.engine.physical import (
     PhysicalPlan,
     PipelineStatistics,
@@ -8,11 +23,22 @@ from repro.engine.physical import (
     execute_pipeline,
 )
 from repro.engine.results import BindingTable, PathBinding, bind_paths
+from repro.execution import ExecutionStatistics
 
 __all__ = [
     "PathQueryEngine",
     "QueryResult",
     "ExplainResult",
+    "PlanCache",
+    "CachedPlan",
+    "EXECUTOR_NAMES",
+    "Executor",
+    "ExecutionResult",
+    "ExecutionStatistics",
+    "MaterializeExecutor",
+    "PipelineExecutor",
+    "choose_executor",
+    "resolve_executor",
     "PhysicalPlan",
     "PipelineStatistics",
     "build_pipeline",

@@ -3,22 +3,37 @@
 :class:`PathQueryEngine` ties the whole pipeline together:
 
     GQL text --parse--> AST --plan--> logical plan --optimize--> plan
-             --evaluate--> paths / solution space
+             --execute--> paths / solution space
 
 and exposes the convenience entry points a downstream application would use:
 ``query`` (text in, paths out), ``query_plan`` (programmatic plans),
 ``explain`` (plan + cost + rewrite trace without executing), and
 ``execute_regex`` (bare RPQs).
+
+Execution is routed through the pluggable executor layer
+(:mod:`repro.engine.executor`): the ``executor`` knob selects the
+materializing evaluator, the pull-based pipeline, or ``"auto"`` cost-based
+selection between them.  Parsed-and-optimized plans are memoized in an LRU
+:class:`PlanCache` keyed on the query text, the planning options and the
+graph's mutation counter, so hot queries skip parse/plan/optimize entirely.
 """
 
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
-from repro.algebra.evaluator import EvaluationStatistics, Evaluator
 from repro.algebra.expressions import Expression
 from repro.algebra.printer import to_algebra_notation, to_plan_tree
+from repro.engine.executor import (
+    EXECUTOR_NAMES,
+    ExecutionResult,
+    Executor,
+    choose_executor,
+    resolve_executor,
+)
+from repro.execution import ExecutionStatistics
 from repro.graph.model import PropertyGraph
 from repro.gql.parser import parse_query
 from repro.gql.planner import plan_query
@@ -28,7 +43,10 @@ from repro.paths.pathset import PathSet
 from repro.rpq.compile import CompileOptions, compile_regex
 from repro.semantics.restrictors import Restrictor
 
-__all__ = ["QueryResult", "ExplainResult", "PathQueryEngine"]
+__all__ = ["QueryResult", "ExplainResult", "PlanCache", "CachedPlan", "PathQueryEngine"]
+
+#: The execution phases reported in :attr:`QueryResult.phase_seconds`.
+PHASES = ("parse", "plan", "optimize", "execute")
 
 
 @dataclass
@@ -39,8 +57,13 @@ class QueryResult:
     plan: Expression
     optimized_plan: Expression
     applied_rules: list[str] = field(default_factory=list)
-    statistics: EvaluationStatistics = field(default_factory=EvaluationStatistics)
+    statistics: ExecutionStatistics = field(default_factory=ExecutionStatistics)
     elapsed_seconds: float = 0.0
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    executor: str = ""
+    cache_hit: bool = False
+    truncated: bool = False
+    total_paths: int | None = None
 
     def __len__(self) -> int:
         return len(self.paths)
@@ -58,6 +81,8 @@ class ExplainResult:
     applied_rules: list[str]
     estimated_cost: PlanCost
     estimated_cost_unoptimized: PlanCost
+    chosen_executor: str = ""
+    executor_policy: str = "auto"
 
     def render(self) -> str:
         """Return a human-readable explanation."""
@@ -69,10 +94,75 @@ class ExplainResult:
             f"Applied rules: {', '.join(self.applied_rules) or '(none)'}",
             f"Estimated cost: {self.estimated_cost.total_cost:.1f} "
             f"(unoptimized: {self.estimated_cost_unoptimized.total_cost:.1f})",
+        ]
+        if self.chosen_executor:
+            if self.executor_policy == "auto":
+                lines.append(f"Executor (auto): {self.chosen_executor}")
+            else:
+                lines.append(f"Executor: {self.chosen_executor}")
+        lines += [
             "Plan tree:",
             to_plan_tree(self.optimized_plan),
         ]
         return "\n".join(lines)
+
+
+@dataclass
+class CachedPlan:
+    """A parse/plan/optimize outcome memoized by the :class:`PlanCache`."""
+
+    plan: Expression
+    optimized: Expression
+    applied_rules: list[str]
+    #: Memoized ``"auto"`` choice: a pure function of the optimized plan and
+    #: the graph version, both already part of the cache key, so cache hits
+    #: skip the cost-model walk as well.
+    auto_executor: str | None = None
+
+
+class PlanCache:
+    """A bounded LRU cache of :class:`CachedPlan` entries.
+
+    Keys are opaque tuples built by the engine from the query text, the
+    planning options, and the graph's mutation counter
+    (:attr:`~repro.graph.model.PropertyGraph.version`) — mutating the graph
+    therefore never serves a stale plan, without any explicit invalidation.
+    """
+
+    def __init__(self, maxsize: int = 128) -> None:
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[tuple, CachedPlan] = OrderedDict()
+
+    def get(self, key: tuple) -> CachedPlan | None:
+        """Return the cached entry for ``key`` (marking it most-recently used)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple, entry: CachedPlan) -> None:
+        """Insert ``entry``, evicting the least-recently-used entry when full."""
+        if self.maxsize <= 0:
+            return
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (the hit/miss counters are kept)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
 
 
 class PathQueryEngine:
@@ -83,6 +173,8 @@ class PathQueryEngine:
         graph: PropertyGraph,
         optimize: bool = True,
         default_max_length: int | None = None,
+        executor: str = "auto",
+        plan_cache_size: int = 128,
     ) -> None:
         """Create an engine.
 
@@ -92,71 +184,208 @@ class PathQueryEngine:
             default_max_length: Bound applied to ϕWalk operators that carry no
                 explicit bound (prevents non-termination errors on cyclic
                 graphs for exploratory WALK queries).
+            executor: Default execution strategy — ``"materialize"`` (the
+                bottom-up evaluator), ``"pipeline"`` (the pull-based iterator
+                pipeline) or ``"auto"`` (cost-based choice per plan).
+            plan_cache_size: Maximum number of parsed-and-optimized plans
+                memoized by the plan cache (``0`` disables caching).
         """
+        if executor not in EXECUTOR_NAMES:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {', '.join(EXECUTOR_NAMES)}"
+            )
         self.graph = graph
         self.optimize_plans = optimize
         self.default_max_length = default_max_length
+        self.default_executor = executor
+        self.plan_cache = PlanCache(plan_cache_size)
         self._optimizer = Optimizer()
-        self._cost_model = CostModel(graph)
+        self._cost_model: CostModel | None = None
+        self._cost_model_version = -1
 
     # ------------------------------------------------------------------
     # Querying
     # ------------------------------------------------------------------
-    def query(self, text: str, max_length: int | None = None) -> QueryResult:
-        """Parse, plan, optimize, and execute an extended-GQL query."""
-        ast = parse_query(text, max_length=max_length)
-        plan = plan_query(ast)
-        return self.query_plan(plan)
+    def query(
+        self,
+        text: str,
+        max_length: int | None = None,
+        executor: str | None = None,
+        limit: int | None = None,
+    ) -> QueryResult:
+        """Parse, plan, optimize, and execute an extended-GQL query.
 
-    def query_plan(self, plan: Expression) -> QueryResult:
+        Args:
+            text: The extended-GQL query text.
+            max_length: Bound forwarded to the parser for ϕWalk recursion.
+            executor: Per-call override of the engine's default executor.
+            limit: Produce at most this many paths.  The pipeline executor
+                pushes the limit into the plan (it stops pulling); the
+                materializing executor truncates after full evaluation.
+        """
+        started = time.perf_counter()
+        phase_seconds = dict.fromkeys(PHASES, 0.0)
+        key = ("gql", text, max_length, self.optimize_plans, self.graph.version)
+        cached = self.plan_cache.get(key)
+        cache_hit = cached is not None
+        if cached is None:
+            phase_started = time.perf_counter()
+            ast = parse_query(text, max_length=max_length)
+            phase_seconds["parse"] = time.perf_counter() - phase_started
+            phase_started = time.perf_counter()
+            plan = plan_query(ast)
+            phase_seconds["plan"] = time.perf_counter() - phase_started
+            cached = self._optimize_into(plan, phase_seconds)
+            self.plan_cache.put(key, cached)
+        return self._finish(cached, executor, limit, cache_hit, started, phase_seconds)
+
+    def query_plan(
+        self,
+        plan: Expression,
+        executor: str | None = None,
+        limit: int | None = None,
+    ) -> QueryResult:
         """Optimize and execute an already-constructed logical plan."""
         started = time.perf_counter()
-        optimized = plan
-        applied: list[str] = []
-        if self.optimize_plans:
-            result = self._optimizer.optimize(plan)
-            optimized = result.optimized
-            applied = result.applied_rules
-        evaluator = Evaluator(self.graph, default_max_length=self.default_max_length)
-        paths = evaluator.evaluate_paths(optimized)
-        elapsed = time.perf_counter() - started
-        return QueryResult(
-            paths=paths,
-            plan=plan,
-            optimized_plan=optimized,
-            applied_rules=applied,
-            statistics=evaluator.statistics,
-            elapsed_seconds=elapsed,
-        )
+        phase_seconds = dict.fromkeys(PHASES, 0.0)
+        cached = self._optimize_into(plan, phase_seconds)
+        return self._finish(cached, executor, limit, False, started, phase_seconds)
 
     def execute_regex(
         self,
         regex: str,
         restrictor: Restrictor = Restrictor.TRAIL,
         max_length: int | None = None,
+        executor: str | None = None,
+        limit: int | None = None,
     ) -> PathSet:
-        """Evaluate a bare regular path query under the given restrictor."""
-        plan = compile_regex(regex, CompileOptions(restrictor=restrictor, max_length=max_length))
-        return self.query_plan(plan).paths
+        """Evaluate a bare regular path query under the given restrictor.
+
+        Compiled-and-optimized regex plans go through the same plan cache as
+        GQL queries (keyed on the regex text, the compile options and the
+        graph version).
+        """
+        started = time.perf_counter()
+        phase_seconds = dict.fromkeys(PHASES, 0.0)
+        key = ("rpq", regex, restrictor, max_length, self.optimize_plans, self.graph.version)
+        cached = self.plan_cache.get(key)
+        cache_hit = cached is not None
+        if cached is None:
+            phase_started = time.perf_counter()
+            plan = compile_regex(
+                regex, CompileOptions(restrictor=restrictor, max_length=max_length)
+            )
+            phase_seconds["plan"] = time.perf_counter() - phase_started
+            cached = self._optimize_into(plan, phase_seconds)
+            self.plan_cache.put(key, cached)
+        return self._finish(cached, executor, limit, cache_hit, started, phase_seconds).paths
+
+    # ------------------------------------------------------------------
+    # Executor selection
+    # ------------------------------------------------------------------
+    def select_executor(self, plan: Expression) -> str:
+        """Return the executor name the ``"auto"`` policy picks for ``plan``."""
+        return choose_executor(plan, self.cost_model())
+
+    def cost_model(self) -> CostModel:
+        """The engine's cost model, rebuilt whenever the graph has mutated."""
+        if self._cost_model is None or self._cost_model_version != self.graph.version:
+            self._cost_model = CostModel(self.graph)
+            self._cost_model_version = self.graph.version
+        return self._cost_model
+
+    def _executor_name(self, executor: str | None, cached: CachedPlan) -> str:
+        """Resolve an executor knob to a concrete name, memoizing ``auto``."""
+        name = executor if executor is not None else self.default_executor
+        if name not in EXECUTOR_NAMES:
+            raise ValueError(
+                f"unknown executor {name!r}; expected one of {', '.join(EXECUTOR_NAMES)}"
+            )
+        if name != "auto":
+            return name
+        if cached.auto_executor is None:
+            cached.auto_executor = self.select_executor(cached.optimized)
+        return cached.auto_executor
+
+    def _resolve(self, executor: str | None, cached: CachedPlan) -> Executor:
+        return resolve_executor(self._executor_name(executor, cached))
+
+    # ------------------------------------------------------------------
+    # Shared pipeline tail
+    # ------------------------------------------------------------------
+    def _optimize_into(self, plan: Expression, phase_seconds: dict[str, float]) -> CachedPlan:
+        phase_started = time.perf_counter()
+        optimized = plan
+        applied: list[str] = []
+        if self.optimize_plans:
+            result = self._optimizer.optimize(plan)
+            optimized = result.optimized
+            applied = result.applied_rules
+        phase_seconds["optimize"] = time.perf_counter() - phase_started
+        return CachedPlan(plan=plan, optimized=optimized, applied_rules=applied)
+
+    def _finish(
+        self,
+        cached: CachedPlan,
+        executor: str | None,
+        limit: int | None,
+        cache_hit: bool,
+        started: float,
+        phase_seconds: dict[str, float],
+    ) -> QueryResult:
+        phase_started = time.perf_counter()
+        chosen = self._resolve(executor, cached)
+        execution: ExecutionResult = chosen.execute(
+            cached.optimized,
+            self.graph,
+            default_max_length=self.default_max_length,
+            limit=limit,
+        )
+        phase_seconds["execute"] = time.perf_counter() - phase_started
+        return QueryResult(
+            paths=execution.paths,
+            plan=cached.plan,
+            optimized_plan=cached.optimized,
+            applied_rules=list(cached.applied_rules),
+            statistics=execution.statistics,
+            elapsed_seconds=time.perf_counter() - started,
+            phase_seconds=phase_seconds,
+            executor=chosen.name,
+            cache_hit=cache_hit,
+            truncated=execution.truncated,
+            total_paths=execution.total_paths,
+        )
 
     # ------------------------------------------------------------------
     # Explanation
     # ------------------------------------------------------------------
     def explain(self, text: str, max_length: int | None = None) -> ExplainResult:
-        """Plan and optimize a query without executing it; report costs and rewrites."""
-        ast = parse_query(text, max_length=max_length)
-        plan = plan_query(ast)
-        return self.explain_plan(plan)
+        """Plan and optimize a query without executing it; report costs and rewrites.
+
+        Shares the plan cache with :meth:`query`: explaining a query warms
+        the cache for a subsequent execution and vice versa.
+        """
+        key = ("gql", text, max_length, self.optimize_plans, self.graph.version)
+        cached = self.plan_cache.get(key)
+        if cached is None:
+            ast = parse_query(text, max_length=max_length)
+            plan = plan_query(ast)
+            cached = self._optimize_into(plan, dict.fromkeys(PHASES, 0.0))
+            self.plan_cache.put(key, cached)
+        return self._explain_cached(cached)
 
     def explain_plan(self, plan: Expression) -> ExplainResult:
         """Explain an already-constructed logical plan."""
-        result = self._optimizer.optimize(plan) if self.optimize_plans else None
-        optimized = result.optimized if result is not None else plan
-        applied = result.applied_rules if result is not None else []
+        return self._explain_cached(self._optimize_into(plan, dict.fromkeys(PHASES, 0.0)))
+
+    def _explain_cached(self, cached: CachedPlan) -> ExplainResult:
+        chosen = self._executor_name(None, cached)
         return ExplainResult(
-            plan=plan,
-            optimized_plan=optimized,
-            applied_rules=applied,
-            estimated_cost=self._cost_model.estimate(optimized),
-            estimated_cost_unoptimized=self._cost_model.estimate(plan),
+            plan=cached.plan,
+            optimized_plan=cached.optimized,
+            applied_rules=list(cached.applied_rules),
+            estimated_cost=self.cost_model().estimate(cached.optimized),
+            estimated_cost_unoptimized=self.cost_model().estimate(cached.plan),
+            chosen_executor=chosen,
+            executor_policy=self.default_executor,
         )

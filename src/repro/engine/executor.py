@@ -1,0 +1,193 @@
+"""The pluggable execution layer: one interface, two physical realizations.
+
+The paper separates *logical* plans from their *physical* realization; this
+module is where the engine makes that separation operational.  An
+:class:`Executor` takes a logical :class:`~repro.algebra.expressions.Expression`
+and a :class:`~repro.graph.model.PropertyGraph` and produces an
+:class:`ExecutionResult` — the result paths plus unified
+:class:`~repro.execution.ExecutionStatistics`.  Two executors exist:
+
+* :class:`MaterializeExecutor` — the bottom-up materializing
+  :class:`~repro.algebra.evaluator.Evaluator` (every intermediate path set is
+  built in full); robust, and the cheapest option when the plan is dominated
+  by inherently blocking recursion;
+* :class:`PipelineExecutor` — the pull-based iterator pipeline of
+  :mod:`repro.engine.physical`; streams selections, joins and unions, and
+  honours a ``limit`` by simply not pulling more paths (early termination).
+
+:func:`choose_executor` implements the ``"auto"`` policy: it consults the
+:class:`~repro.optimizer.cost.CostModel` for the fraction of estimated work
+spent inside blocking fix points and routes streaming-friendly plans to the
+pipeline and recursion-heavy plans to the materializing evaluator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import islice
+from typing import Protocol, runtime_checkable
+
+from repro.algebra.evaluator import Evaluator
+from repro.algebra.expressions import Expression
+from repro.engine.physical import build_pipeline
+from repro.execution import ExecutionStatistics
+from repro.graph.model import PropertyGraph
+from repro.optimizer.cost import CostModel
+from repro.paths.pathset import PathSet
+
+__all__ = [
+    "EXECUTOR_NAMES",
+    "ExecutionResult",
+    "Executor",
+    "MaterializeExecutor",
+    "PipelineExecutor",
+    "choose_executor",
+    "resolve_executor",
+]
+
+#: The values accepted by every ``executor=`` knob in the engine and the CLI.
+EXECUTOR_NAMES = ("auto", "materialize", "pipeline")
+
+#: Above this fraction of estimated cost inside ϕ fix points, ``auto``
+#: considers a plan recursion-heavy and picks the materializing evaluator.
+RECURSIVE_COST_THRESHOLD = 0.5
+
+
+@dataclass
+class ExecutionResult:
+    """What an executor returns: paths, statistics, and truncation info.
+
+    Attributes:
+        paths: The result paths (possibly truncated when ``limit`` was given).
+        statistics: Unified per-operator counters.
+        truncated: ``True`` when a ``limit`` stopped the executor before the
+            full result was produced (more paths may exist).
+        total_paths: Size of the *full* result when the executor computed it
+            (the materializing executor always knows it; the pipeline only
+            when it ran to exhaustion).  ``None`` under early termination.
+    """
+
+    paths: PathSet
+    statistics: ExecutionStatistics
+    truncated: bool = False
+    total_paths: int | None = None
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Execute a logical plan over a property graph."""
+
+    name: str
+
+    def execute(
+        self,
+        plan: Expression,
+        graph: PropertyGraph,
+        *,
+        default_max_length: int | None = None,
+        limit: int | None = None,
+    ) -> ExecutionResult:
+        """Run ``plan`` over ``graph`` and return paths plus statistics."""
+        ...  # pragma: no cover - protocol definition
+
+
+class MaterializeExecutor:
+    """Executor backed by the bottom-up materializing :class:`Evaluator`.
+
+    Cannot terminate early: a ``limit`` keeps the smallest ``limit`` paths of
+    the fully materialized result (path order is lexicographic, so limited
+    output is deterministic and matches the sorted-then-truncate behavior a
+    caller displaying sorted paths expects), and the full result size is
+    still reported via :attr:`ExecutionResult.total_paths`.
+    """
+
+    name = "materialize"
+
+    def execute(
+        self,
+        plan: Expression,
+        graph: PropertyGraph,
+        *,
+        default_max_length: int | None = None,
+        limit: int | None = None,
+    ) -> ExecutionResult:
+        evaluator = Evaluator(graph, default_max_length=default_max_length)
+        paths = evaluator.evaluate_paths(plan)
+        statistics = evaluator.statistics
+        statistics.executor = self.name
+        total = len(paths)
+        truncated = False
+        if limit is not None and total > limit:
+            paths = PathSet.from_unique(islice(iter(paths.sorted()), max(limit, 0)))
+            truncated = True
+        return ExecutionResult(
+            paths=paths, statistics=statistics, truncated=truncated, total_paths=total
+        )
+
+
+class PipelineExecutor:
+    """Executor backed by the pull-based physical pipeline.
+
+    A ``limit`` is pushed into the pipeline: the root iterator is pulled at
+    most ``limit`` times, so streaming stages (scans, selections, joins,
+    unions) never produce paths beyond what the limit requires.
+    """
+
+    name = "pipeline"
+
+    def execute(
+        self,
+        plan: Expression,
+        graph: PropertyGraph,
+        *,
+        default_max_length: int | None = None,
+        limit: int | None = None,
+    ) -> ExecutionResult:
+        pipeline = build_pipeline(plan, graph, default_max_length)
+        statistics = pipeline.statistics
+        statistics.executor = self.name
+        if limit is None:
+            paths = pipeline.execute()
+            return ExecutionResult(
+                paths=paths, statistics=statistics, total_paths=len(paths)
+            )
+        stream = pipeline.stream()
+        paths = PathSet.from_unique(islice(stream, max(limit, 0)))
+        # One extra pull decides whether the limit actually cut the stream:
+        # exhausting the root here is the exact situation where the limit did
+        # not matter, so the probe costs at most one surplus path.
+        truncated = next(stream, None) is not None
+        return ExecutionResult(
+            paths=paths,
+            statistics=statistics,
+            truncated=truncated,
+            total_paths=None if truncated else len(paths),
+        )
+
+
+def choose_executor(plan: Expression, cost_model: CostModel) -> str:
+    """The ``"auto"`` policy: pick an executor name for ``plan``.
+
+    Streaming-friendly plans (little or no estimated work inside blocking ϕ
+    fix points) go to the pipeline — they benefit from bounded memory and
+    from early termination under a ``limit``.  Recursion-heavy plans go to
+    the materializing evaluator: the fix point is blocking either way, and
+    materializing avoids the pipeline's per-path iterator overhead.
+    """
+    fraction = cost_model.recursive_cost_fraction(plan)
+    if fraction > RECURSIVE_COST_THRESHOLD:
+        return MaterializeExecutor.name
+    return PipelineExecutor.name
+
+
+def resolve_executor(name: str) -> Executor:
+    """Return the executor instance for a non-``auto`` executor name."""
+    if name == MaterializeExecutor.name:
+        return MaterializeExecutor()
+    if name == PipelineExecutor.name:
+        return PipelineExecutor()
+    raise ValueError(
+        f"unresolvable executor {name!r}; expected "
+        f"{MaterializeExecutor.name!r} or {PipelineExecutor.name!r} "
+        "('auto' must be resolved by the engine first)"
+    )

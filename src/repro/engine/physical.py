@@ -24,7 +24,7 @@ logical/physical-equivalence property a query engine needs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.algebra.expressions import (
@@ -43,6 +43,7 @@ from repro.algebra.expressions import (
 )
 from repro.algebra.solution_space import group_by, order_by, project
 from repro.errors import EvaluationError
+from repro.execution import ExecutionStatistics
 from repro.graph.model import PropertyGraph
 from repro.paths.join_index import JoinIndex
 from repro.paths.path import Path
@@ -52,20 +53,9 @@ from repro.semantics.restrictors import recursive_closure
 __all__ = ["PhysicalPlan", "PipelineStatistics", "build_pipeline", "execute_pipeline"]
 
 
-@dataclass
-class PipelineStatistics:
-    """Counters collected while running a physical pipeline."""
-
-    rows_produced: dict[str, int] = field(default_factory=dict)
-    operators: int = 0
-
-    def count(self, operator: str, amount: int = 1) -> None:
-        """Record ``amount`` paths produced by ``operator``."""
-        self.rows_produced[operator] = self.rows_produced.get(operator, 0) + amount
-
-    def total_rows(self) -> int:
-        """Total paths that crossed any operator boundary."""
-        return sum(self.rows_produced.values())
+#: Historical name of the pipeline's statistics; the counters are now shared
+#: with the materializing evaluator (see :mod:`repro.execution`).
+PipelineStatistics = ExecutionStatistics
 
 
 class _PhysicalOperator:
@@ -74,7 +64,7 @@ class _PhysicalOperator:
     def __init__(self, name: str, statistics: PipelineStatistics) -> None:
         self.name = name
         self.statistics = statistics
-        self.statistics.operators += 1
+        self.statistics.register_operator(name)
 
     def paths(self) -> Iterator[Path]:
         """Yield result paths one at a time."""
@@ -268,6 +258,8 @@ class PhysicalPlan:
 
     def stream(self, limit: int | None = None) -> Iterator[Path]:
         """Yield result paths lazily; stop after ``limit`` paths when given."""
+        if limit is not None and limit <= 0:
+            return
         produced = 0
         for path in self.root.paths():
             yield path

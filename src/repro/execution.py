@@ -1,0 +1,87 @@
+"""Unified execution statistics shared by every executor.
+
+Historically the materializing :class:`~repro.algebra.evaluator.Evaluator`
+collected ``EvaluationStatistics`` (operator call counts and output
+cardinalities) while the pull-based pipeline in
+:mod:`repro.engine.physical` collected ``PipelineStatistics`` (paths crossing
+each operator boundary).  Both code paths now record into the single
+:class:`ExecutionStatistics` defined here — the two historical names are kept
+as aliases — so :class:`~repro.engine.engine.QueryResult` carries one
+statistics type regardless of which executor ran the plan.
+
+The module is deliberately dependency-free (standard library only): it is
+imported by both the algebra layer and the engine layer, which otherwise sit
+on opposite sides of the package's import graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExecutionStatistics"]
+
+
+@dataclass
+class ExecutionStatistics:
+    """Counters collected while executing a logical plan.
+
+    Attributes:
+        executor: Name of the executor that filled these counters
+            (``"materialize"`` or ``"pipeline"``; empty when the plan was run
+            through a bare :class:`~repro.algebra.evaluator.Evaluator` or
+            pipeline rather than through the engine's executor layer).
+        operator_calls: How often each operator was evaluated.  The
+            materializing evaluator counts one call per evaluation of an
+            expression node; the pipeline counts one call per operator
+            instantiated in the compiled plan.
+        operator_output_sizes: Paths produced per operator.  For the pipeline
+            this is the number of paths that crossed the operator's output
+            boundary — under early termination it can be far smaller than the
+            operator's full output.
+        intermediate_paths: Total paths produced across all operators (the
+            classical "intermediate result size" proxy for execution effort).
+        operators: Number of physical operators instantiated (pipeline only;
+            zero for the materializing evaluator).
+    """
+
+    executor: str = ""
+    operator_calls: dict[str, int] = field(default_factory=dict)
+    operator_output_sizes: dict[str, int] = field(default_factory=dict)
+    intermediate_paths: int = 0
+    operators: int = 0
+
+    # -- materializing-evaluator recording style -----------------------
+    def record(self, operator: str, output_size: int) -> None:
+        """Record one evaluation of ``operator`` producing ``output_size`` paths."""
+        self.operator_calls[operator] = self.operator_calls.get(operator, 0) + 1
+        self.operator_output_sizes[operator] = (
+            self.operator_output_sizes.get(operator, 0) + output_size
+        )
+        self.intermediate_paths += output_size
+
+    # -- pipeline recording style ---------------------------------------
+    def count(self, operator: str, amount: int = 1) -> None:
+        """Record ``amount`` paths crossing the output boundary of ``operator``."""
+        self.operator_output_sizes[operator] = (
+            self.operator_output_sizes.get(operator, 0) + amount
+        )
+        self.intermediate_paths += amount
+
+    def register_operator(self, operator: str) -> None:
+        """Record the instantiation of one physical operator named ``operator``."""
+        self.operators += 1
+        self.operator_calls[operator] = self.operator_calls.get(operator, 0) + 1
+
+    # -- derived views ---------------------------------------------------
+    @property
+    def rows_produced(self) -> dict[str, int]:
+        """Pipeline-era alias: paths produced per operator."""
+        return self.operator_output_sizes
+
+    def total_calls(self) -> int:
+        """Total number of operator evaluations (or instantiations, for the pipeline)."""
+        return sum(self.operator_calls.values())
+
+    def total_rows(self) -> int:
+        """Total paths that crossed any operator boundary."""
+        return sum(self.operator_output_sizes.values())

@@ -98,6 +98,17 @@ class PropertyGraph:
         self._in: dict[str, list[str]] = {}
         self._nodes_by_label: dict[str, list[str]] = {}
         self._edges_by_label: dict[str, list[str]] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: incremented by every successful ``add_node``/``add_edge``.
+
+        Consumers that cache anything derived from the graph (the engine's
+        plan cache, memoized statistics) key their entries on this counter so
+        a mutation invalidates them without any explicit notification.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # Construction
@@ -122,6 +133,7 @@ class PropertyGraph:
         self._in.setdefault(node_id, [])
         if label is not None:
             self._nodes_by_label.setdefault(label, []).append(node_id)
+        self._version += 1
         return node
 
     def add_edge(
@@ -156,6 +168,7 @@ class PropertyGraph:
         self._in[target].append(edge_id)
         if label is not None:
             self._edges_by_label.setdefault(label, []).append(edge_id)
+        self._version += 1
         return edge
 
     # ------------------------------------------------------------------

@@ -1,0 +1,50 @@
+"""The seeded 50-graph property-test corpus shared by equivalence suites.
+
+The corpus covers the nasty shapes for path semantics: cyclic graphs,
+self-loops, parallel edges (multigraphs), dense cliques and random
+multigraphs.  ``test_closure_equivalence`` runs the closure strategies over
+it; ``test_executor`` runs the engine facade with both executors over it.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.generators import complete_graph, cycle_graph, grid_graph, random_graph
+from repro.graph.model import PropertyGraph
+
+__all__ = ["NUM_RANDOM_GRAPHS", "closure_corpus"]
+
+NUM_RANDOM_GRAPHS = 45
+
+
+def _random_graph_for_seed(seed: int) -> PropertyGraph:
+    """A small random multigraph; odd seeds additionally allow self-loops."""
+    rng = random.Random(seed)
+    num_nodes = rng.randint(3, 6)
+    num_edges = rng.randint(num_nodes, num_nodes + 4)
+    return random_graph(
+        num_nodes,
+        num_edges,
+        labels=("Knows",),
+        seed=seed,
+        name=f"rand-{seed}",
+        allow_self_loops=bool(seed % 2),
+    )
+
+
+def _structured_graphs() -> list[PropertyGraph]:
+    return [
+        cycle_graph(3),
+        cycle_graph(5),
+        complete_graph(3),
+        complete_graph(4),
+        grid_graph(2, 3),
+    ]
+
+
+def closure_corpus() -> list[PropertyGraph]:
+    """Build the full 50-graph corpus (45 seeded random + 5 structured)."""
+    return [
+        _random_graph_for_seed(seed) for seed in range(NUM_RANDOM_GRAPHS)
+    ] + _structured_graphs()

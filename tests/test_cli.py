@@ -59,6 +59,38 @@ class TestQueryCommand:
         assert code == 0
         assert "walk-to-shortest" in captured.out
 
+    def test_query_executor_flag(self, capsys) -> None:
+        for executor in ("auto", "materialize", "pipeline"):
+            code = main(
+                ["query", "--executor", executor, "MATCH ALL TRAIL p = (?x)-[Knows]->(?y)"]
+            )
+            captured = capsys.readouterr()
+            assert code == 0
+            assert "# 4 paths" in captured.out
+            assert "executor]" in captured.out
+
+    def test_query_limit_pushdown_into_pipeline(self, capsys) -> None:
+        code = main(
+            [
+                "query",
+                "--executor",
+                "pipeline",
+                "--limit",
+                "2",
+                "MATCH ALL TRAIL p = (?x)-[Knows+]->(?y)",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "# 2 paths" in captured.out
+        assert "stopped after 2 paths (limit pushed into the pipeline)" in captured.out
+
+    def test_query_phases_flag(self, capsys) -> None:
+        code = main(["query", "--phases", "MATCH ALL TRAIL p = (?x)-[Knows]->(?y)"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "# phases: parse" in captured.out
+
     def test_query_syntax_error_returns_nonzero(self, capsys) -> None:
         code = main(["query", "MATCH OOPS"])
         captured = capsys.readouterr()

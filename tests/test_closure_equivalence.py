@@ -19,13 +19,11 @@ unbounded pruned closure is asserted equal as well.
 
 from __future__ import annotations
 
-import random
-
 import pytest
 
+from graph_corpus import closure_corpus
 from repro.algebra.evaluator import evaluate_to_paths
 from repro.algebra.expressions import EdgesScan, Recursive
-from repro.datasets.generators import complete_graph, cycle_graph, grid_graph, random_graph
 from repro.engine.physical import execute_pipeline
 from repro.graph.model import PropertyGraph
 from repro.paths.pathset import PathSet
@@ -40,37 +38,7 @@ from repro.semantics.restrictors import (
 #: enumeration of the postfilter oracle tractable on ~50 graphs.
 COMMON_BOUND = 6
 
-NUM_RANDOM_GRAPHS = 45
-
-
-def _random_graph_for_seed(seed: int) -> PropertyGraph:
-    """A small random multigraph; odd seeds additionally allow self-loops."""
-    rng = random.Random(seed)
-    num_nodes = rng.randint(3, 6)
-    num_edges = rng.randint(num_nodes, num_nodes + 4)
-    return random_graph(
-        num_nodes,
-        num_edges,
-        labels=("Knows",),
-        seed=seed,
-        name=f"rand-{seed}",
-        allow_self_loops=bool(seed % 2),
-    )
-
-
-def _structured_graphs() -> list[PropertyGraph]:
-    return [
-        cycle_graph(3),
-        cycle_graph(5),
-        complete_graph(3),
-        complete_graph(4),
-        grid_graph(2, 3),
-    ]
-
-
-ALL_GRAPHS: list[PropertyGraph] = [
-    _random_graph_for_seed(seed) for seed in range(NUM_RANDOM_GRAPHS)
-] + _structured_graphs()
+ALL_GRAPHS: list[PropertyGraph] = closure_corpus()
 
 RESTRICTORS = tuple(Restrictor)
 

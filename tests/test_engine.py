@@ -62,6 +62,28 @@ class TestQueryExecution:
         assert result.statistics.total_calls() > 0
         assert result.statistics.intermediate_paths >= len(result.paths)
 
+    def test_elapsed_covers_parse_plan_and_execute(self, engine) -> None:
+        result = engine.query("MATCH ALL TRAIL p = (?x)-[Knows]->(?y)")
+        assert result.phase_seconds["parse"] > 0.0
+        assert result.phase_seconds["execute"] > 0.0
+        assert result.elapsed_seconds >= result.phase_seconds["execute"]
+
+    def test_executor_override_per_query(self, engine) -> None:
+        text = "MATCH ALL TRAIL p = (?x)-[Knows+]->(?y)"
+        materialized = engine.query(text, executor="materialize")
+        pipelined = engine.query(text, executor="pipeline")
+        assert materialized.executor == "materialize"
+        assert pipelined.executor == "pipeline"
+        assert materialized.paths == pipelined.paths
+
+    def test_repeated_query_hits_plan_cache(self, engine) -> None:
+        text = "MATCH ALL TRAIL p = (?x)-[Likes]->(?y)"
+        first = engine.query(text)
+        second = engine.query(text)
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.paths == first.paths
+
     def test_iteration_protocol(self, engine) -> None:
         result = engine.query("MATCH ALL TRAIL p = (?x)-[Knows]->(?y)")
         assert len(list(result)) == len(result) == 4

@@ -1,0 +1,307 @@
+"""Tests for the pluggable execution layer: parity, selection, plan cache.
+
+The parity suite runs the seeded 50-graph corpus (shared with
+``test_closure_equivalence``) through the engine facade with both executors
+and asserts identical :class:`~repro.paths.pathset.PathSet` results and sane
+unified statistics — the logical/physical-equivalence property, this time at
+the engine level rather than per operator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from graph_corpus import closure_corpus
+from repro.algebra.expressions import EdgesScan, Join, Recursive, Selection
+from repro.algebra.conditions import label_of_edge
+from repro.datasets.figure1 import figure1_graph
+from repro.engine.engine import PHASES, PathQueryEngine
+from repro.engine.executor import (
+    MaterializeExecutor,
+    PipelineExecutor,
+    choose_executor,
+    resolve_executor,
+)
+from repro.graph.model import PropertyGraph
+from repro.optimizer.cost import CostModel
+from repro.semantics.restrictors import Restrictor
+
+CORPUS: list[PropertyGraph] = closure_corpus()
+
+#: Facade queries covering streaming plans, every-restrictor recursion and
+#: the selector pipelines; the bound keeps the corpus sweep fast.
+PARITY_QUERIES = (
+    "MATCH ALL TRAIL p = (?x)-[Knows]->(?y)",
+    "MATCH ALL TRAIL p = (?x)-[Knows+]->(?y)",
+    "MATCH ALL ACYCLIC p = (?x)-[Knows*]->(?y)",
+    "MATCH ALL SHORTEST SIMPLE p = (?x)-[Knows+]->(?y)",
+    "MATCH ALL WALK p = (?x)-[Knows+]->(?y)",
+)
+PARITY_BOUND = 4
+
+
+@pytest.fixture
+def figure1() -> PropertyGraph:
+    return figure1_graph()
+
+
+class TestExecutorParity:
+    @pytest.mark.parametrize("graph", CORPUS, ids=lambda graph: graph.name)
+    def test_both_executors_agree_on_corpus(self, graph: PropertyGraph) -> None:
+        engine = PathQueryEngine(graph, default_max_length=PARITY_BOUND)
+        for text in PARITY_QUERIES:
+            materialized = engine.query(text, max_length=PARITY_BOUND, executor="materialize")
+            pipelined = engine.query(text, max_length=PARITY_BOUND, executor="pipeline")
+            assert materialized.paths == pipelined.paths, (graph.name, text)
+            assert materialized.statistics.executor == "materialize"
+            assert pipelined.statistics.executor == "pipeline"
+            assert materialized.statistics.intermediate_paths >= len(materialized.paths)
+            assert pipelined.statistics.intermediate_paths >= len(pipelined.paths)
+            assert pipelined.statistics.operators > 0
+
+    @pytest.mark.parametrize("graph", CORPUS[:10], ids=lambda graph: graph.name)
+    def test_execute_regex_parity(self, graph: PropertyGraph) -> None:
+        engine = PathQueryEngine(graph)
+        for restrictor in (Restrictor.TRAIL, Restrictor.ACYCLIC, Restrictor.SIMPLE):
+            materialized = engine.execute_regex(
+                "Knows+", restrictor=restrictor, max_length=PARITY_BOUND, executor="materialize"
+            )
+            pipelined = engine.execute_regex(
+                "Knows+", restrictor=restrictor, max_length=PARITY_BOUND, executor="pipeline"
+            )
+            assert materialized == pipelined, (graph.name, restrictor)
+
+
+class TestAutoSelection:
+    def test_auto_picks_pipeline_for_streaming_plan(self, figure1) -> None:
+        engine = PathQueryEngine(figure1)
+        result = engine.query("MATCH ALL TRAIL p = (?x)-[Knows]->(?y)")
+        assert result.executor == "pipeline"
+
+    def test_auto_picks_materialize_for_recursive_plan(self, figure1) -> None:
+        engine = PathQueryEngine(figure1, default_max_length=6)
+        result = engine.query("MATCH ALL TRAIL p = (?x)-[Knows+]->(?y)")
+        assert result.executor == "materialize"
+
+    def test_choose_executor_uses_recursive_cost_fraction(self, figure1) -> None:
+        cost_model = CostModel(figure1)
+        knows = Selection(label_of_edge(1, "Knows"), EdgesScan())
+        assert choose_executor(Join(knows, knows), cost_model) == "pipeline"
+        assert choose_executor(Recursive(knows, Restrictor.TRAIL), cost_model) == "materialize"
+
+    def test_recursive_cost_fraction_bounds(self, figure1) -> None:
+        cost_model = CostModel(figure1)
+        knows = Selection(label_of_edge(1, "Knows"), EdgesScan())
+        assert cost_model.recursive_cost_fraction(knows) == 0.0
+        fraction = cost_model.recursive_cost_fraction(Recursive(knows, Restrictor.TRAIL))
+        assert 0.5 < fraction <= 1.0
+
+    def test_explain_reports_chosen_executor(self, figure1) -> None:
+        engine = PathQueryEngine(figure1)
+        explanation = engine.explain("MATCH ALL TRAIL p = (?x)-[Knows]->(?y)")
+        assert explanation.chosen_executor == "pipeline"
+        assert "Executor (auto): pipeline" in explanation.render()
+
+    def test_explain_respects_fixed_executor(self, figure1) -> None:
+        engine = PathQueryEngine(figure1, executor="materialize")
+        explanation = engine.explain("MATCH ALL TRAIL p = (?x)-[Knows]->(?y)")
+        assert explanation.chosen_executor == "materialize"
+        assert "Executor: materialize" in explanation.render()
+
+    def test_engine_rejects_unknown_executor(self, figure1) -> None:
+        with pytest.raises(ValueError):
+            PathQueryEngine(figure1, executor="vectorized")
+        with pytest.raises(ValueError, match="unknown executor"):
+            PathQueryEngine(figure1).query(
+                "MATCH ALL TRAIL p = (?x)-[Knows]->(?y)", executor="materialise"
+            )
+        with pytest.raises(ValueError):
+            resolve_executor("auto")  # auto must be resolved before this layer
+
+    def test_engine_default_executor_knob(self, figure1) -> None:
+        engine = PathQueryEngine(figure1, executor="materialize")
+        result = engine.query("MATCH ALL TRAIL p = (?x)-[Knows]->(?y)")
+        assert result.executor == "materialize"
+
+
+class TestLimitPushdown:
+    def test_pipeline_limit_stops_pulling(self, figure1) -> None:
+        engine = PathQueryEngine(figure1)
+        knows = Selection(label_of_edge(1, "Knows"), EdgesScan())
+        full = engine.query_plan(Join(knows, knows), executor="pipeline")
+        limited = engine.query_plan(Join(knows, knows), executor="pipeline", limit=1)
+        assert len(limited) == 1
+        assert limited.truncated
+        assert limited.total_paths is None
+        # Early termination: fewer paths crossed operator boundaries.
+        assert limited.statistics.total_rows() < full.statistics.total_rows()
+
+    def test_materialize_limit_truncates_but_reports_total(self, figure1) -> None:
+        engine = PathQueryEngine(figure1, default_max_length=6)
+        result = engine.query(
+            "MATCH ALL TRAIL p = (?x)-[Knows+]->(?y)", executor="materialize", limit=2
+        )
+        assert len(result) == 2
+        assert result.truncated
+        assert result.total_paths == 12
+        # Materialize truncation is deterministic: the smallest paths survive.
+        full = engine.query("MATCH ALL TRAIL p = (?x)-[Knows+]->(?y)", executor="materialize")
+        assert result.paths.sorted() == full.paths.sorted()[:2]
+
+    def test_limit_larger_than_result_is_not_truncated(self, figure1) -> None:
+        engine = PathQueryEngine(figure1)
+        result = engine.query(
+            "MATCH ALL TRAIL p = (?x)-[Knows]->(?y)", executor="pipeline", limit=100
+        )
+        assert len(result) == 4
+        assert not result.truncated
+        assert result.total_paths == 4
+
+    def test_limit_equal_to_result_is_not_truncated(self, figure1) -> None:
+        # The pipeline probes one path beyond the limit, so an exactly-full
+        # result is correctly reported as complete.
+        engine = PathQueryEngine(figure1)
+        result = engine.query(
+            "MATCH ALL TRAIL p = (?x)-[Knows]->(?y)", executor="pipeline", limit=4
+        )
+        assert len(result) == 4
+        assert not result.truncated
+        assert result.total_paths == 4
+
+    def test_limit_zero_returns_no_paths(self, figure1) -> None:
+        engine = PathQueryEngine(figure1)
+        for executor in ("materialize", "pipeline"):
+            result = engine.query(
+                "MATCH ALL TRAIL p = (?x)-[Knows]->(?y)", executor=executor, limit=0
+            )
+            assert len(result) == 0, executor
+            assert result.truncated, executor
+
+    def test_execute_regex_limit(self, figure1) -> None:
+        engine = PathQueryEngine(figure1)
+        paths = engine.execute_regex("Knows/Knows", executor="pipeline", limit=2)
+        assert len(paths) == 2
+
+
+class TestPlanCache:
+    TEXT = "MATCH ALL TRAIL p = (?x)-[Knows]->(?y)"
+
+    def test_cache_hit_skips_parse_plan_optimize(self, figure1, monkeypatch) -> None:
+        engine = PathQueryEngine(figure1)
+        first = engine.query(self.TEXT)
+        assert not first.cache_hit
+        assert engine.plan_cache.misses == 1
+
+        def boom(plan):
+            raise AssertionError("optimizer must not re-run on a plan-cache hit")
+
+        monkeypatch.setattr(engine._optimizer, "optimize", boom)
+        second = engine.query(self.TEXT)
+        assert second.cache_hit
+        assert engine.plan_cache.hits == 1
+        assert second.paths == first.paths
+        assert second.phase_seconds["parse"] == 0.0
+        assert second.phase_seconds["plan"] == 0.0
+        assert second.phase_seconds["optimize"] == 0.0
+        assert second.phase_seconds["execute"] > 0.0
+
+    def test_cache_hit_skips_auto_selection_too(self, figure1, monkeypatch) -> None:
+        engine = PathQueryEngine(figure1)
+        first = engine.query(self.TEXT)
+
+        def boom(plan):
+            raise AssertionError("auto selection must be memoized with the cached plan")
+
+        monkeypatch.setattr(engine, "select_executor", boom)
+        second = engine.query(self.TEXT)
+        assert second.cache_hit
+        assert second.executor == first.executor
+
+    def test_mutation_invalidates_cache(self, figure1) -> None:
+        engine = PathQueryEngine(figure1)
+        first = engine.query(self.TEXT)
+        figure1.add_node("n99", "Person")
+        second = engine.query(self.TEXT)
+        assert not second.cache_hit
+        assert second.paths == first.paths
+
+    def test_distinct_options_get_distinct_entries(self, figure1) -> None:
+        engine = PathQueryEngine(figure1, default_max_length=6)
+        engine.query("MATCH ALL WALK p = (?x)-[Knows+]->(?y)")
+        engine.query("MATCH ALL WALK p = (?x)-[Knows+]->(?y)", max_length=2)
+        assert len(engine.plan_cache) == 2
+        assert engine.plan_cache.hits == 0
+
+    def test_lru_eviction(self, figure1) -> None:
+        engine = PathQueryEngine(figure1, plan_cache_size=2)
+        engine.query("MATCH ALL TRAIL p = (?x)-[Knows]->(?y)")
+        engine.query("MATCH ALL TRAIL p = (?x)-[Likes]->(?y)")
+        engine.query("MATCH ALL TRAIL p = (?x)-[Follows]->(?y)")
+        assert len(engine.plan_cache) == 2
+        # The first entry was least recently used and is gone again.
+        result = engine.query("MATCH ALL TRAIL p = (?x)-[Knows]->(?y)")
+        assert not result.cache_hit
+
+    def test_cache_can_be_disabled(self, figure1) -> None:
+        engine = PathQueryEngine(figure1, plan_cache_size=0)
+        engine.query(self.TEXT)
+        engine.query(self.TEXT)
+        assert len(engine.plan_cache) == 0
+        assert engine.plan_cache.hits == 0
+
+    def test_regex_plans_are_cached_too(self, figure1) -> None:
+        engine = PathQueryEngine(figure1)
+        engine.execute_regex("Knows/Knows")
+        engine.execute_regex("Knows/Knows")
+        assert engine.plan_cache.hits == 1
+
+
+class TestPhaseTimings:
+    def test_query_reports_all_phases(self, figure1) -> None:
+        engine = PathQueryEngine(figure1)
+        result = engine.query("MATCH ALL TRAIL p = (?x)-[Knows]->(?y)")
+        assert tuple(result.phase_seconds) == PHASES
+        assert result.phase_seconds["parse"] > 0.0
+        assert result.phase_seconds["execute"] > 0.0
+        # elapsed_seconds covers every phase (the pre-refactor timer started
+        # only inside query_plan and missed parse + plan).
+        assert result.elapsed_seconds >= sum(result.phase_seconds.values()) * 0.5
+        assert result.elapsed_seconds >= result.phase_seconds["execute"]
+
+    def test_query_plan_has_no_parse_phase(self, figure1) -> None:
+        engine = PathQueryEngine(figure1)
+        knows = Selection(label_of_edge(1, "Knows"), EdgesScan())
+        result = engine.query_plan(knows)
+        assert result.phase_seconds["parse"] == 0.0
+        assert result.phase_seconds["plan"] == 0.0
+        assert result.phase_seconds["execute"] > 0.0
+
+
+class TestUnifiedStatistics:
+    def test_materialize_statistics_shape(self, figure1) -> None:
+        result = PathQueryEngine(figure1, default_max_length=6).query(
+            "MATCH ALL TRAIL p = (?x)-[Knows+]->(?y)", executor="materialize"
+        )
+        stats = result.statistics
+        assert stats.executor == "materialize"
+        assert stats.total_calls() > 0
+        assert stats.operators == 0  # no physical operators were instantiated
+        assert stats.intermediate_paths >= len(result.paths)
+
+    def test_pipeline_statistics_shape(self, figure1) -> None:
+        result = PathQueryEngine(figure1).query(
+            "MATCH ALL TRAIL p = (?x)-[Knows]->(?y)", executor="pipeline"
+        )
+        stats = result.statistics
+        assert stats.executor == "pipeline"
+        assert stats.operators > 0
+        assert stats.total_rows() == stats.intermediate_paths
+        assert stats.rows_produced is stats.operator_output_sizes
+
+    def test_executor_instances_are_addressable(self, figure1) -> None:
+        knows = Selection(label_of_edge(1, "Knows"), EdgesScan())
+        for executor in (MaterializeExecutor(), PipelineExecutor()):
+            outcome = executor.execute(knows, figure1)
+            assert len(outcome.paths) == 4
+            assert outcome.statistics.executor == executor.name
+            assert outcome.total_paths == 4
