@@ -53,11 +53,18 @@ from repro.engine import (
     PlanCache,
     QueryResult,
 )
-from repro.graph import Edge, GraphBuilder, Node, PropertyGraph
+from repro.graph import Edge, GraphBuilder, GraphSnapshot, Node, PropertyGraph
 from repro.gql import parse_query, plan_query, plan_text
 from repro.optimizer import Optimizer, optimize
 from repro.paths import Path, PathSet
 from repro.rpq import CompileOptions, compile_regex, parse_regex
+from repro.service import (
+    QueryOutcome,
+    QueryService,
+    QueryTicket,
+    ServiceStatistics,
+    StripedLRUCache,
+)
 from repro.semantics import Restrictor, Selector, SelectorKind, apply_selector, recursive_closure
 from repro.semantics.translate import (
     PathQuerySpec,
@@ -72,6 +79,7 @@ __all__ = [
     "__version__",
     # graph
     "PropertyGraph",
+    "GraphSnapshot",
     "Node",
     "Edge",
     "GraphBuilder",
@@ -128,6 +136,12 @@ __all__ = [
     "MaterializeExecutor",
     "PipelineExecutor",
     "PlanCache",
+    # serving
+    "QueryService",
+    "QueryOutcome",
+    "QueryTicket",
+    "ServiceStatistics",
+    "StripedLRUCache",
     # datasets
     "figure1_graph",
     "ldbc_like_graph",

@@ -8,6 +8,7 @@ benchmark file in ``benchmarks/`` stays declarative.
 from __future__ import annotations
 
 import os
+import random
 from dataclasses import dataclass, field
 from typing import Callable, Sequence, TypeVar
 
@@ -17,10 +18,12 @@ from repro.graph.model import PropertyGraph
 
 __all__ = [
     "Workload",
+    "BatchWorkload",
     "figure1_workload",
     "scaling_workloads",
     "selectivity_workloads",
     "executor_workloads",
+    "service_workloads",
     "quick_mode",
     "select_sizes",
 ]
@@ -173,6 +176,99 @@ def executor_workloads(num_nodes: int | None = None, seed: int = 13) -> list[Wor
             regex="Knows|Likes",
             description="label union; pure scan + filter streaming",
             parameters={"nodes": nodes, "edges": edges, "limit": 10},
+        ),
+    ]
+
+
+@dataclass
+class BatchWorkload:
+    """A serving workload: one graph plus a batch of query texts.
+
+    Attributes:
+        name: Short identifier used in benchmark output.
+        graph_factory: Zero-argument callable building the workload graph.
+        queries: The extended-GQL query texts, in submission order.
+        description: What serving scenario the workload models.
+        parameters: Free-form parameters recorded alongside results.
+    """
+
+    name: str
+    graph_factory: Callable[[], PropertyGraph]
+    queries: list[str] = field(default_factory=list)
+    description: str = ""
+    parameters: dict = field(default_factory=dict)
+
+    def build_graph(self) -> PropertyGraph:
+        """Build (or rebuild) the workload graph."""
+        return self.graph_factory()
+
+
+_SERVICE_LABELS = ("Knows", "Likes", "Follows")
+
+
+def _service_query_pool(seed: int) -> list[str]:
+    """Distinct non-recursive GQL texts (label sequences joined by ``/`` or ``|``)."""
+    rng = random.Random(seed)
+    pool: list[str] = []
+    seen: set[str] = set()
+    sequences: list[list[str]] = [[label] for label in _SERVICE_LABELS]
+    while sequences:
+        layer: list[list[str]] = []
+        for sequence in sequences:
+            regex = sequence[0]
+            for index, label in enumerate(sequence[1:]):
+                regex += ("/" if index % 2 == 0 else "|") + label
+            for restrictor in ("TRAIL", "ACYCLIC", "SIMPLE"):
+                text = f"MATCH ALL {restrictor} p = (?x)-[{regex}]->(?y)"
+                if text not in seen:
+                    seen.add(text)
+                    pool.append(text)
+            if len(sequence) < 4:
+                layer.extend(sequence + [label] for label in _SERVICE_LABELS)
+        sequences = layer
+    rng.shuffle(pool)
+    return pool
+
+
+def service_workloads(seed: int = 17) -> list[BatchWorkload]:
+    """Cache-hot and cache-cold batches for the query-service throughput bench.
+
+    Both workloads share one read-only random graph and one batch size; they
+    differ only in the number of *distinct* query texts:
+
+    * **cache-hot** repeats a small hot set, the repeat-heavy read-only
+      traffic a result cache collapses to one evaluation per distinct query;
+    * **cache-cold** makes every text distinct, so nothing is reusable and
+      the measurement exposes the service's raw per-query overhead.
+    """
+    quick = quick_mode()
+    nodes = 60 if quick else 150
+    edges = 3 * nodes
+    batch_size = 80 if quick else 240
+    hot_unique = 8
+    factory = lambda: random_graph(  # noqa: E731 - shared by both workloads
+        nodes, edges, labels=_SERVICE_LABELS, seed=seed, name="service"
+    )
+    pool = _service_query_pool(seed)
+    assert len(pool) >= batch_size, "query pool too small for the batch size"
+    rng = random.Random(seed + 1)
+    hot = [pool[index % hot_unique] for index in range(batch_size)]
+    rng.shuffle(hot)
+    shared = {"nodes": nodes, "edges": edges, "batch_size": batch_size}
+    return [
+        BatchWorkload(
+            name="cache-hot",
+            graph_factory=factory,
+            queries=hot,
+            description="repeat-heavy read-only traffic (8 distinct queries)",
+            parameters={**shared, "unique_queries": hot_unique},
+        ),
+        BatchWorkload(
+            name="cache-cold",
+            graph_factory=factory,
+            queries=pool[:batch_size],
+            description="every query distinct; no result reuse possible",
+            parameters={**shared, "unique_queries": batch_size},
         ),
     ]
 

@@ -6,6 +6,10 @@ Subcommands:
   or one of the built-in data sets, printing the matching paths;
 * ``explain``  — show the logical plan, the optimizer rewrites and the cost
   estimates without executing the query;
+* ``serve``    — run a batch of queries through the concurrent
+  :class:`~repro.service.QueryService` (worker pool, snapshot isolation,
+  shared plan/result caches), reading one query per line from ``--batch-file``
+  or stdin;
 * ``generate`` — write a synthetic graph (figure1 / ldbc / random / cycle /
   chain / grid) to a JSON file;
 * ``stats``    — print summary statistics of a graph file.
@@ -23,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path as FilePath
 
 from repro.datasets.figure1 import figure1_graph
@@ -70,6 +75,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--phases",
         action="store_true",
         help="report per-phase timings (parse / plan / optimize / execute)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve a batch of queries through the concurrent query service",
+    )
+    _add_graph_arguments(serve)
+    serve.add_argument(
+        "--batch-file",
+        default=None,
+        help="file with one extended-GQL query per line ('#' starts a comment; "
+        "default: read queries from stdin)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker threads (0 executes inline on the submitting thread; default: 4)",
+    )
+    serve.add_argument("--max-length", type=int, default=None, help="bound for WALK recursion")
+    serve.add_argument(
+        "--limit", type=int, default=None, help="produce at most this many paths per query"
+    )
+    serve.add_argument(
+        "--executor",
+        choices=list(EXECUTOR_NAMES),
+        default="auto",
+        help="execution strategy shared by all workers (default: auto)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-query deadline in seconds (expired requests are answered "
+        "with a timeout instead of being executed)",
+    )
+    serve.add_argument(
+        "--plan-cache-size", type=int, default=256, help="shared plan cache capacity"
+    )
+    serve.add_argument(
+        "--result-cache-size",
+        type=int,
+        default=1024,
+        help="shared result cache capacity (0 disables result reuse)",
+    )
+    serve.add_argument("--no-optimize", action="store_true", help="disable the plan optimizer")
+    serve.add_argument(
+        "--print-paths",
+        action="store_true",
+        help="print every result path (default: print per-query counts only)",
     )
 
     explain = subparsers.add_parser("explain", help="show the plan without executing")
@@ -149,6 +204,81 @@ def _command_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_batch(args: argparse.Namespace) -> list[str]:
+    if args.batch_file:
+        lines = FilePath(args.batch_file).read_text(encoding="utf-8").splitlines()
+    else:
+        lines = sys.stdin.read().splitlines()
+    queries = []
+    for line in lines:
+        text = line.split("#", 1)[0].strip()
+        if text:
+            queries.append(text)
+    return queries
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.service import QueryService
+
+    graph = _load_graph(args)
+    queries = _read_batch(args)
+    if not queries:
+        print("error: no queries to serve", file=sys.stderr)
+        return 1
+    started = time.perf_counter()
+    with QueryService(
+        graph,
+        workers=args.workers,
+        plan_cache_size=args.plan_cache_size,
+        result_cache_size=args.result_cache_size,
+        executor=args.executor,
+        optimize=not args.no_optimize,
+        default_max_length=args.max_length,
+        default_deadline=args.deadline,
+    ) as service:
+        outcomes = service.run_batch(queries, max_length=args.max_length, limit=args.limit)
+        stats = service.statistics()
+    elapsed = time.perf_counter() - started
+
+    errors = 0
+    for outcome in outcomes:
+        if outcome.timed_out:
+            print(f"# TIMEOUT  {outcome.text}")
+            errors += 1
+        elif outcome.error is not None:
+            print(f"# ERROR    {outcome.text}: {outcome.error}")
+            errors += 1
+        else:
+            flags = "".join(
+                flag
+                for flag, on in (
+                    ("R", outcome.result_cache_hit),
+                    ("P", outcome.plan_cache_hit),
+                )
+                if on
+            )
+            cache_note = f" cache:{flags}" if flags else ""
+            print(
+                f"# {len(outcome)} paths  ({outcome.elapsed_seconds * 1e3:.2f} ms)"
+                f"  [v{outcome.version}, {outcome.executor}{cache_note}]  {outcome.text}"
+            )
+            if args.print_paths:
+                for line in outcome.path_strings():
+                    print(line)
+    throughput = len(outcomes) / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"# served {len(outcomes)} queries in {elapsed * 1e3:.1f} ms "
+        f"({throughput:.1f} q/s) with {args.workers} workers"
+    )
+    print(
+        f"# result cache: {stats.result_cache['hits']} hits / "
+        f"{stats.result_cache['misses']} misses / {stats.result_cache['evictions']} evictions"
+        f"  plan cache: {stats.plan_cache['hits']} hits / "
+        f"{stats.plan_cache['misses']} misses / {stats.plan_cache['evictions']} evictions"
+    )
+    return 1 if errors else 0
+
+
 def _command_explain(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     engine = PathQueryEngine(graph, default_max_length=args.max_length)
@@ -194,6 +324,7 @@ def _command_stats(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "query": _command_query,
+    "serve": _command_serve,
     "explain": _command_explain,
     "generate": _command_generate,
     "stats": _command_stats,

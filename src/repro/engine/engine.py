@@ -127,12 +127,21 @@ class PlanCache:
     planning options, and the graph's mutation counter
     (:attr:`~repro.graph.model.PropertyGraph.version`) — mutating the graph
     therefore never serves a stale plan, without any explicit invalidation.
+    When queries execute against :class:`~repro.graph.snapshot.GraphSnapshot`
+    views, the key carries the snapshot's pinned version, so entries from
+    different snapshots of one graph coexist without interference.
+
+    A single instance is *not* thread-safe; concurrent workers share plans
+    through the lock-striped :class:`~repro.service.StripedLRUCache`, which
+    composes instances of this class (one per stripe, each behind its own
+    lock) and exposes the same ``get``/``put``/counter surface.
     """
 
     def __init__(self, maxsize: int = 128) -> None:
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._entries: OrderedDict[tuple, CachedPlan] = OrderedDict()
 
     def get(self, key: tuple) -> CachedPlan | None:
@@ -153,6 +162,7 @@ class PlanCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
+            self.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (the hit/miss counters are kept)."""
@@ -168,6 +178,10 @@ class PlanCache:
 class PathQueryEngine:
     """Execute extended-GQL path queries over a property graph."""
 
+    #: How many per-version cost models are memoized (a serving engine sees a
+    #: rolling window of snapshot versions; older models age out LRU-style).
+    COST_MODEL_MEMO_SIZE = 8
+
     def __init__(
         self,
         graph: PropertyGraph,
@@ -175,11 +189,14 @@ class PathQueryEngine:
         default_max_length: int | None = None,
         executor: str = "auto",
         plan_cache_size: int = 128,
+        plan_cache: "PlanCache | None" = None,
     ) -> None:
         """Create an engine.
 
         Args:
-            graph: The property graph to query.
+            graph: The property graph to query (a mutable
+                :class:`~repro.graph.model.PropertyGraph` or an immutable
+                :class:`~repro.graph.snapshot.GraphSnapshot`).
             optimize: Whether to run the rewrite-rule optimizer on every plan.
             default_max_length: Bound applied to ϕWalk operators that carry no
                 explicit bound (prevents non-termination errors on cyclic
@@ -189,6 +206,11 @@ class PathQueryEngine:
                 pipeline) or ``"auto"`` (cost-based choice per plan).
             plan_cache_size: Maximum number of parsed-and-optimized plans
                 memoized by the plan cache (``0`` disables caching).
+            plan_cache: An externally owned cache to use instead of building a
+                private one — how :class:`~repro.service.QueryService` shares
+                one lock-striped cache across its worker engines.  Anything
+                with the :class:`PlanCache` surface works;
+                ``plan_cache_size`` is ignored when this is given.
         """
         if executor not in EXECUTOR_NAMES:
             raise ValueError(
@@ -198,10 +220,9 @@ class PathQueryEngine:
         self.optimize_plans = optimize
         self.default_max_length = default_max_length
         self.default_executor = executor
-        self.plan_cache = PlanCache(plan_cache_size)
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache(plan_cache_size)
         self._optimizer = Optimizer()
-        self._cost_model: CostModel | None = None
-        self._cost_model_version = -1
+        self._cost_models: OrderedDict[int, CostModel] = OrderedDict()
 
     # ------------------------------------------------------------------
     # Querying
@@ -212,6 +233,7 @@ class PathQueryEngine:
         max_length: int | None = None,
         executor: str | None = None,
         limit: int | None = None,
+        graph: PropertyGraph | None = None,
     ) -> QueryResult:
         """Parse, plan, optimize, and execute an extended-GQL query.
 
@@ -222,10 +244,20 @@ class PathQueryEngine:
             limit: Produce at most this many paths.  The pipeline executor
                 pushes the limit into the plan (it stops pulling); the
                 materializing executor truncates after full evaluation.
+            graph: Per-call override of the graph to execute against — the
+                engine's own graph or a
+                :class:`~repro.graph.snapshot.GraphSnapshot` of it, pinning
+                the query to one version while other threads keep mutating
+                (an unrelated graph is rejected: plan-cache keys and cost
+                models are version-keyed within one graph lineage).  The
+                plan-cache key uses the override's version, so snapshot
+                queries hit the same entries as live queries at the same
+                version.
         """
         started = time.perf_counter()
+        target = self._target_graph(graph)
         phase_seconds = dict.fromkeys(PHASES, 0.0)
-        key = ("gql", text, max_length, self.optimize_plans, self.graph.version)
+        key = ("gql", text, max_length, self.optimize_plans, target.version)
         cached = self.plan_cache.get(key)
         cache_hit = cached is not None
         if cached is None:
@@ -237,19 +269,21 @@ class PathQueryEngine:
             phase_seconds["plan"] = time.perf_counter() - phase_started
             cached = self._optimize_into(plan, phase_seconds)
             self.plan_cache.put(key, cached)
-        return self._finish(cached, executor, limit, cache_hit, started, phase_seconds)
+        return self._finish(cached, executor, limit, cache_hit, started, phase_seconds, target)
 
     def query_plan(
         self,
         plan: Expression,
         executor: str | None = None,
         limit: int | None = None,
+        graph: PropertyGraph | None = None,
     ) -> QueryResult:
         """Optimize and execute an already-constructed logical plan."""
         started = time.perf_counter()
+        target = self._target_graph(graph)
         phase_seconds = dict.fromkeys(PHASES, 0.0)
         cached = self._optimize_into(plan, phase_seconds)
-        return self._finish(cached, executor, limit, False, started, phase_seconds)
+        return self._finish(cached, executor, limit, False, started, phase_seconds, target)
 
     def execute_regex(
         self,
@@ -258,6 +292,7 @@ class PathQueryEngine:
         max_length: int | None = None,
         executor: str | None = None,
         limit: int | None = None,
+        graph: PropertyGraph | None = None,
     ) -> PathSet:
         """Evaluate a bare regular path query under the given restrictor.
 
@@ -266,8 +301,9 @@ class PathQueryEngine:
         graph version).
         """
         started = time.perf_counter()
+        target = self._target_graph(graph)
         phase_seconds = dict.fromkeys(PHASES, 0.0)
-        key = ("rpq", regex, restrictor, max_length, self.optimize_plans, self.graph.version)
+        key = ("rpq", regex, restrictor, max_length, self.optimize_plans, target.version)
         cached = self.plan_cache.get(key)
         cache_hit = cached is not None
         if cached is None:
@@ -278,23 +314,60 @@ class PathQueryEngine:
             phase_seconds["plan"] = time.perf_counter() - phase_started
             cached = self._optimize_into(plan, phase_seconds)
             self.plan_cache.put(key, cached)
-        return self._finish(cached, executor, limit, cache_hit, started, phase_seconds).paths
+        return self._finish(
+            cached, executor, limit, cache_hit, started, phase_seconds, target
+        ).paths
+
+    def _target_graph(self, graph: PropertyGraph | None) -> PropertyGraph:
+        """Resolve a per-call ``graph`` override, rejecting foreign graphs.
+
+        The plan cache and the cost-model memo are keyed by *version* on the
+        assumption that all versions belong to one graph lineage; a snapshot
+        of the engine's graph (or the graph itself) satisfies that, an
+        unrelated graph whose mutation counter happens to coincide would
+        silently cross-contaminate them.
+        """
+        if graph is None:
+            return self.graph
+        if graph is self.graph:
+            return graph
+        own = self.graph
+        if getattr(graph, "parent", graph) is getattr(own, "parent", own):
+            return graph
+        raise ValueError(
+            "graph= override must be the engine's graph or a snapshot of it; "
+            "build a separate engine for a different graph"
+        )
 
     # ------------------------------------------------------------------
     # Executor selection
     # ------------------------------------------------------------------
-    def select_executor(self, plan: Expression) -> str:
+    def select_executor(self, plan: Expression, graph: PropertyGraph | None = None) -> str:
         """Return the executor name the ``"auto"`` policy picks for ``plan``."""
-        return choose_executor(plan, self.cost_model())
+        return choose_executor(plan, self.cost_model(graph))
 
-    def cost_model(self) -> CostModel:
-        """The engine's cost model, rebuilt whenever the graph has mutated."""
-        if self._cost_model is None or self._cost_model_version != self.graph.version:
-            self._cost_model = CostModel(self.graph)
-            self._cost_model_version = self.graph.version
-        return self._cost_model
+    def cost_model(self, graph: PropertyGraph | None = None) -> CostModel:
+        """The cost model for ``graph`` (default: the engine's graph), memoized per version.
 
-    def _executor_name(self, executor: str | None, cached: CachedPlan) -> str:
+        A small window of versions is kept so a serving engine that answers
+        queries pinned to successive snapshots does not rebuild statistics on
+        every call; mutating the graph naturally ages old entries out.
+        """
+        target = graph if graph is not None else self.graph
+        version = target.version
+        model = self._cost_models.get(version)
+        if model is None:
+            model = CostModel(target)
+            self._cost_models[version] = model
+            while len(self._cost_models) > self.COST_MODEL_MEMO_SIZE:
+                self._cost_models.popitem(last=False)
+        else:
+            self._cost_models.move_to_end(version)
+        return model
+
+    def _executor_name(
+        self, executor: str | None, cached: CachedPlan, graph: PropertyGraph | None = None
+    ) -> str:
         """Resolve an executor knob to a concrete name, memoizing ``auto``."""
         name = executor if executor is not None else self.default_executor
         if name not in EXECUTOR_NAMES:
@@ -304,11 +377,13 @@ class PathQueryEngine:
         if name != "auto":
             return name
         if cached.auto_executor is None:
-            cached.auto_executor = self.select_executor(cached.optimized)
+            cached.auto_executor = self.select_executor(cached.optimized, graph)
         return cached.auto_executor
 
-    def _resolve(self, executor: str | None, cached: CachedPlan) -> Executor:
-        return resolve_executor(self._executor_name(executor, cached))
+    def _resolve(
+        self, executor: str | None, cached: CachedPlan, graph: PropertyGraph | None = None
+    ) -> Executor:
+        return resolve_executor(self._executor_name(executor, cached, graph))
 
     # ------------------------------------------------------------------
     # Shared pipeline tail
@@ -332,16 +407,22 @@ class PathQueryEngine:
         cache_hit: bool,
         started: float,
         phase_seconds: dict[str, float],
+        graph: PropertyGraph | None = None,
     ) -> QueryResult:
+        target = graph if graph is not None else self.graph
         phase_started = time.perf_counter()
-        chosen = self._resolve(executor, cached)
+        chosen = self._resolve(executor, cached, target)
         execution: ExecutionResult = chosen.execute(
             cached.optimized,
-            self.graph,
+            target,
             default_max_length=self.default_max_length,
             limit=limit,
         )
         phase_seconds["execute"] = time.perf_counter() - phase_started
+        cache = self.plan_cache
+        execution.statistics.plan_cache_hits = cache.hits
+        execution.statistics.plan_cache_misses = cache.misses
+        execution.statistics.plan_cache_evictions = cache.evictions
         return QueryResult(
             paths=execution.paths,
             plan=cached.plan,

@@ -27,6 +27,14 @@ class InvalidEdgeError(GraphError):
     """An edge references endpoints that do not exist or is otherwise malformed."""
 
 
+class FrozenGraphError(GraphError):
+    """A mutation was attempted on a frozen graph or an immutable snapshot."""
+
+
+class ServiceError(PathAlgebraError):
+    """The concurrent query service was misused (closed, stale, or misconfigured)."""
+
+
 class PathError(PathAlgebraError):
     """Base class for errors related to path construction or manipulation."""
 

@@ -42,6 +42,15 @@ class ExecutionStatistics:
             classical "intermediate result size" proxy for execution effort).
         operators: Number of physical operators instantiated (pipeline only;
             zero for the materializing evaluator).
+        plan_cache_hits: Cumulative hit count of the plan cache that served
+            this query, captured when the query finished.  Together with
+            ``plan_cache_misses`` and ``plan_cache_evictions`` this surfaces
+            the cache trajectory of a serving engine (or of a
+            :class:`~repro.service.QueryService` whose workers share one
+            lock-striped cache) without a separate stats endpoint.  All three
+            are zero when the plan was run outside the engine facade.
+        plan_cache_misses: Cumulative miss count of the serving plan cache.
+        plan_cache_evictions: Cumulative LRU evictions of the serving plan cache.
     """
 
     executor: str = ""
@@ -49,6 +58,9 @@ class ExecutionStatistics:
     operator_output_sizes: dict[str, int] = field(default_factory=dict)
     intermediate_paths: int = 0
     operators: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    plan_cache_evictions: int = 0
 
     # -- materializing-evaluator recording style -----------------------
     def record(self, operator: str, output_size: int) -> None:

@@ -10,6 +10,7 @@ from repro.graph.io import (
     save_json,
 )
 from repro.graph.model import Edge, Node, PropertyGraph
+from repro.graph.snapshot import GraphSnapshot
 from repro.graph.stats import (
     GraphStatistics,
     compute_statistics,
@@ -22,6 +23,7 @@ __all__ = [
     "Node",
     "Edge",
     "PropertyGraph",
+    "GraphSnapshot",
     "GraphBuilder",
     "GraphStatistics",
     "compute_statistics",

@@ -13,16 +13,21 @@ strings; values are arbitrary Python objects (typically strings and numbers).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping
 
 from repro.errors import (
     DuplicateObjectError,
+    FrozenGraphError,
     InvalidEdgeError,
     UnknownObjectError,
 )
 
-__all__ = ["Node", "Edge", "PropertyGraph"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.graph.snapshot import GraphSnapshot
+
+__all__ = ["Node", "Edge", "PropertyGraph", "materialize"]
 
 
 @dataclass(frozen=True)
@@ -99,6 +104,18 @@ class PropertyGraph:
         self._nodes_by_label: dict[str, list[str]] = {}
         self._edges_by_label: dict[str, list[str]] = {}
         self._version = 0
+        # Snapshot support: the graph is append-only, so a snapshot is a
+        # version-pinned *view*.  Each object records the version at which it
+        # was added; the append-only lists preserve insertion order for
+        # iteration (dict iteration is unsafe while another thread inserts,
+        # indexed list reads are not).
+        self._node_version: dict[str, int] = {}
+        self._edge_version: dict[str, int] = {}
+        self._node_list: list[Node] = []
+        self._edge_list: list[Edge] = []
+        self._frozen = False
+        self._lock = threading.RLock()
+        self._last_snapshot: "GraphSnapshot | None" = None
 
     @property
     def version(self) -> int:
@@ -124,17 +141,25 @@ class PropertyGraph:
         Raises:
             DuplicateObjectError: if the identifier is already used by a node
                 or an edge (``N`` and ``E`` must be disjoint).
+            FrozenGraphError: if the graph has been frozen.
         """
-        if node_id in self._nodes or node_id in self._edges:
-            raise DuplicateObjectError(f"object identifier already in use: {node_id!r}")
-        node = Node(id=node_id, label=label, properties=dict(properties or {}))
-        self._nodes[node_id] = node
-        self._out.setdefault(node_id, [])
-        self._in.setdefault(node_id, [])
-        if label is not None:
-            self._nodes_by_label.setdefault(label, []).append(node_id)
-        self._version += 1
-        return node
+        with self._lock:
+            if self._frozen:
+                raise FrozenGraphError(f"graph {self.name!r} is frozen; mutations are disabled")
+            if node_id in self._nodes or node_id in self._edges:
+                raise DuplicateObjectError(f"object identifier already in use: {node_id!r}")
+            node = Node(id=node_id, label=label, properties=dict(properties or {}))
+            # Publish order matters for lock-free snapshot readers: the object
+            # and its version must be visible before any index references it.
+            self._nodes[node_id] = node
+            self._node_version[node_id] = self._version + 1
+            self._out.setdefault(node_id, [])
+            self._in.setdefault(node_id, [])
+            if label is not None:
+                self._nodes_by_label.setdefault(label, []).append(node_id)
+            self._node_list.append(node)
+            self._version += 1
+            return node
 
     def add_edge(
         self,
@@ -149,27 +174,36 @@ class PropertyGraph:
         Raises:
             DuplicateObjectError: if the identifier is already in use.
             InvalidEdgeError: if either endpoint is not a known node.
+            FrozenGraphError: if the graph has been frozen.
         """
-        if edge_id in self._nodes or edge_id in self._edges:
-            raise DuplicateObjectError(f"object identifier already in use: {edge_id!r}")
-        if source not in self._nodes:
-            raise InvalidEdgeError(f"unknown source node {source!r} for edge {edge_id!r}")
-        if target not in self._nodes:
-            raise InvalidEdgeError(f"unknown target node {target!r} for edge {edge_id!r}")
-        edge = Edge(
-            id=edge_id,
-            source=source,
-            target=target,
-            label=label,
-            properties=dict(properties or {}),
-        )
-        self._edges[edge_id] = edge
-        self._out[source].append(edge_id)
-        self._in[target].append(edge_id)
-        if label is not None:
-            self._edges_by_label.setdefault(label, []).append(edge_id)
-        self._version += 1
-        return edge
+        with self._lock:
+            if self._frozen:
+                raise FrozenGraphError(f"graph {self.name!r} is frozen; mutations are disabled")
+            if edge_id in self._nodes or edge_id in self._edges:
+                raise DuplicateObjectError(f"object identifier already in use: {edge_id!r}")
+            if source not in self._nodes:
+                raise InvalidEdgeError(f"unknown source node {source!r} for edge {edge_id!r}")
+            if target not in self._nodes:
+                raise InvalidEdgeError(f"unknown target node {target!r} for edge {edge_id!r}")
+            edge = Edge(
+                id=edge_id,
+                source=source,
+                target=target,
+                label=label,
+                properties=dict(properties or {}),
+            )
+            # Publish the edge and its version before linking it into the
+            # adjacency lists, so a lock-free snapshot reader walking an
+            # adjacency list never sees an edge id it cannot resolve.
+            self._edges[edge_id] = edge
+            self._edge_version[edge_id] = self._version + 1
+            self._out[source].append(edge_id)
+            self._in[target].append(edge_id)
+            if label is not None:
+                self._edges_by_label.setdefault(label, []).append(edge_id)
+            self._edge_list.append(edge)
+            self._version += 1
+            return edge
 
     # ------------------------------------------------------------------
     # Access
@@ -264,12 +298,22 @@ class PropertyGraph:
         return [self._edges[eid] for eid in self._in[node_id]]
 
     def out_degree(self, node_id: str) -> int:
-        """Return the number of outgoing edges of ``node_id``."""
-        return len(self.out_edges(node_id))
+        """Return the number of outgoing edges of ``node_id`` in O(1).
+
+        Counts the adjacency-index entries directly instead of materializing
+        :class:`Edge` lists via :meth:`out_edges` — degree sweeps (the cost
+        model, :func:`~repro.graph.stats.compute_statistics`) stay linear in
+        the number of nodes rather than the number of edges.
+        """
+        if node_id not in self._nodes:
+            raise UnknownObjectError(f"unknown node: {node_id!r}")
+        return len(self._out[node_id])
 
     def in_degree(self, node_id: str) -> int:
-        """Return the number of incoming edges of ``node_id``."""
-        return len(self.in_edges(node_id))
+        """Return the number of incoming edges of ``node_id`` in O(1)."""
+        if node_id not in self._nodes:
+            raise UnknownObjectError(f"unknown node: {node_id!r}")
+        return len(self._in[node_id])
 
     def neighbors(self, node_id: str) -> list[str]:
         """Return target node identifiers reachable via one outgoing edge."""
@@ -323,6 +367,59 @@ class PropertyGraph:
         )
 
     # ------------------------------------------------------------------
+    # Snapshots and freezing
+    # ------------------------------------------------------------------
+    @property
+    def frozen(self) -> bool:
+        """Whether :meth:`freeze` has been called (mutations raise afterwards)."""
+        return self._frozen
+
+    def freeze(self) -> "PropertyGraph":
+        """Permanently disable mutation; returns the graph for chaining.
+
+        A frozen graph is safe to share across threads without snapshots:
+        every subsequent :meth:`add_node` / :meth:`add_edge` raises
+        :class:`~repro.errors.FrozenGraphError`.
+        """
+        with self._lock:
+            self._frozen = True
+        return self
+
+    def snapshot(self) -> "GraphSnapshot":
+        """Return an immutable view of the graph pinned to the current version.
+
+        The graph is append-only, so the snapshot copies nothing: it filters
+        every read by the version at which each object was added
+        (copy-on-write where the "write" side is the live graph itself).
+        In-flight queries evaluated against a snapshot therefore never observe
+        mutations that commit after the snapshot was taken — the isolation
+        guarantee the concurrent :class:`~repro.service.QueryService` relies
+        on.  Snapshots taken at the same version are shared.
+        """
+        from repro.graph.snapshot import GraphSnapshot
+
+        with self._lock:
+            last = self._last_snapshot
+            if last is not None and last.version == self._version:
+                return last
+            snap = GraphSnapshot(self, self._version, len(self._nodes), len(self._edges))
+            self._last_snapshot = snap
+            return snap
+
+    # ------------------------------------------------------------------
+    # Pickling (the lock is process-local state)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        state["_last_snapshot"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
     # Bulk helpers
     # ------------------------------------------------------------------
     def add_nodes(self, nodes: Iterable[tuple[str, str | None, Mapping[str, Any] | None]]) -> None:
@@ -340,20 +437,32 @@ class PropertyGraph:
 
     def copy(self, name: str | None = None) -> "PropertyGraph":
         """Return a deep-enough copy of the graph (objects are immutable and shared)."""
-        clone = PropertyGraph(name=name or self.name)
-        for node in self.iter_nodes():
-            clone.add_node(node.id, node.label, node.properties)
-        for edge in self.iter_edges():
-            clone.add_edge(edge.id, edge.source, edge.target, edge.label, edge.properties)
-        return clone
+        return materialize(self, name or self.name)
 
     def subgraph_by_edge_labels(self, labels: Iterable[str], name: str | None = None) -> "PropertyGraph":
         """Return the subgraph keeping every node but only edges with one of ``labels``."""
         wanted = set(labels)
-        clone = PropertyGraph(name=name or f"{self.name}[{','.join(sorted(wanted))}]")
-        for node in self.iter_nodes():
-            clone.add_node(node.id, node.label, node.properties)
-        for edge in self.iter_edges():
-            if edge.label in wanted:
-                clone.add_edge(edge.id, edge.source, edge.target, edge.label, edge.properties)
-        return clone
+        return materialize(
+            self, name or f"{self.name}[{','.join(sorted(wanted))}]", edge_labels=wanted
+        )
+
+
+def materialize(
+    source, name: str, edge_labels: "set[str] | None" = None
+) -> PropertyGraph:
+    """Copy a graph-like object into a fresh, mutable :class:`PropertyGraph`.
+
+    ``source`` is anything exposing ``iter_nodes()`` / ``iter_edges()`` — a
+    live :class:`PropertyGraph` or an immutable
+    :class:`~repro.graph.snapshot.GraphSnapshot` view; both route their
+    ``copy`` / ``subgraph_by_edge_labels`` through this helper.  When
+    ``edge_labels`` is given, only edges carrying one of those labels are
+    kept (every node is kept regardless).
+    """
+    clone = PropertyGraph(name=name)
+    for node in source.iter_nodes():
+        clone.add_node(node.id, node.label, node.properties)
+    for edge in source.iter_edges():
+        if edge_labels is None or edge.label in edge_labels:
+            clone.add_edge(edge.id, edge.source, edge.target, edge.label, edge.properties)
+    return clone

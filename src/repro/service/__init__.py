@@ -1,0 +1,28 @@
+"""Concurrent query serving: snapshot-isolated workers over shared caches.
+
+The serving layer on top of the engine facade (see PERFORMANCE.md, "Serving
+queries concurrently"):
+
+* :class:`QueryService` — thread-safe query service with snapshot isolation,
+  a bounded submission queue, per-query deadlines and worker threads;
+* :class:`StripedLRUCache` — the lock-striped LRU shared by the workers for
+  both parsed plans and materialized outcomes;
+* :class:`QueryOutcome` / :class:`QueryTicket` / :class:`ServiceStatistics` —
+  the result, future and introspection types of the submission API.
+"""
+
+from repro.service.cache import StripedLRUCache
+from repro.service.service import (
+    QueryOutcome,
+    QueryService,
+    QueryTicket,
+    ServiceStatistics,
+)
+
+__all__ = [
+    "QueryService",
+    "QueryOutcome",
+    "QueryTicket",
+    "ServiceStatistics",
+    "StripedLRUCache",
+]

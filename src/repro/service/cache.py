@@ -1,0 +1,119 @@
+"""Lock-striped LRU caching for the concurrent query service.
+
+:class:`StripedLRUCache` composes N independent
+:class:`~repro.engine.engine.PlanCache` shards, each guarded by its own lock.
+A key is routed to a shard by hash, so concurrent workers touching different
+keys proceed without contending on one global cache lock — the classical
+lock-striping pattern.  The class exposes the exact ``get``/``put``/counter
+surface of :class:`PlanCache`, so a :class:`~repro.engine.engine.PathQueryEngine`
+accepts either interchangeably, and the same structure caches both plans and
+materialized query outcomes in :class:`~repro.service.service.QueryService`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.engine.engine import PlanCache
+
+__all__ = ["StripedLRUCache"]
+
+
+class StripedLRUCache:
+    """A thread-safe LRU cache built from independently locked shards.
+
+    Args:
+        maxsize: Total capacity across all stripes (``0`` disables caching —
+            ``put`` becomes a no-op and every ``get`` is a miss).
+        stripes: Number of independently locked shards.  Clamped to
+            ``maxsize`` so no shard ends up with zero capacity, and to at
+            least 1.
+
+    Eviction is LRU *per stripe*: each shard evicts its own least-recently
+    used entry when it overflows its slice of the capacity.  Counters
+    (``hits`` / ``misses`` / ``evictions``) aggregate across stripes.
+    """
+
+    def __init__(self, maxsize: int = 256, stripes: int = 8) -> None:
+        if stripes < 1:
+            raise ValueError(f"stripes must be >= 1, got {stripes}")
+        self.maxsize = max(maxsize, 0)
+        num_stripes = max(1, min(stripes, self.maxsize)) if self.maxsize else 1
+        base, remainder = divmod(self.maxsize, num_stripes)
+        self._shards = [
+            PlanCache(base + (1 if index < remainder else 0)) for index in range(num_stripes)
+        ]
+        self._locks = [threading.Lock() for _ in range(num_stripes)]
+
+    # ------------------------------------------------------------------
+    # Core cache surface (mirrors PlanCache)
+    # ------------------------------------------------------------------
+    def _index(self, key: Any) -> int:
+        return hash(key) % len(self._shards)
+
+    def get(self, key: Any) -> Any | None:
+        """Return the cached entry for ``key`` (marking it most-recently used)."""
+        index = self._index(key)
+        with self._locks[index]:
+            return self._shards[index].get(key)
+
+    def put(self, key: Any, entry: Any) -> None:
+        """Insert ``entry``, evicting the stripe's LRU entry when it overflows."""
+        index = self._index(key)
+        with self._locks[index]:
+            self._shards[index].put(key, entry)
+
+    def clear(self) -> None:
+        """Drop every entry from every stripe (counters are kept)."""
+        for index, shard in enumerate(self._shards):
+            with self._locks[index]:
+                shard.clear()
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, key: Any) -> bool:
+        index = self._index(key)
+        with self._locks[index]:
+            return key in self._shards[index]
+
+    # ------------------------------------------------------------------
+    # Aggregated statistics
+    # ------------------------------------------------------------------
+    @property
+    def stripes(self) -> int:
+        """Number of independently locked shards."""
+        return len(self._shards)
+
+    @property
+    def hits(self) -> int:
+        """Total cache hits across all stripes."""
+        return sum(shard.hits for shard in self._shards)
+
+    @property
+    def misses(self) -> int:
+        """Total cache misses across all stripes."""
+        return sum(shard.misses for shard in self._shards)
+
+    @property
+    def evictions(self) -> int:
+        """Total LRU evictions across all stripes."""
+        return sum(shard.evictions for shard in self._shards)
+
+    def stats(self) -> dict[str, int]:
+        """Return a point-in-time counter summary (entries, hits, misses, evictions)."""
+        return {
+            "entries": len(self),
+            "maxsize": self.maxsize,
+            "stripes": self.stripes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StripedLRUCache(maxsize={self.maxsize}, stripes={self.stripes}, "
+            f"entries={len(self)})"
+        )

@@ -1,0 +1,460 @@
+"""A thread-safe concurrent query service with snapshot isolation.
+
+:class:`QueryService` wraps :class:`~repro.engine.engine.PathQueryEngine` for
+serving workloads where queries and graph mutations interleave:
+
+* **Snapshot isolation** — every submitted query is pinned at submission time
+  to an immutable :class:`~repro.graph.snapshot.GraphSnapshot` of the service
+  graph, so an in-flight query never observes a partially applied batch of
+  mutations, and the version it ran against is reported in its outcome.
+* **Batched submission** — :meth:`submit` / :meth:`submit_many` enqueue
+  requests onto a *bounded* queue drained by a pool of worker threads; each
+  request may carry a deadline, enforced cooperatively when a worker picks it
+  up.  :meth:`QueryTicket.result` delivers the outcome (a future-like
+  handoff), and :meth:`run_batch` is the synchronous convenience wrapper.
+* **Shared caches** — all workers share one lock-striped
+  :class:`~repro.service.cache.StripedLRUCache` of parsed-and-optimized plans
+  (keyed on query text, options *and* graph version, so a plan is never
+  served across a version bump) and one striped *result cache* of
+  materialized outcomes keyed the same way.  On repeat-heavy ("cache-hot")
+  read-only workloads the result cache collapses duplicate requests into one
+  evaluation per graph version.
+
+A note on parallelism: CPython's GIL serializes the pure-Python evaluation
+work, so the worker pool provides *isolation and overlap* (queries keep
+draining while a producer thread mutates or blocks), not CPU parallelism.
+The measured throughput wins on cache-hot workloads (``BENCH_service.json``)
+come from version-keyed result reuse; see PERFORMANCE.md.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import threading
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.engine.engine import PathQueryEngine
+from repro.engine.executor import EXECUTOR_NAMES
+from repro.errors import ServiceError
+from repro.graph.model import PropertyGraph
+from repro.graph.snapshot import GraphSnapshot
+from repro.paths.pathset import PathSet
+from repro.service.cache import StripedLRUCache
+
+__all__ = ["QueryOutcome", "QueryTicket", "ServiceStatistics", "QueryService"]
+
+#: Queue sentinel that tells a worker thread to exit.
+_SHUTDOWN = object()
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """The outcome of one query served by :class:`QueryService`.
+
+    Attributes:
+        text: The query text as submitted.
+        version: The graph version the query was pinned to at submission.
+        paths: The result paths (``None`` on error or timeout).
+        error: Error message when the query failed; ``None`` on success.
+        timed_out: ``True`` when the per-query deadline expired before a
+            worker could start executing it.
+        executor: Name of the executor that ran the plan (empty on failure).
+        plan_cache_hit: Whether the parsed plan came from the shared plan cache.
+        result_cache_hit: Whether the whole outcome was served from the
+            result cache (no evaluation happened for this request).
+        elapsed_seconds: Wall-clock execution time for this request (near
+            zero on a result-cache hit).
+        worker: Name of the worker that served the request.
+    """
+
+    text: str
+    version: int
+    paths: PathSet | None = None
+    error: str | None = None
+    timed_out: bool = False
+    executor: str = ""
+    plan_cache_hit: bool = False
+    result_cache_hit: bool = False
+    elapsed_seconds: float = 0.0
+    worker: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when the query produced a result set."""
+        return self.paths is not None
+
+    def __len__(self) -> int:
+        return len(self.paths) if self.paths is not None else 0
+
+    def path_strings(self) -> tuple[str, ...]:
+        """The result paths rendered in canonical (sorted) order."""
+        if self.paths is None:
+            return ()
+        return tuple(str(path) for path in self.paths.sorted())
+
+    def rendered(self) -> str:
+        """A canonical one-path-per-line rendering (stable across executors).
+
+        Two outcomes computed from the same query against the same graph
+        version are byte-identical under this rendering — the parity contract
+        the service test suite locks down.
+        """
+        return "\n".join(self.path_strings())
+
+
+class QueryTicket:
+    """A future-like handle to one submitted query."""
+
+    __slots__ = ("_event", "_outcome")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._outcome: QueryOutcome | None = None
+
+    def done(self) -> bool:
+        """``True`` once the outcome is available."""
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> QueryOutcome:
+        """Block until the outcome is available and return it.
+
+        Raises:
+            TimeoutError: if the outcome is not available within ``timeout``
+                seconds (the query itself keeps running; call again later).
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError("query outcome not available yet")
+        assert self._outcome is not None
+        return self._outcome
+
+    def _resolve(self, outcome: QueryOutcome) -> None:
+        self._outcome = outcome
+        self._event.set()
+
+
+@dataclass(frozen=True)
+class _Request:
+    """One enqueued unit of work (internal)."""
+
+    text: str
+    max_length: int | None
+    executor: str | None
+    limit: int | None
+    deadline: float | None  # absolute time.monotonic() value
+    snapshot: GraphSnapshot
+    ticket: QueryTicket
+
+
+@dataclass
+class ServiceStatistics:
+    """Point-in-time counters of a :class:`QueryService`."""
+
+    backend: str = "thread"
+    workers: int = 0
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    timed_out: int = 0
+    executed: int = 0
+    result_cache_served: int = 0
+    plan_cache: dict[str, int] = field(default_factory=dict)
+    result_cache: dict[str, int] = field(default_factory=dict)
+
+
+class QueryService:
+    """Serve extended-GQL queries concurrently over a mutating property graph.
+
+    Args:
+        graph: The live graph to serve; submissions snapshot it (mutations
+            through :meth:`PropertyGraph.add_node` / ``add_edge`` remain the
+            caller's job and are safe to interleave with queries).
+        workers: Worker-thread count.  ``0`` executes every submission inline
+            on the calling thread (the serial mode used as the benchmark
+            baseline) while keeping the full snapshot/caching semantics.
+        plan_cache_size: Total capacity of the shared lock-striped plan cache.
+        result_cache_size: Total capacity of the shared result cache
+            (``0`` disables result reuse entirely).
+        cache_stripes: Lock stripes for both shared caches.
+        executor: Default executor knob forwarded to the engines.
+        optimize: Whether worker engines run the rewrite optimizer.
+        default_max_length: Engine-level bound for unbounded ϕWalk recursion.
+        default_deadline: Default per-query deadline in seconds (``None`` —
+            no deadline).  Deadlines are enforced cooperatively when a worker
+            dequeues the request; an expired request is answered with a
+            ``timed_out`` outcome without being executed.
+        max_pending: Bound of the submission queue; :meth:`submit` blocks
+            once this many requests are waiting (back-pressure).
+    """
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        workers: int = 4,
+        plan_cache_size: int = 256,
+        result_cache_size: int = 1024,
+        cache_stripes: int = 8,
+        executor: str = "auto",
+        optimize: bool = True,
+        default_max_length: int | None = None,
+        default_deadline: float | None = None,
+        max_pending: int = 1024,
+    ) -> None:
+        if workers < 0:
+            raise ServiceError(f"workers must be >= 0, got {workers}")
+        if executor not in EXECUTOR_NAMES:
+            raise ServiceError(
+                f"unknown executor {executor!r}; expected one of {', '.join(EXECUTOR_NAMES)}"
+            )
+        self.graph = graph
+        self.workers = workers
+        self.default_executor = executor
+        self.default_deadline = default_deadline
+        self.max_pending = max_pending
+        self.plan_cache = StripedLRUCache(plan_cache_size, cache_stripes)
+        self.result_cache = StripedLRUCache(result_cache_size, cache_stripes)
+        self._engines = [
+            PathQueryEngine(
+                graph,
+                optimize=optimize,
+                default_max_length=default_max_length,
+                executor=executor,
+                plan_cache=self.plan_cache,
+            )
+            for _ in range(max(workers, 1))
+        ]
+        self._stats_lock = threading.Lock()
+        # Serializes the closed-check + enqueue in submit() against close():
+        # without it a submission could land behind the shutdown sentinels
+        # and its ticket would never resolve.
+        self._submit_lock = threading.Lock()
+        # workers=0 runs submissions on one shared engine; concurrent inline
+        # submitters must not race on its unsynchronized per-version memos.
+        self._inline_lock = threading.Lock()
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._timed_out = 0
+        self._executed = 0
+        self._result_cache_served = 0
+        self._closed = False
+        self._queue: queue_module.Queue | None = None
+        self._threads: list[threading.Thread] = []
+        if workers:
+            self._queue = queue_module.Queue(maxsize=max_pending)
+            for index in range(workers):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    args=(f"worker-{index}", self._engines[index]),
+                    name=f"repro-query-{index}",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+
+    # ------------------------------------------------------------------
+    # Submission API
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        text: str,
+        max_length: int | None = None,
+        executor: str | None = None,
+        limit: int | None = None,
+        deadline: float | None = None,
+    ) -> QueryTicket:
+        """Enqueue one query and return its :class:`QueryTicket`.
+
+        The query is pinned to a snapshot of the graph *now*, at submission —
+        mutations that commit while it waits in the queue are invisible to
+        it.  Blocks when the submission queue is full (back-pressure).
+        """
+        relative = deadline if deadline is not None else self.default_deadline
+        with self._submit_lock:
+            if self._closed:
+                raise ServiceError("service is closed; no further submissions accepted")
+            request = _Request(
+                text=text,
+                max_length=max_length,
+                executor=executor,
+                limit=limit,
+                deadline=(time.monotonic() + relative) if relative is not None else None,
+                snapshot=self.graph.snapshot(),
+                ticket=QueryTicket(),
+            )
+            if self._queue is not None:
+                # Bounded wait so a full queue cannot wedge the service:
+                # close() flips _closed without taking _submit_lock, so a
+                # blocked producer notices within one tick and aborts
+                # instead of holding the lock (and close()) hostage.
+                while True:
+                    try:
+                        self._queue.put(request, timeout=0.05)
+                        break
+                    except queue_module.Full:
+                        if self._closed:
+                            raise ServiceError(
+                                "service closed while waiting for queue space"
+                            ) from None
+            with self._stats_lock:
+                self._submitted += 1
+        if self._queue is None:
+            with self._inline_lock:
+                self._serve(request, self._engines[0], "inline")
+        return request.ticket
+
+    def submit_many(self, texts: list[str] | tuple[str, ...], **options) -> list[QueryTicket]:
+        """Submit a batch of query texts; returns one ticket per query, in order."""
+        return [self.submit(text, **options) for text in texts]
+
+    def run_batch(self, texts: list[str] | tuple[str, ...], **options) -> list[QueryOutcome]:
+        """Submit a batch and block until every outcome is available."""
+        tickets = self.submit_many(texts, **options)
+        return [ticket.result() for ticket in tickets]
+
+    # ------------------------------------------------------------------
+    # Worker machinery
+    # ------------------------------------------------------------------
+    def _worker_loop(self, name: str, engine: PathQueryEngine) -> None:
+        assert self._queue is not None
+        while True:
+            request = self._queue.get()
+            if request is _SHUTDOWN:
+                self._queue.task_done()
+                break
+            try:
+                self._serve(request, engine, name)
+            finally:
+                self._queue.task_done()
+
+    def _serve(self, request: _Request, engine: PathQueryEngine, worker: str) -> None:
+        outcome = self._execute(request, engine, worker)
+        with self._stats_lock:
+            self._completed += 1
+            if outcome.timed_out:
+                self._timed_out += 1
+            elif outcome.error is not None:
+                self._failed += 1
+            if outcome.result_cache_hit:
+                self._result_cache_served += 1
+            elif outcome.ok:
+                self._executed += 1
+        request.ticket._resolve(outcome)
+
+    def _execute(self, request: _Request, engine: PathQueryEngine, worker: str) -> QueryOutcome:
+        version = request.snapshot.version
+        if request.deadline is not None and time.monotonic() >= request.deadline:
+            return QueryOutcome(
+                text=request.text, version=version, timed_out=True, worker=worker
+            )
+        effective_executor = (
+            request.executor if request.executor is not None else self.default_executor
+        )
+        key = (
+            "outcome",
+            request.text,
+            request.max_length,
+            effective_executor,
+            request.limit,
+            version,
+        )
+        started = time.perf_counter()
+        cached = self.result_cache.get(key)
+        if cached is not None:
+            # Hand out a fresh PathSet per hit: PathSet is mutable, and a
+            # consumer editing its outcome must not poison the cached entry
+            # or other consumers (copying is linear in the result and far
+            # cheaper than re-evaluating).
+            assert cached.paths is not None
+            return replace(
+                cached,
+                paths=PathSet.from_unique(cached.paths),
+                result_cache_hit=True,
+                # This request never consulted the plan cache; the stored
+                # flag describes the request that computed the entry.
+                plan_cache_hit=False,
+                worker=worker,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+        try:
+            result = engine.query(
+                request.text,
+                max_length=request.max_length,
+                executor=request.executor,
+                limit=request.limit,
+                graph=request.snapshot,
+            )
+        except Exception as error:  # keep the worker alive on any query failure
+            return QueryOutcome(
+                text=request.text,
+                version=version,
+                error=f"{type(error).__name__}: {error}",
+                worker=worker,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+        outcome = QueryOutcome(
+            text=request.text,
+            version=version,
+            paths=result.paths,
+            executor=result.executor,
+            plan_cache_hit=result.cache_hit,
+            elapsed_seconds=time.perf_counter() - started,
+            worker=worker,
+        )
+        # Cache a private copy of the path set — the outcome handed to the
+        # submitting caller must not alias the cached entry (see the hit path).
+        self.result_cache.put(key, replace(outcome, paths=PathSet.from_unique(result.paths)))
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------
+    def statistics(self) -> ServiceStatistics:
+        """Return a point-in-time snapshot of the service counters."""
+        with self._stats_lock:
+            return ServiceStatistics(
+                backend="thread",
+                workers=self.workers,
+                submitted=self._submitted,
+                completed=self._completed,
+                failed=self._failed,
+                timed_out=self._timed_out,
+                executed=self._executed,
+                result_cache_served=self._result_cache_served,
+                plan_cache=self.plan_cache.stats(),
+                result_cache=self.result_cache.stats(),
+            )
+
+    def close(self) -> None:
+        """Stop accepting submissions, drain the queue, and join the workers.
+
+        Already-submitted queries are served before the workers exit.
+        Idempotent; the service cannot be reopened.
+        """
+        with self._stats_lock:
+            already_closed = self._closed
+            self._closed = True
+        if already_closed:
+            return
+        # Taking the submit lock *after* flipping the flag waits for any
+        # in-flight submit() to finish enqueueing (or abort on the flag) —
+        # afterwards no request can land behind the shutdown sentinels.
+        with self._submit_lock:
+            pass
+        if self._queue is not None:
+            for _ in self._threads:
+                self._queue.put(_SHUTDOWN)
+            for thread in self._threads:
+                thread.join()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QueryService(graph={self.graph.name!r}, workers={self.workers}, "
+            f"submitted={self._submitted})"
+        )

@@ -3,12 +3,16 @@
 The corpus covers the nasty shapes for path semantics: cyclic graphs,
 self-loops, parallel edges (multigraphs), dense cliques and random
 multigraphs.  ``test_closure_equivalence`` runs the closure strategies over
-it; ``test_executor`` runs the engine facade with both executors over it.
+it; ``test_executor`` runs the engine facade with both executors over it;
+``test_differential`` runs randomly generated RPQs through every evaluation
+route over a two-label variant (single-label regexes cannot distinguish the
+routes' label handling).
 """
 
 from __future__ import annotations
 
 import random
+from typing import Sequence
 
 from repro.datasets.generators import complete_graph, cycle_graph, grid_graph, random_graph
 from repro.graph.model import PropertyGraph
@@ -18,7 +22,7 @@ __all__ = ["NUM_RANDOM_GRAPHS", "closure_corpus"]
 NUM_RANDOM_GRAPHS = 45
 
 
-def _random_graph_for_seed(seed: int) -> PropertyGraph:
+def _random_graph_for_seed(seed: int, labels: Sequence[str]) -> PropertyGraph:
     """A small random multigraph; odd seeds additionally allow self-loops."""
     rng = random.Random(seed)
     num_nodes = rng.randint(3, 6)
@@ -26,7 +30,7 @@ def _random_graph_for_seed(seed: int) -> PropertyGraph:
     return random_graph(
         num_nodes,
         num_edges,
-        labels=("Knows",),
+        labels=tuple(labels),
         seed=seed,
         name=f"rand-{seed}",
         allow_self_loops=bool(seed % 2),
@@ -43,8 +47,12 @@ def _structured_graphs() -> list[PropertyGraph]:
     ]
 
 
-def closure_corpus() -> list[PropertyGraph]:
-    """Build the full 50-graph corpus (45 seeded random + 5 structured)."""
+def closure_corpus(labels: Sequence[str] = ("Knows",)) -> list[PropertyGraph]:
+    """Build the full 50-graph corpus (45 seeded random + 5 structured).
+
+    ``labels`` is the edge-label vocabulary of the 45 random graphs (the five
+    structured graphs always use the single default label).
+    """
     return [
-        _random_graph_for_seed(seed) for seed in range(NUM_RANDOM_GRAPHS)
+        _random_graph_for_seed(seed, labels) for seed in range(NUM_RANDOM_GRAPHS)
     ] + _structured_graphs()

@@ -31,6 +31,78 @@ class TestParser:
         assert args.limit == 3
 
 
+class TestServeCommand:
+    BATCH = (
+        "# a comment line\n"
+        "MATCH ALL TRAIL p = (?x)-[Knows]->(?y)\n"
+        "\n"
+        "MATCH ALL TRAIL p = (?x)-[Likes]->(?y)\n"
+        "MATCH ALL TRAIL p = (?x)-[Knows]->(?y)  # repeated: served from the result cache\n"
+    )
+
+    @pytest.fixture
+    def batch_file(self, tmp_path) -> str:
+        path = tmp_path / "batch.gql"
+        path.write_text(self.BATCH, encoding="utf-8")
+        return str(path)
+
+    def test_serve_batch_file(self, batch_file, capsys) -> None:
+        # One worker makes the cache accounting deterministic: the repeated
+        # query is always dequeued after the first instance completed, so it
+        # is served from the result cache (with >1 workers the duplicate may
+        # legitimately race the in-flight original and compute too).
+        code = main(["serve", "--batch-file", batch_file, "--workers", "1"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out.count("# 4 paths") == 3
+        assert "served 3 queries" in captured.out
+        assert "result cache: 1 hits" in captured.out
+
+    def test_serve_concurrent_workers(self, batch_file, capsys) -> None:
+        code = main(["serve", "--batch-file", batch_file, "--workers", "2"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out.count("# 4 paths") == 3
+        assert "with 2 workers" in captured.out
+
+    def test_serve_inline_workers_and_paths(self, batch_file, capsys) -> None:
+        code = main(["serve", "--batch-file", batch_file, "--workers", "0", "--print-paths"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "(n1, e1, n2)" in captured.out
+        assert "with 0 workers" in captured.out
+
+    def test_serve_reads_stdin(self, capsys, monkeypatch) -> None:
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(self.BATCH))
+        code = main(["serve", "--workers", "1"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "served 3 queries" in captured.out
+
+    def test_serve_bad_query_returns_nonzero(self, tmp_path, capsys) -> None:
+        path = tmp_path / "bad.gql"
+        path.write_text("THIS IS NOT GQL\nMATCH ALL TRAIL p = (?x)-[Knows]->(?y)\n")
+        code = main(["serve", "--batch-file", str(path), "--workers", "1"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "# ERROR" in captured.out
+        assert "# 4 paths" in captured.out  # the good query was still served
+
+    def test_serve_empty_batch_is_an_error(self, tmp_path, capsys) -> None:
+        path = tmp_path / "empty.gql"
+        path.write_text("# nothing but comments\n")
+        code = main(["serve", "--batch-file", str(path)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "no queries" in captured.err
+
+    def test_serve_deadline_flag_parses(self, batch_file, capsys) -> None:
+        code = main(["serve", "--batch-file", batch_file, "--deadline", "30"])
+        assert code == 0
+
+
 class TestQueryCommand:
     def test_query_builtin_dataset(self, capsys) -> None:
         code = main(["query", "MATCH ALL TRAIL p = (?x)-[Knows]->(?y)"])

@@ -1,0 +1,382 @@
+"""Concurrency, snapshot-isolation and cache-correctness tests for the service.
+
+The acceptance property (ISSUE 3): a concurrent batch of queries over a
+mutating graph returns byte-identical results to the same batch run serially
+against the corresponding snapshots.  The suite locks that down three ways:
+
+* hypothesis-generated interleavings of ``add_node``/``add_edge`` mutations
+  and query submissions, each outcome replayed against a serial
+  reconstruction of the graph at the outcome's pinned version;
+* a free-running mutator thread racing a querying thread;
+* deterministic regressions for the shared plan cache (never serves across a
+  version bump, works disabled, evicts LRU-first) and the result cache
+  (never serves across a version bump).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.figure1 import figure1_graph
+from repro.engine.engine import PathQueryEngine
+from repro.errors import ServiceError
+from repro.graph.model import PropertyGraph
+from repro.service import QueryService, QueryTicket, StripedLRUCache
+
+#: The query mix used throughout: streaming scans, joins, unions, recursion.
+QUERIES = (
+    "MATCH ALL TRAIL p = (?x)-[Knows]->(?y)",
+    "MATCH ALL TRAIL p = (?x)-[Knows/Knows]->(?y)",
+    "MATCH ALL TRAIL p = (?x)-[Knows|Likes]->(?y)",
+    "MATCH ALL ACYCLIC p = (?x)-[Knows+]->(?y)",
+)
+
+EDGE_LABELS = ("Knows", "Likes")
+
+
+def _canonical(paths) -> tuple[str, ...]:
+    return tuple(str(path) for path in paths.sorted())
+
+
+def _serial_result(graph: PropertyGraph, text: str) -> tuple[str, ...]:
+    """Evaluate ``text`` on a quiescent graph with a cache-free engine."""
+    result = PathQueryEngine(graph, plan_cache_size=0).query(text)
+    return _canonical(result.paths)
+
+
+class _MutationLog:
+    """Applies mutations to a live graph while recording them for replay."""
+
+    def __init__(self, graph: PropertyGraph) -> None:
+        self.graph = graph
+        self.base_version = graph.version
+        self.ops: list[tuple] = []
+        self._counter = 0
+
+    def add_node(self) -> None:
+        node_id = f"h{self._counter}"
+        self._counter += 1
+        self.graph.add_node(node_id, "Person", {"name": node_id})
+        self.ops.append(("node", node_id))
+
+    def add_edge(self, source_seed: int, target_seed: int, label_index: int) -> None:
+        nodes = self.graph.node_ids()
+        source = nodes[source_seed % len(nodes)]
+        target = nodes[target_seed % len(nodes)]
+        edge_id = f"he{self._counter}"
+        self._counter += 1
+        label = EDGE_LABELS[label_index % len(EDGE_LABELS)]
+        self.graph.add_edge(edge_id, source, target, label)
+        self.ops.append(("edge", edge_id, source, target, label))
+
+    def replay(self, version: int) -> PropertyGraph:
+        """Rebuild the graph exactly as it was at ``version``."""
+        graph = figure1_graph()
+        assert graph.version == self.base_version
+        for op in self.ops[: version - self.base_version]:
+            if op[0] == "node":
+                graph.add_node(op[1], "Person", {"name": op[1]})
+            else:
+                graph.add_edge(op[1], op[2], op[3], op[4])
+        assert graph.version == version
+        return graph
+
+
+_schedule_steps = st.one_of(
+    st.tuples(st.just("query"), st.integers(0, len(QUERIES) - 1)),
+    st.tuples(st.just("node"), st.just(0)),
+    st.tuples(
+        st.just("edge"),
+        st.integers(0, 10**6),
+        st.integers(0, 10**6),
+        st.integers(0, 1),
+    ),
+)
+
+
+class TestSnapshotIsolation:
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(schedule=st.lists(_schedule_steps, min_size=1, max_size=25))
+    def test_every_outcome_consistent_with_a_single_version(self, schedule) -> None:
+        """Each result equals a serial evaluation at the version it was pinned to.
+
+        The result cache is disabled so every submission reaches the engine,
+        which makes the plan-cache accounting at the end exact: with the
+        version inside the cache key, hits can never exceed
+        ``lookups - distinct keys`` — a single plan served across a version
+        bump would break that bound.
+        """
+        graph = figure1_graph()
+        log = _MutationLog(graph)
+        submitted: list[tuple[str, object]] = []
+        with QueryService(graph, workers=2, result_cache_size=0) as service:
+            for step in schedule:
+                if step[0] == "query":
+                    text = QUERIES[step[1]]
+                    submitted.append((text, service.submit(text)))
+                elif step[0] == "node":
+                    log.add_node()
+                else:
+                    log.add_edge(step[1], step[2], step[3])
+            outcomes = [(text, ticket.result()) for text, ticket in submitted]
+            stats = service.statistics()
+
+        distinct_keys = set()
+        for text, outcome in outcomes:
+            assert outcome.ok, outcome
+            replay = log.replay(outcome.version)
+            assert outcome.path_strings() == _serial_result(replay, text)
+            distinct_keys.add((text, outcome.version))
+
+        lookups = len(outcomes)
+        assert stats.plan_cache["hits"] + stats.plan_cache["misses"] == lookups
+        # Every distinct (text, version) key must miss at least once; two
+        # workers racing the same fresh key can both miss (benign), but a hit
+        # across a version bump would push hits beyond this bound.
+        assert stats.plan_cache["misses"] >= len(distinct_keys)
+        assert stats.plan_cache["hits"] <= lookups - len(distinct_keys)
+
+    def test_single_worker_plan_cache_accounting_is_exact(self) -> None:
+        """With one worker the miss-per-distinct-key accounting is an equality."""
+        graph = figure1_graph()
+        log = _MutationLog(graph)
+        with QueryService(graph, workers=1, result_cache_size=0) as service:
+            tickets = []
+            for round_index in range(3):
+                tickets.extend(service.submit(text) for text in QUERIES)
+                tickets.extend(service.submit(text) for text in QUERIES)
+                log.add_node()
+            outcomes = [ticket.result() for ticket in tickets]
+            stats = service.statistics()
+        assert all(outcome.ok for outcome in outcomes)
+        distinct = {(outcome.text, outcome.version) for outcome in outcomes}
+        assert stats.plan_cache["misses"] == len(distinct)
+        assert stats.plan_cache["hits"] == len(outcomes) - len(distinct)
+
+    def test_concurrent_batch_is_byte_identical_to_serial_snapshots(self) -> None:
+        """The acceptance criterion, verbatim.
+
+        Mutations and submissions interleave on the producer thread while
+        four workers drain concurrently; each query's result must be
+        byte-identical to a serial run against the snapshot that was current
+        at its submission.
+        """
+        graph = figure1_graph()
+        log = _MutationLog(graph)
+        batch = [QUERIES[index % len(QUERIES)] for index in range(36)]
+        snapshots = []
+        tickets = []
+        with QueryService(graph, workers=4) as service:
+            for index, text in enumerate(batch):
+                if index % 3 == 0:
+                    log.add_node()
+                if index % 4 == 1:
+                    log.add_edge(index, 2 * index + 1, index)
+                snapshots.append(graph.snapshot())
+                tickets.append(service.submit(text))
+            outcomes = [ticket.result() for ticket in tickets]
+
+        for text, snapshot, outcome in zip(batch, snapshots, outcomes):
+            assert outcome.version == snapshot.version
+            serial = PathQueryEngine(graph, plan_cache_size=0).query(text, graph=snapshot)
+            assert outcome.rendered().encode() == "\n".join(_canonical(serial.paths)).encode()
+
+    def test_free_running_mutator_thread(self) -> None:
+        """Queries racing a real mutator thread still pin consistent versions."""
+        graph = figure1_graph()
+        log = _MutationLog(graph)
+        stop = threading.Event()
+
+        def mutate() -> None:
+            seed = 0
+            while not stop.is_set():
+                log.add_node()
+                log.add_edge(seed, seed + 3, seed)
+                seed += 1
+
+        mutator = threading.Thread(target=mutate)
+        mutator.start()
+        try:
+            with QueryService(graph, workers=3, result_cache_size=0) as service:
+                outcomes = []
+                for round_index in range(10):
+                    tickets = [service.submit(text) for text in QUERIES]
+                    outcomes.extend(ticket.result() for ticket in tickets)
+        finally:
+            stop.set()
+            mutator.join()
+        for outcome in outcomes:
+            assert outcome.ok, outcome
+            replay = log.replay(outcome.version)
+            assert outcome.path_strings() == _serial_result(replay, outcome.text)
+
+
+class TestPlanCacheRegression:
+    TEXT = "MATCH ALL TRAIL p = (?x)-[Knows]->(?y)"
+
+    def test_mid_batch_mutation_is_never_stale(self) -> None:
+        """Mutating between submissions must not return results for the old graph."""
+        graph = figure1_graph()
+        with QueryService(graph, workers=0) as service:
+            before = service.submit(self.TEXT).result()
+            graph.add_node("fresh", "Person")
+            graph.add_edge("efresh", "n1", "fresh", "Knows")
+            after = service.submit(self.TEXT).result()
+            stats = service.statistics()
+        assert len(after) == len(before) + 1
+        assert not after.result_cache_hit
+        assert not after.plan_cache_hit
+        assert stats.plan_cache["hits"] == 0
+        assert stats.plan_cache["misses"] == 2
+
+    def test_result_cache_never_crosses_a_version_bump(self) -> None:
+        graph = figure1_graph()
+        with QueryService(graph, workers=0) as service:
+            first = service.submit(self.TEXT).result()
+            repeat = service.submit(self.TEXT).result()
+            assert repeat.result_cache_hit
+            assert repeat.rendered() == first.rendered()
+            graph.add_edge("eknows", "n1", "n3", "Knows")
+            bumped = service.submit(self.TEXT).result()
+        assert not bumped.result_cache_hit
+        assert len(bumped) == len(first) + 1
+
+    def test_mutating_a_served_outcome_does_not_poison_the_cache(self) -> None:
+        """Outcomes never alias the cached PathSet (defensive copies both ways)."""
+        with QueryService(figure1_graph(), workers=0) as service:
+            first = service.submit(self.TEXT).result()
+            baseline = first.rendered()
+            likes = service.submit("MATCH ALL TRAIL p = (?x)-[Likes]->(?y)").result()
+            first.paths.update(likes.paths)  # vandalize the computing caller's copy
+            hit = service.submit(self.TEXT).result()
+            assert hit.result_cache_hit
+            assert hit.rendered() == baseline
+            hit.paths.update(likes.paths)  # vandalize a served hit too
+            assert service.submit(self.TEXT).result().rendered() == baseline
+
+    def test_concurrent_inline_submitters_are_serialized(self) -> None:
+        """workers=0 shares one engine; racing submitters must still be safe."""
+        graph = figure1_graph()
+        with QueryService(graph, workers=0, result_cache_size=0) as service:
+            failures: list[str] = []
+
+            def hammer(offset: int) -> None:
+                for index in range(10):
+                    graph.add_node(f"inline-{offset}-{index}")
+                    outcome = service.submit(QUERIES[index % len(QUERIES)]).result()
+                    if not outcome.ok:
+                        failures.append(outcome.error or "?")
+
+            threads = [threading.Thread(target=hammer, args=(n,)) for n in range(3)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not failures, failures
+
+    def test_plan_cache_disabled_still_correct(self) -> None:
+        graph = figure1_graph()
+        with QueryService(
+            graph, workers=2, plan_cache_size=0, result_cache_size=0
+        ) as service:
+            outcomes = service.run_batch([self.TEXT] * 6)
+            stats = service.statistics()
+        expected = _serial_result(graph, self.TEXT)
+        assert all(outcome.path_strings() == expected for outcome in outcomes)
+        assert stats.plan_cache["entries"] == 0
+        assert stats.plan_cache["hits"] == 0
+
+    def test_striped_cache_evicts_lru_first(self) -> None:
+        cache = StripedLRUCache(maxsize=2, stripes=1)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"; "b" becomes LRU
+        cache.put("c", 3)
+        assert cache.evictions == 1
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.get("b") is None
+
+    def test_striped_cache_surface(self) -> None:
+        cache = StripedLRUCache(maxsize=8, stripes=4)
+        assert cache.stripes == 4
+        for index in range(8):
+            cache.put(("key", index), index)
+        assert len(cache) <= 8
+        assert cache.stats()["entries"] == len(cache)
+        cache.clear()
+        assert len(cache) == 0
+        assert StripedLRUCache(maxsize=2, stripes=8).stripes == 2  # clamped
+        assert StripedLRUCache(maxsize=0).stripes == 1
+        with pytest.raises(ValueError):
+            StripedLRUCache(stripes=0)
+
+    def test_zero_capacity_cache_never_stores(self) -> None:
+        cache = StripedLRUCache(maxsize=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert cache.misses == 1
+        assert len(cache) == 0
+
+
+class TestServiceAPI:
+    TEXT = "MATCH ALL TRAIL p = (?x)-[Knows]->(?y)"
+
+    def test_expired_deadline_times_out_without_executing(self) -> None:
+        graph = figure1_graph()
+        with QueryService(graph, workers=1) as service:
+            outcome = service.submit(self.TEXT, deadline=-1.0).result()
+            stats = service.statistics()
+        assert outcome.timed_out
+        assert not outcome.ok
+        assert stats.timed_out == 1
+        assert stats.executed == 0
+
+    def test_ticket_result_timeout(self) -> None:
+        with pytest.raises(TimeoutError):
+            QueryTicket().result(timeout=0.01)
+
+    def test_submit_after_close_raises(self) -> None:
+        service = QueryService(figure1_graph(), workers=1)
+        service.close()
+        service.close()  # idempotent
+        with pytest.raises(ServiceError):
+            service.submit(self.TEXT)
+
+    def test_invalid_configuration_rejected(self) -> None:
+        with pytest.raises(ServiceError):
+            QueryService(figure1_graph(), workers=-1)
+        with pytest.raises(ServiceError):
+            QueryService(figure1_graph(), executor="vectorized")
+
+    def test_worker_survives_bad_queries(self) -> None:
+        with QueryService(figure1_graph(), workers=1) as service:
+            bad = service.submit("THIS IS NOT GQL").result()
+            good = service.submit(self.TEXT).result()
+            stats = service.statistics()
+        assert bad.error is not None and not bad.ok
+        assert good.ok and len(good) == 4
+        assert stats.failed == 1
+        assert stats.completed == 2
+
+    def test_submit_many_preserves_order(self) -> None:
+        texts = [QUERIES[index % len(QUERIES)] for index in range(8)]
+        with QueryService(figure1_graph(), workers=3) as service:
+            outcomes = service.run_batch(texts)
+        assert [outcome.text for outcome in outcomes] == texts
+
+    def test_statistics_shape(self) -> None:
+        with QueryService(figure1_graph(), workers=2) as service:
+            service.run_batch([self.TEXT] * 5)
+            stats = service.statistics()
+        assert stats.submitted == 5
+        assert stats.completed == 5
+        assert stats.executed + stats.result_cache_served == 5
+        assert stats.workers == 2
+        assert stats.backend == "thread"
+        assert stats.result_cache["hits"] == stats.result_cache_served

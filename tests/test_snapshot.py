@@ -1,0 +1,201 @@
+"""Tests for GraphSnapshot views and the PropertyGraph snapshot/freeze API."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.datasets.figure1 import figure1_graph
+from repro.engine.engine import PathQueryEngine
+from repro.errors import FrozenGraphError, UnknownObjectError
+from repro.graph.model import PropertyGraph
+from repro.graph.snapshot import GraphSnapshot
+
+
+@pytest.fixture
+def figure1() -> PropertyGraph:
+    return figure1_graph()
+
+
+class TestSnapshotPinning:
+    def test_snapshot_is_invariant_under_parent_mutation(self, figure1) -> None:
+        snapshot = figure1.snapshot()
+        nodes, edges = snapshot.num_nodes(), snapshot.num_edges()
+        version = snapshot.version
+        figure1.add_node("new", "Person")
+        figure1.add_edge("enew", "new", "n1", "Knows")
+        assert snapshot.version == version
+        assert snapshot.num_nodes() == nodes
+        assert snapshot.num_edges() == edges
+        assert not snapshot.has_node("new")
+        assert not snapshot.has_edge("enew")
+        assert "new" not in snapshot
+        assert figure1.has_node("new")
+
+    def test_adjacency_filters_post_snapshot_edges(self, figure1) -> None:
+        snapshot = figure1.snapshot()
+        out_before = [edge.id for edge in snapshot.out_edges("n1")]
+        in_before = [edge.id for edge in snapshot.in_edges("n1")]
+        figure1.add_node("new", "Person")
+        figure1.add_edge("eout", "n1", "new", "Knows")
+        figure1.add_edge("ein", "new", "n1", "Knows")
+        assert [edge.id for edge in snapshot.out_edges("n1")] == out_before
+        assert [edge.id for edge in snapshot.in_edges("n1")] == in_before
+        assert snapshot.out_degree("n1") == len(out_before)
+        assert snapshot.in_degree("n1") == len(in_before)
+        assert figure1.out_degree("n1") == len(out_before) + 1
+
+    def test_label_indexes_filter_by_version(self, figure1) -> None:
+        snapshot = figure1.snapshot()
+        knows_before = {edge.id for edge in snapshot.edges_by_label("Knows")}
+        person_before = {node.id for node in snapshot.nodes_by_label("Person")}
+        figure1.add_node("new", "Person")
+        figure1.add_edge("enew", "new", "n1", "Knows")
+        assert {edge.id for edge in snapshot.edges_by_label("Knows")} == knows_before
+        assert {node.id for node in snapshot.nodes_by_label("Person")} == person_before
+        assert "Knows" in snapshot.edge_labels()
+        assert "Person" in snapshot.node_labels()
+
+    def test_lookup_beyond_version_raises(self, figure1) -> None:
+        snapshot = figure1.snapshot()
+        figure1.add_node("new", "Person")
+        with pytest.raises(UnknownObjectError):
+            snapshot.node("new")
+        with pytest.raises(UnknownObjectError):
+            snapshot.object("new")
+        with pytest.raises(UnknownObjectError):
+            snapshot.out_edges("new")
+
+    def test_snapshots_at_same_version_are_shared(self, figure1) -> None:
+        first = figure1.snapshot()
+        assert figure1.snapshot() is first
+        figure1.add_node("new")
+        second = figure1.snapshot()
+        assert second is not first
+        assert second.version == first.version + 1
+        assert second.snapshot() is second  # snapshot of a snapshot is itself
+
+    def test_len_and_sizes(self, figure1) -> None:
+        snapshot = figure1.snapshot()
+        assert len(snapshot) == len(figure1)
+        assert snapshot.order() == figure1.order()
+        assert snapshot.size() == figure1.size()
+        assert snapshot.node_ids() == figure1.node_ids()
+        assert snapshot.edge_ids() == figure1.edge_ids()
+        assert [node.id for node in snapshot.iter_nodes()] == figure1.node_ids()
+        assert [edge.id for edge in snapshot.iter_edges()] == figure1.edge_ids()
+        assert snapshot.label_of("n1") == figure1.label_of("n1")
+        assert snapshot.property_of("n1", "name") == figure1.property_of("n1", "name")
+
+
+class TestImmutability:
+    def test_snapshot_refuses_mutation(self, figure1) -> None:
+        snapshot = figure1.snapshot()
+        assert snapshot.frozen
+        with pytest.raises(FrozenGraphError):
+            snapshot.add_node("x")
+        with pytest.raises(FrozenGraphError):
+            snapshot.add_edge("e", "n1", "n2")
+        with pytest.raises(FrozenGraphError):
+            snapshot.add_nodes([("x", None, None)])
+        with pytest.raises(FrozenGraphError):
+            snapshot.add_edges([("e", "n1", "n2", None, None)])
+        assert snapshot.freeze() is snapshot
+
+    def test_frozen_graph_refuses_mutation(self, figure1) -> None:
+        assert not figure1.frozen
+        assert figure1.freeze() is figure1
+        assert figure1.frozen
+        with pytest.raises(FrozenGraphError):
+            figure1.add_node("x")
+        with pytest.raises(FrozenGraphError):
+            figure1.add_edge("e", "n1", "n2")
+
+    def test_copy_of_frozen_graph_is_mutable(self, figure1) -> None:
+        figure1.freeze()
+        clone = figure1.copy()
+        clone.add_node("x")  # must not raise
+        assert clone.has_node("x")
+
+
+class TestMaterialization:
+    def test_copy_materializes_snapshot_state(self, figure1) -> None:
+        snapshot = figure1.snapshot()
+        figure1.add_node("new", "Person")
+        figure1.add_edge("enew", "new", "n1", "Knows")
+        clone = snapshot.copy("clone")
+        assert clone.num_nodes() == snapshot.num_nodes()
+        assert clone.num_edges() == snapshot.num_edges()
+        assert not clone.has_node("new")
+
+    def test_subgraph_by_edge_labels(self, figure1) -> None:
+        snapshot = figure1.snapshot()
+        knows_only = snapshot.subgraph_by_edge_labels(["Knows"])
+        assert knows_only.num_nodes() == snapshot.num_nodes()
+        assert all(edge.label == "Knows" for edge in knows_only.iter_edges())
+
+    def test_engine_over_snapshot_equals_engine_over_materialized_copy(self, figure1) -> None:
+        snapshot = figure1.snapshot()
+        figure1.add_edge("extra", "n1", "n3", "Knows")
+        text = "MATCH ALL TRAIL p = (?x)-[Knows+]->(?y)"
+        on_view = PathQueryEngine(snapshot, default_max_length=4).query(text)
+        on_copy = PathQueryEngine(snapshot.copy(), default_max_length=4).query(text)
+        assert sorted(map(str, on_view.paths)) == sorted(map(str, on_copy.paths))
+        live = PathQueryEngine(figure1, default_max_length=4).query(text)
+        assert len(live) > len(on_view)  # the extra edge is visible only live
+
+    def test_engine_graph_override_requires_same_lineage(self, figure1) -> None:
+        """A foreign graph with a coincidental version must be rejected —
+        plan-cache keys and cost models are version-keyed per lineage."""
+        engine = PathQueryEngine(figure1)
+        text = "MATCH ALL TRAIL p = (?x)-[Knows]->(?y)"
+        assert engine.query(text, graph=figure1.snapshot()).paths  # same lineage ok
+        assert engine.query(text, graph=figure1).paths
+        foreign = figure1_graph()  # identical content and version, different object
+        with pytest.raises(ValueError, match="snapshot of it"):
+            engine.query(text, graph=foreign)
+        with pytest.raises(ValueError):
+            engine.execute_regex("Knows", graph=foreign.snapshot())
+
+    def test_pickle_roundtrip(self, figure1) -> None:
+        snapshot = figure1.snapshot()
+        figure1.add_node("new")
+        restored = pickle.loads(pickle.dumps(snapshot))
+        assert isinstance(restored, GraphSnapshot)
+        assert restored.version == snapshot.version
+        assert restored.node_ids() == snapshot.node_ids()
+        assert not restored.has_node("new")
+        restored.parent.add_node("after-restore")  # restored parent got a fresh lock
+
+
+class TestDegreeCounters:
+    def test_degrees_are_index_lookups_not_edge_materializations(self, figure1) -> None:
+        """out_degree/in_degree must not build Edge lists (the O(1) contract)."""
+        expected_out = {nid: len(figure1.out_edges(nid)) for nid in figure1.node_ids()}
+        expected_in = {nid: len(figure1.in_edges(nid)) for nid in figure1.node_ids()}
+
+        def boom(self, node_id):
+            raise AssertionError("degree counters must not materialize edge lists")
+
+        original_out, original_in = PropertyGraph.out_edges, PropertyGraph.in_edges
+        PropertyGraph.out_edges = boom
+        PropertyGraph.in_edges = boom
+        try:
+            for nid in figure1.node_ids():
+                assert figure1.out_degree(nid) == expected_out[nid]
+                assert figure1.in_degree(nid) == expected_in[nid]
+        finally:
+            PropertyGraph.out_edges = original_out
+            PropertyGraph.in_edges = original_in
+
+    def test_degree_of_unknown_node_raises(self, figure1) -> None:
+        with pytest.raises(UnknownObjectError):
+            figure1.out_degree("ghost")
+        with pytest.raises(UnknownObjectError):
+            figure1.in_degree("ghost")
+        snapshot = figure1.snapshot()
+        with pytest.raises(UnknownObjectError):
+            snapshot.out_degree("ghost")
+        with pytest.raises(UnknownObjectError):
+            snapshot.in_degree("ghost")
