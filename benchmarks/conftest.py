@@ -23,6 +23,7 @@ against.
 
 from __future__ import annotations
 
+import gc
 import time
 from pathlib import Path as FilePath
 
@@ -32,6 +33,7 @@ from repro.bench.reporting import write_bench_json
 from repro.bench.workloads import quick_mode
 from repro.datasets.figure1 import figure1_graph
 from repro.datasets.generators import complete_graph, cycle_graph
+from repro.execution import QueryBudget
 from repro.graph.model import PropertyGraph
 from repro.paths.pathset import PathSet
 from repro.semantics.restrictors import (
@@ -83,14 +85,44 @@ def knows_edges(figure1: PropertyGraph) -> PathSet:
     )
 
 
-def _best_of(callable_, repetitions: int = 3) -> tuple[float, object]:
-    best = float("inf")
-    result = None
-    for _ in range(repetitions):
+def _best_of_each(
+    callables: list, repetitions: int = 3
+) -> tuple[list[float], list[object]]:
+    """Best per-call wall-clock time of each callable, plus their results.
+
+    The trajectory compares *ratios* between strategies, so the samples are
+    interleaved round-robin — drift on a shared CI host lands on every
+    strategy equally instead of skewing whichever was measured last.  Two
+    more noise controls: sub-millisecond workloads (quick mode) are batched
+    timeit-style until one sample spans a few milliseconds, and the cyclic
+    GC is paused while sampling so collection pauses cannot land in one
+    strategy's samples but not another's.
+    """
+    results: list[object] = []
+    inners: list[int] = []
+    for callable_ in callables:
         start = time.perf_counter()
-        result = callable_()
-        best = min(best, time.perf_counter() - start)
-    return best, result
+        results.append(callable_())
+        first = time.perf_counter() - start
+        inners.append(max(1, round(0.02 / first)) if first < 0.02 else 1)
+    samples = max(repetitions, 5) if max(inners) > 1 else repetitions
+    bests = [float("inf")] * len(callables)
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(samples):
+            for index, callable_ in enumerate(callables):
+                inner = inners[index]
+                start = time.perf_counter()
+                for _ in range(inner):
+                    results[index] = callable_()
+                elapsed = (time.perf_counter() - start) / inner
+                if elapsed < bests[index]:
+                    bests[index] = elapsed
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return bests, results
 
 
 def _closure_trajectory_entries() -> list[dict]:
@@ -106,13 +138,26 @@ def _closure_trajectory_entries() -> list[dict]:
             max_length = size - 1
         base = PathSet.edges_of(graph)
         for restrictor in _TRAJECTORY_RESTRICTORS:
-            incremental_s, result = _best_of(
-                lambda: recursive_closure(base, restrictor, max_length)
-            )
-            baseline_s, baseline_result = _best_of(
-                lambda: recursive_closure_baseline(base, restrictor, max_length)
+            # The third strategy is the incremental closure with a budget
+            # that never trips: it measures the pure cost of cooperative
+            # cancellation checks on the hot loop (the ISSUE 4 acceptance
+            # bound is < 5 % on the clique workloads).  The budget is built
+            # outside the timed call, like a serving worker does —
+            # construction is engine-side, not loop overhead.
+            budget = QueryBudget.from_timeout(3600.0, max_visited=10**12)
+            (incremental_s, baseline_s, budgeted_s), (
+                result,
+                baseline_result,
+                budgeted_result,
+            ) = _best_of_each(
+                [
+                    lambda: recursive_closure(base, restrictor, max_length),
+                    lambda: recursive_closure_baseline(base, restrictor, max_length),
+                    lambda: recursive_closure(base, restrictor, max_length, budget=budget),
+                ]
             )
             assert result == baseline_result, (family, size, restrictor)
+            assert result == budgeted_result, (family, size, restrictor)
             entries.append(
                 {
                     "workload": f"{family}-{size}",
@@ -122,6 +167,8 @@ def _closure_trajectory_entries() -> list[dict]:
                     "incremental_s": round(incremental_s, 6),
                     "baseline_s": round(baseline_s, 6),
                     "speedup": round(baseline_s / incremental_s, 2),
+                    "budgeted_s": round(budgeted_s, 6),
+                    "budget_overhead": round(budgeted_s / incremental_s, 3),
                 }
             )
     return entries
@@ -141,6 +188,8 @@ def closure_perf_trajectory() -> None:
             "strategies": {
                 "incremental": "recursive_closure (indexed frontier, O(1) restrictor checks)",
                 "baseline": "recursive_closure_baseline (per-round re-index + full re-scans)",
+                "budgeted": "recursive_closure with a never-tripping QueryBudget "
+                "(budget_overhead = budgeted_s / incremental_s)",
             },
         },
     )

@@ -29,7 +29,7 @@ from repro.algebra.expressions import (
 )
 from repro.algebra.solution_space import SolutionSpace, group_by, order_by, project
 from repro.errors import EvaluationError
-from repro.execution import ExecutionStatistics
+from repro.execution import ExecutionStatistics, QueryBudget
 from repro.graph.model import PropertyGraph
 from repro.paths.join_index import JoinIndex
 from repro.paths.pathset import PathSet
@@ -45,7 +45,12 @@ EvaluationStatistics = ExecutionStatistics
 class Evaluator:
     """Evaluate algebra expressions over a fixed property graph."""
 
-    def __init__(self, graph: PropertyGraph, default_max_length: int | None = None) -> None:
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        default_max_length: int | None = None,
+        budget: QueryBudget | None = None,
+    ) -> None:
         """Create an evaluator.
 
         Args:
@@ -54,9 +59,14 @@ class Evaluator:
             default_max_length: Optional bound applied to ϕWalk nodes that do
                 not carry their own ``max_length``; keeps exploratory queries
                 from tripping the non-termination guard.
+            budget: Optional cooperative cancellation token.  Checked at every
+                operator boundary (and inside the closure / join loops), so an
+                exhausted budget raises :class:`~repro.errors.BudgetExceeded`
+                mid-evaluation instead of materializing to completion.
         """
         self.graph = graph
         self.default_max_length = default_max_length
+        self.budget = budget
         self.statistics = ExecutionStatistics()
 
     # ------------------------------------------------------------------
@@ -106,8 +116,20 @@ class Evaluator:
             return self._eval_projection(expression)
         raise EvaluationError(f"unknown expression node: {type(expression).__name__}")
 
-    def _record(self, expression: Expression, result: PathSet) -> PathSet:
-        self.statistics.record(expression.operator_name(), len(result))
+    def _record(
+        self, expression: Expression, result: PathSet, already_charged: bool = False
+    ) -> PathSet:
+        name = expression.operator_name()
+        self.statistics.record(name, len(result))
+        if self.budget is not None:
+            # Operator boundary: charge the output cardinality and consult
+            # the clock, so plans without long inner loops (pure scans,
+            # set operations) still die within one operator.  Joins and
+            # closures charge per produced path inside their loops and only
+            # take the clock check here.
+            if not already_charged:
+                self.budget.charge(len(result), name)
+            self.budget.checkpoint(name)
         return result
 
     def _eval_paths(self, expression: Expression, context: str) -> PathSet:
@@ -139,8 +161,8 @@ class Evaluator:
     def _eval_join(self, expression: Join) -> PathSet:
         left = self._eval_paths(expression.left, "join")
         right = self._eval_paths(expression.right, "join")
-        result = left.join(right)
-        return self._record(expression, result)
+        result = left.join(right, budget=self.budget)
+        return self._record(expression, result, already_charged=True)
 
     def _eval_union(self, expression: Union) -> PathSet:
         left = self._eval_paths(expression.left, "union")
@@ -168,9 +190,13 @@ class Evaluator:
         # The base is already materialized, so the join index is built exactly
         # once here and shared by every fix-point round of the closure.
         result = recursive_closure(
-            child, expression.restrictor, max_length, join_index=JoinIndex(child)
+            child,
+            expression.restrictor,
+            max_length,
+            join_index=JoinIndex(child),
+            budget=self.budget,
         )
-        return self._record(expression, result)
+        return self._record(expression, result, already_charged=True)
 
     def _eval_group_by(self, expression: GroupBy) -> SolutionSpace:
         child = self._eval_paths(expression.child, "group-by")

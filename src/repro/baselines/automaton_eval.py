@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.execution import QueryBudget
 from repro.graph.model import PropertyGraph
 from repro.paths.path import Path
 from repro.paths.pathset import PathSet
@@ -41,6 +42,7 @@ def evaluate_rpq_pairs(
     graph: PropertyGraph,
     regex: RegexNode | str,
     sources: tuple[str, ...] | None = None,
+    budget: QueryBudget | None = None,
 ) -> ProductSearchResult:
     """Return all node pairs connected by a path whose label word matches ``regex``.
 
@@ -53,11 +55,19 @@ def evaluate_rpq_pairs(
     start_nodes = sources if sources is not None else tuple(graph.node_ids())
 
     for source in start_nodes:
-        _bfs_from(graph, nfa, source, result)
+        if budget is not None:
+            budget.checkpoint("product-bfs")
+        _bfs_from(graph, nfa, source, result, budget)
     return result
 
 
-def _bfs_from(graph: PropertyGraph, nfa: NFA, source: str, result: ProductSearchResult) -> None:
+def _bfs_from(
+    graph: PropertyGraph,
+    nfa: NFA,
+    source: str,
+    result: ProductSearchResult,
+    budget: QueryBudget | None = None,
+) -> None:
     initial = nfa.initial_states()
     queue: deque[tuple[str, frozenset[int], int]] = deque([(source, initial, 0)])
     seen: set[tuple[str, frozenset[int]]] = {(source, initial)}
@@ -66,9 +76,18 @@ def _bfs_from(graph: PropertyGraph, nfa: NFA, source: str, result: ProductSearch
         result.pairs.add((source, source))
         result.distances.setdefault((source, source), 0)
 
+    budgeted = budget is not None
+    batch = QueryBudget.CHARGE_BATCH
+    pending = 0
     while queue:
         node, states, distance = queue.popleft()
         result.visited_states += 1
+        if budgeted:
+            pending += 1
+            if pending >= batch:
+                budget.note_depth(distance)
+                budget.charge(pending, "product-bfs")
+                pending = 0
         for edge in graph.out_edges(node):
             next_states = nfa.step(states, edge.label)
             if not next_states:
@@ -82,12 +101,15 @@ def _bfs_from(graph: PropertyGraph, nfa: NFA, source: str, result: ProductSearch
                 result.pairs.add(pair)
                 result.distances.setdefault(pair, distance + 1)
             queue.append((edge.target, next_states, distance + 1))
+    if budgeted and pending:
+        budget.charge(pending, "product-bfs")
 
 
 def evaluate_rpq_shortest_witnesses(
     graph: PropertyGraph,
     regex: RegexNode | str,
     sources: tuple[str, ...] | None = None,
+    budget: QueryBudget | None = None,
 ) -> PathSet:
     """Return one shortest witness path per matching node pair.
 
@@ -105,11 +127,18 @@ def evaluate_rpq_shortest_witnesses(
     # caller-supplied sources are collapsed to keep that guarantee.
     witnesses: list[Path] = []
     for source in dict.fromkeys(start_nodes):
-        witnesses.extend(_shortest_witnesses_from(graph, nfa, source))
+        if budget is not None:
+            budget.checkpoint("witness-bfs")
+        witnesses.extend(_shortest_witnesses_from(graph, nfa, source, budget))
     return PathSet.from_unique(witnesses)
 
 
-def _shortest_witnesses_from(graph: PropertyGraph, nfa: NFA, source: str) -> list[Path]:
+def _shortest_witnesses_from(
+    graph: PropertyGraph,
+    nfa: NFA,
+    source: str,
+    budget: QueryBudget | None = None,
+) -> list[Path]:
     initial = nfa.initial_states()
     # predecessor[(node, states)] = (previous node, previous states, edge id)
     predecessor: dict[tuple[str, frozenset[int]], tuple[str, frozenset[int], str] | None] = {
@@ -123,8 +152,16 @@ def _shortest_witnesses_from(graph: PropertyGraph, nfa: NFA, source: str) -> lis
         witnesses.append(Path.from_node(graph, source))
         reached_targets.add(source)
 
+    budgeted = budget is not None
+    batch = QueryBudget.CHARGE_BATCH
+    pending = 0
     while queue:
         node, states = queue.popleft()
+        if budgeted:
+            pending += 1
+            if pending >= batch:
+                budget.charge(pending, "witness-bfs")
+                pending = 0
         for edge in graph.out_edges(node):
             next_states = nfa.step(states, edge.label)
             if not next_states:
@@ -137,6 +174,8 @@ def _shortest_witnesses_from(graph: PropertyGraph, nfa: NFA, source: str) -> lis
                 witnesses.append(_reconstruct(graph, predecessor, key))
                 reached_targets.add(edge.target)
             queue.append(key)
+    if budgeted and pending:
+        budget.charge(pending, "witness-bfs")
     return witnesses
 
 

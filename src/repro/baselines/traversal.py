@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import EvaluationError
+from repro.execution import QueryBudget
 from repro.graph.model import PropertyGraph
 from repro.paths.path import Path
 from repro.paths.pathset import PathSet
@@ -49,8 +50,13 @@ def evaluate_rpq_traversal(
     graph: PropertyGraph,
     regex: RegexNode | str,
     options: TraversalOptions | None = None,
+    budget: QueryBudget | None = None,
 ) -> PathSet:
-    """Evaluate a regular path query by DFS + NFA simulation and return full paths."""
+    """Evaluate a regular path query by DFS + NFA simulation and return full paths.
+
+    ``budget`` is checked once per traversal root and every few hundred DFS
+    expansions, so a deadline interrupts even a single deep exploration.
+    """
     options = options or TraversalOptions()
     nfa = build_nfa(regex)
 
@@ -66,7 +72,9 @@ def evaluate_rpq_traversal(
     targets = set(options.targets) if options.targets is not None else None
 
     for source in sources:
-        _traverse_from(graph, nfa, source, options, targets, results)
+        if budget is not None:
+            budget.checkpoint("traversal-dfs")
+        _traverse_from(graph, nfa, source, options, targets, results, budget)
 
     if options.restrictor is Restrictor.SHORTEST:
         return shortest_paths_per_pair(results)
@@ -80,6 +88,7 @@ def _traverse_from(
     options: TraversalOptions,
     targets: set[str] | None,
     results: PathSet,
+    budget: QueryBudget | None = None,
 ) -> None:
     """DFS from ``source`` carrying the NFA state set along the partial path."""
     max_length = options.max_length
@@ -99,8 +108,17 @@ def _traverse_from(
     stack: list[tuple[str, frozenset[int], tuple[str, ...], tuple[str, ...]]] = [
         (source, initial_states, (source,), ())
     ]
+    budgeted = budget is not None
+    batch = QueryBudget.CHARGE_BATCH
+    pending = 0
     while stack:
         node, states, nodes, edges = stack.pop()
+        if budgeted:
+            pending += 1
+            if pending >= batch:
+                budget.note_depth(len(edges))
+                budget.charge(pending, "traversal-dfs")
+                pending = 0
         if max_length is not None and len(edges) >= max_length:
             continue
         for edge in graph.out_edges(node):
@@ -114,6 +132,8 @@ def _traverse_from(
             if nfa.is_accepting(next_states):
                 emit(list(new_nodes), list(new_edges))
             stack.append((edge.target, next_states, new_nodes, new_edges))
+    if budgeted and pending:
+        budget.charge(pending, "traversal-dfs")
 
 
 def _admissible(

@@ -35,7 +35,8 @@ from repro.datasets.generators import chain_graph, cycle_graph, grid_graph, rand
 from repro.datasets.ldbc import LDBCParameters, ldbc_like_graph
 from repro.engine.engine import PathQueryEngine
 from repro.engine.executor import EXECUTOR_NAMES
-from repro.errors import PathAlgebraError
+from repro.errors import BudgetExceeded, PathAlgebraError
+from repro.execution import QueryBudget
 from repro.graph.io import load_csv, load_json, save_json
 from repro.graph.model import PropertyGraph
 from repro.graph.stats import compute_statistics
@@ -76,6 +77,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report per-phase timings (parse / plan / optimize / execute)",
     )
+    query.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="kill the query after this many seconds (cooperative, enforced "
+        "in-flight at budget checkpoints; prints partial progress on a kill)",
+    )
+    query.add_argument(
+        "--max-visited",
+        type=int,
+        default=None,
+        help="kill the query after visiting this many paths (resource cap)",
+    )
 
     serve = subparsers.add_parser(
         "serve",
@@ -108,8 +122,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--deadline",
         type=float,
         default=None,
-        help="per-query deadline in seconds (expired requests are answered "
-        "with a timeout instead of being executed)",
+        help="per-query deadline in seconds, enforced in-flight: a query "
+        "still running when its deadline passes is cancelled cooperatively "
+        "and answered with a timeout carrying its partial progress",
+    )
+    serve.add_argument(
+        "--max-visited",
+        type=int,
+        default=None,
+        help="per-query cap on visited paths (exceeding it counts as a timeout)",
     )
     serve.add_argument(
         "--plan-cache-size", type=int, default=256, help="shared plan cache capacity"
@@ -182,7 +203,24 @@ def _command_query(args: argparse.Namespace) -> int:
         default_max_length=args.max_length,
         executor=args.executor,
     )
-    result = engine.query(args.text, max_length=args.max_length, limit=args.limit)
+    budget = None
+    if args.timeout is not None or args.max_visited is not None:
+        budget = QueryBudget(
+            deadline=(time.monotonic() + args.timeout) if args.timeout is not None else None,
+            max_visited=args.max_visited,
+        )
+    try:
+        result = engine.query(
+            args.text, max_length=args.max_length, limit=args.limit, budget=budget
+        )
+    except BudgetExceeded as exceeded:
+        print(
+            f"# BUDGET EXCEEDED ({exceeded.reason}) in {exceeded.stopped_at or '?'}: "
+            f"visited {exceeded.paths_visited} paths, reached depth "
+            f"{exceeded.depth_reached} before the kill",
+            file=sys.stderr,
+        )
+        return 2
     print(
         f"# {len(result)} paths  ({result.elapsed_seconds * 1e3:.2f} ms)"
         f"  [{result.executor} executor]"
@@ -235,19 +273,31 @@ def _command_serve(args: argparse.Namespace) -> int:
         optimize=not args.no_optimize,
         default_max_length=args.max_length,
         default_deadline=args.deadline,
+        default_max_visited=args.max_visited,
     ) as service:
         outcomes = service.run_batch(queries, max_length=args.max_length, limit=args.limit)
         stats = service.statistics()
     elapsed = time.perf_counter() - started
 
-    errors = 0
+    timed_out = 0
+    failed = 0
     for outcome in outcomes:
         if outcome.timed_out:
-            print(f"# TIMEOUT  {outcome.text}")
-            errors += 1
+            where = outcome.stopped_at or "queue"
+            progress = (
+                f" after {outcome.paths_visited} paths"
+                if outcome.paths_visited
+                else ""
+            )
+            print(
+                f"# TIMEOUT  ({outcome.budget_reason or 'deadline'} in {where}"
+                f"{progress}, queued {outcome.queued_seconds * 1e3:.1f} ms)  "
+                f"{outcome.text}"
+            )
+            timed_out += 1
         elif outcome.error is not None:
             print(f"# ERROR    {outcome.text}: {outcome.error}")
-            errors += 1
+            failed += 1
         else:
             flags = "".join(
                 flag
@@ -266,9 +316,16 @@ def _command_serve(args: argparse.Namespace) -> int:
                 for line in outcome.path_strings():
                     print(line)
     throughput = len(outcomes) / elapsed if elapsed > 0 else float("inf")
+    succeeded = len(outcomes) - timed_out - failed
     print(
         f"# served {len(outcomes)} queries in {elapsed * 1e3:.1f} ms "
         f"({throughput:.1f} q/s) with {args.workers} workers"
+    )
+    print(
+        f"# summary: {succeeded} executed, {timed_out} timed out "
+        f"({stats.timed_out_at_dequeue} at dequeue / {stats.timed_out_in_flight} "
+        f"in flight), {failed} failed; max queue wait "
+        f"{stats.queued_seconds_max * 1e3:.1f} ms"
     )
     print(
         f"# result cache: {stats.result_cache['hits']} hits / "
@@ -276,7 +333,11 @@ def _command_serve(args: argparse.Namespace) -> int:
         f"  plan cache: {stats.plan_cache['hits']} hits / "
         f"{stats.plan_cache['misses']} misses / {stats.plan_cache['evictions']} evictions"
     )
-    return 1 if errors else 0
+    # Exit codes: 0 — every query produced a result; 1 — partial failures;
+    # 2 — the whole batch timed out or failed (nothing succeeded).
+    if succeeded == 0:
+        return 2
+    return 1 if (timed_out or failed) else 0
 
 
 def _command_explain(args: argparse.Namespace) -> int:

@@ -33,7 +33,7 @@ from repro.engine.executor import (
     choose_executor,
     resolve_executor,
 )
-from repro.execution import ExecutionStatistics
+from repro.execution import ExecutionStatistics, QueryBudget
 from repro.graph.model import PropertyGraph
 from repro.gql.parser import parse_query
 from repro.gql.planner import plan_query
@@ -234,6 +234,7 @@ class PathQueryEngine:
         executor: str | None = None,
         limit: int | None = None,
         graph: PropertyGraph | None = None,
+        budget: QueryBudget | None = None,
     ) -> QueryResult:
         """Parse, plan, optimize, and execute an extended-GQL query.
 
@@ -253,6 +254,13 @@ class PathQueryEngine:
                 plan-cache key uses the override's version, so snapshot
                 queries hit the same entries as live queries at the same
                 version.
+            budget: Optional :class:`~repro.execution.QueryBudget` enforced
+                cooperatively throughout execution (deadline, visited-path
+                and result-size caps).  An exhausted budget raises
+                :class:`~repro.errors.BudgetExceeded` carrying the partial
+                progress; budgets are *not* part of the plan-cache key, and a
+                budget-killed query leaves only the (valid) parsed plan in
+                the cache — never a partial result.
         """
         started = time.perf_counter()
         target = self._target_graph(graph)
@@ -264,12 +272,16 @@ class PathQueryEngine:
             phase_started = time.perf_counter()
             ast = parse_query(text, max_length=max_length)
             phase_seconds["parse"] = time.perf_counter() - phase_started
+            if budget is not None:
+                budget.checkpoint("parse")
             phase_started = time.perf_counter()
             plan = plan_query(ast)
             phase_seconds["plan"] = time.perf_counter() - phase_started
             cached = self._optimize_into(plan, phase_seconds)
             self.plan_cache.put(key, cached)
-        return self._finish(cached, executor, limit, cache_hit, started, phase_seconds, target)
+        return self._finish(
+            cached, executor, limit, cache_hit, started, phase_seconds, target, budget
+        )
 
     def query_plan(
         self,
@@ -277,13 +289,16 @@ class PathQueryEngine:
         executor: str | None = None,
         limit: int | None = None,
         graph: PropertyGraph | None = None,
+        budget: QueryBudget | None = None,
     ) -> QueryResult:
         """Optimize and execute an already-constructed logical plan."""
         started = time.perf_counter()
         target = self._target_graph(graph)
         phase_seconds = dict.fromkeys(PHASES, 0.0)
         cached = self._optimize_into(plan, phase_seconds)
-        return self._finish(cached, executor, limit, False, started, phase_seconds, target)
+        return self._finish(
+            cached, executor, limit, False, started, phase_seconds, target, budget
+        )
 
     def execute_regex(
         self,
@@ -293,6 +308,7 @@ class PathQueryEngine:
         executor: str | None = None,
         limit: int | None = None,
         graph: PropertyGraph | None = None,
+        budget: QueryBudget | None = None,
     ) -> PathSet:
         """Evaluate a bare regular path query under the given restrictor.
 
@@ -315,7 +331,7 @@ class PathQueryEngine:
             cached = self._optimize_into(plan, phase_seconds)
             self.plan_cache.put(key, cached)
         return self._finish(
-            cached, executor, limit, cache_hit, started, phase_seconds, target
+            cached, executor, limit, cache_hit, started, phase_seconds, target, budget
         ).paths
 
     def _target_graph(self, graph: PropertyGraph | None) -> PropertyGraph:
@@ -408,8 +424,14 @@ class PathQueryEngine:
         started: float,
         phase_seconds: dict[str, float],
         graph: PropertyGraph | None = None,
+        budget: QueryBudget | None = None,
     ) -> QueryResult:
         target = graph if graph is not None else self.graph
+        if budget is not None:
+            # The planning phases are over; one clock read here kills queries
+            # whose deadline expired while parsing/optimizing before any
+            # execution work starts.
+            budget.checkpoint("optimize")
         phase_started = time.perf_counter()
         chosen = self._resolve(executor, cached, target)
         execution: ExecutionResult = chosen.execute(
@@ -417,6 +439,7 @@ class PathQueryEngine:
             target,
             default_max_length=self.default_max_length,
             limit=limit,
+            budget=budget,
         )
         phase_seconds["execute"] = time.perf_counter() - phase_started
         cache = self.plan_cache

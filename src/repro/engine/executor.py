@@ -30,7 +30,7 @@ from typing import Protocol, runtime_checkable
 from repro.algebra.evaluator import Evaluator
 from repro.algebra.expressions import Expression
 from repro.engine.physical import build_pipeline
-from repro.execution import ExecutionStatistics
+from repro.execution import ExecutionStatistics, QueryBudget
 from repro.graph.model import PropertyGraph
 from repro.optimizer.cost import CostModel
 from repro.paths.pathset import PathSet
@@ -86,8 +86,14 @@ class Executor(Protocol):
         *,
         default_max_length: int | None = None,
         limit: int | None = None,
+        budget: QueryBudget | None = None,
     ) -> ExecutionResult:
-        """Run ``plan`` over ``graph`` and return paths plus statistics."""
+        """Run ``plan`` over ``graph`` and return paths plus statistics.
+
+        ``budget`` is a cooperative cancellation token; executors thread it
+        into every loop that can run long and raise
+        :class:`~repro.errors.BudgetExceeded` when it is exhausted.
+        """
         ...  # pragma: no cover - protocol definition
 
 
@@ -110,8 +116,9 @@ class MaterializeExecutor:
         *,
         default_max_length: int | None = None,
         limit: int | None = None,
+        budget: QueryBudget | None = None,
     ) -> ExecutionResult:
-        evaluator = Evaluator(graph, default_max_length=default_max_length)
+        evaluator = Evaluator(graph, default_max_length=default_max_length, budget=budget)
         paths = evaluator.evaluate_paths(plan)
         statistics = evaluator.statistics
         statistics.executor = self.name
@@ -120,6 +127,12 @@ class MaterializeExecutor:
         if limit is not None and total > limit:
             paths = PathSet.from_unique(islice(iter(paths.sorted()), max(limit, 0)))
             truncated = True
+        if budget is not None:
+            # The cap applies to the result the caller receives — checked
+            # after any limit truncation so both executors agree on whether
+            # a limited query fits its budget.
+            budget.check_result_size(len(paths), "result")
+            statistics.capture_budget(budget)
         return ExecutionResult(
             paths=paths, statistics=statistics, truncated=truncated, total_paths=total
         )
@@ -142,12 +155,16 @@ class PipelineExecutor:
         *,
         default_max_length: int | None = None,
         limit: int | None = None,
+        budget: QueryBudget | None = None,
     ) -> ExecutionResult:
-        pipeline = build_pipeline(plan, graph, default_max_length)
+        pipeline = build_pipeline(plan, graph, default_max_length, budget=budget)
         statistics = pipeline.statistics
         statistics.executor = self.name
         if limit is None:
             paths = pipeline.execute()
+            if budget is not None:
+                budget.check_result_size(len(paths), "result")
+                statistics.capture_budget(budget)
             return ExecutionResult(
                 paths=paths, statistics=statistics, total_paths=len(paths)
             )
@@ -157,6 +174,9 @@ class PipelineExecutor:
         # exhausting the root here is the exact situation where the limit did
         # not matter, so the probe costs at most one surplus path.
         truncated = next(stream, None) is not None
+        if budget is not None:
+            budget.check_result_size(len(paths), "result")
+            statistics.capture_budget(budget)
         return ExecutionResult(
             paths=paths,
             statistics=statistics,

@@ -43,7 +43,7 @@ from repro.algebra.expressions import (
 )
 from repro.algebra.solution_space import group_by, order_by, project
 from repro.errors import EvaluationError
-from repro.execution import ExecutionStatistics
+from repro.execution import ExecutionStatistics, QueryBudget
 from repro.graph.model import PropertyGraph
 from repro.paths.join_index import JoinIndex
 from repro.paths.path import Path
@@ -59,12 +59,25 @@ PipelineStatistics = ExecutionStatistics
 
 
 class _PhysicalOperator:
-    """Base class of physical operators: an iterator factory over paths."""
+    """Base class of physical operators: an iterator factory over paths.
 
-    def __init__(self, name: str, statistics: PipelineStatistics) -> None:
+    Every operator carries the (possibly ``None``) :class:`QueryBudget` of
+    the pipeline; :meth:`_emit` charges each path crossing the operator's
+    output boundary against it, so a budgeted pipeline is killed within one
+    check interval no matter which operator is doing the work.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        statistics: PipelineStatistics,
+        budget: QueryBudget | None = None,
+    ) -> None:
         self.name = name
         self.statistics = statistics
         self.statistics.register_operator(name)
+        self._budget = budget
+        self._pending = 0
 
     def paths(self) -> Iterator[Path]:
         """Yield result paths one at a time."""
@@ -72,12 +85,25 @@ class _PhysicalOperator:
 
     def _emit(self, path: Path) -> Path:
         self.statistics.count(self.name)
+        if self._budget is not None:
+            # Batched like every other charging site: an early-terminated
+            # stream leaves at most one partial batch per operator
+            # unaccounted, the same granularity the caps promise anyway.
+            self._pending += 1
+            if self._pending >= QueryBudget.CHARGE_BATCH:
+                self._budget.charge(self._pending, self.name)
+                self._pending = 0
         return path
 
 
 class _NodesScanOp(_PhysicalOperator):
-    def __init__(self, graph: PropertyGraph, statistics: PipelineStatistics) -> None:
-        super().__init__("Nodes(G)", statistics)
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        statistics: PipelineStatistics,
+        budget: QueryBudget | None = None,
+    ) -> None:
+        super().__init__("Nodes(G)", statistics, budget)
         self._graph = graph
 
     def paths(self) -> Iterator[Path]:
@@ -86,8 +112,13 @@ class _NodesScanOp(_PhysicalOperator):
 
 
 class _EdgesScanOp(_PhysicalOperator):
-    def __init__(self, graph: PropertyGraph, statistics: PipelineStatistics) -> None:
-        super().__init__("Edges(G)", statistics)
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        statistics: PipelineStatistics,
+        budget: QueryBudget | None = None,
+    ) -> None:
+        super().__init__("Edges(G)", statistics, budget)
         self._graph = graph
 
     def paths(self) -> Iterator[Path]:
@@ -96,8 +127,14 @@ class _EdgesScanOp(_PhysicalOperator):
 
 
 class _FilterOp(_PhysicalOperator):
-    def __init__(self, expression: Selection, child: _PhysicalOperator, statistics: PipelineStatistics) -> None:
-        super().__init__(f"σ[{expression.condition}]", statistics)
+    def __init__(
+        self,
+        expression: Selection,
+        child: _PhysicalOperator,
+        statistics: PipelineStatistics,
+        budget: QueryBudget | None = None,
+    ) -> None:
+        super().__init__(f"σ[{expression.condition}]", statistics, budget)
         self._condition = expression.condition
         self._child = child
 
@@ -110,8 +147,14 @@ class _FilterOp(_PhysicalOperator):
 class _HashJoinOp(_PhysicalOperator):
     """Streaming hash join: builds on the right input, probes with the left."""
 
-    def __init__(self, left: _PhysicalOperator, right: _PhysicalOperator, statistics: PipelineStatistics) -> None:
-        super().__init__("⋈", statistics)
+    def __init__(
+        self,
+        left: _PhysicalOperator,
+        right: _PhysicalOperator,
+        statistics: PipelineStatistics,
+        budget: QueryBudget | None = None,
+    ) -> None:
+        super().__init__("⋈", statistics, budget)
         self._left = left
         self._right = right
 
@@ -126,8 +169,14 @@ class _HashJoinOp(_PhysicalOperator):
 
 
 class _UnionOp(_PhysicalOperator):
-    def __init__(self, left: _PhysicalOperator, right: _PhysicalOperator, statistics: PipelineStatistics) -> None:
-        super().__init__("∪", statistics)
+    def __init__(
+        self,
+        left: _PhysicalOperator,
+        right: _PhysicalOperator,
+        statistics: PipelineStatistics,
+        budget: QueryBudget | None = None,
+    ) -> None:
+        super().__init__("∪", statistics, budget)
         self._left = left
         self._right = right
 
@@ -141,8 +190,14 @@ class _UnionOp(_PhysicalOperator):
 
 
 class _IntersectionOp(_PhysicalOperator):
-    def __init__(self, left: _PhysicalOperator, right: _PhysicalOperator, statistics: PipelineStatistics) -> None:
-        super().__init__("∩", statistics)
+    def __init__(
+        self,
+        left: _PhysicalOperator,
+        right: _PhysicalOperator,
+        statistics: PipelineStatistics,
+        budget: QueryBudget | None = None,
+    ) -> None:
+        super().__init__("∩", statistics, budget)
         self._left = left
         self._right = right
 
@@ -156,8 +211,14 @@ class _IntersectionOp(_PhysicalOperator):
 
 
 class _DifferenceOp(_PhysicalOperator):
-    def __init__(self, left: _PhysicalOperator, right: _PhysicalOperator, statistics: PipelineStatistics) -> None:
-        super().__init__("∖", statistics)
+    def __init__(
+        self,
+        left: _PhysicalOperator,
+        right: _PhysicalOperator,
+        statistics: PipelineStatistics,
+        budget: QueryBudget | None = None,
+    ) -> None:
+        super().__init__("∖", statistics, budget)
         self._left = left
         self._right = right
 
@@ -179,8 +240,9 @@ class _RecursiveOp(_PhysicalOperator):
         child: _PhysicalOperator,
         statistics: PipelineStatistics,
         default_max_length: int | None,
+        budget: QueryBudget | None = None,
     ) -> None:
-        super().__init__(expression.operator_name(), statistics)
+        super().__init__(expression.operator_name(), statistics, budget)
         self._expression = expression
         self._child = child
         self._default_max_length = default_max_length
@@ -194,7 +256,11 @@ class _RecursiveOp(_PhysicalOperator):
         if max_length is None:
             max_length = self._default_max_length
         closure = recursive_closure(
-            base, self._expression.restrictor, max_length, join_index=JoinIndex(base)
+            base,
+            self._expression.restrictor,
+            max_length,
+            join_index=JoinIndex(base),
+            budget=self._budget,
         )
         for path in closure:
             yield self._emit(path)
@@ -214,8 +280,9 @@ class _SolutionSpaceOp(_PhysicalOperator):
         child: _PhysicalOperator,
         pipeline: list[Expression],
         statistics: PipelineStatistics,
+        budget: QueryBudget | None = None,
     ) -> None:
-        super().__init__(expression.operator_name(), statistics)
+        super().__init__(expression.operator_name(), statistics, budget)
         self._child = child
         self._pipeline = pipeline
 
@@ -272,10 +339,15 @@ def build_pipeline(
     plan: Expression,
     graph: PropertyGraph,
     default_max_length: int | None = None,
+    budget: QueryBudget | None = None,
 ) -> PhysicalPlan:
-    """Compile a logical plan into a pull-based physical pipeline."""
+    """Compile a logical plan into a pull-based physical pipeline.
+
+    A :class:`QueryBudget` is shared by every operator of the pipeline; each
+    path crossing any operator boundary is charged against it.
+    """
     statistics = PipelineStatistics()
-    root = _build(plan, graph, statistics, default_max_length)
+    root = _build(plan, graph, statistics, default_max_length, budget)
     return PhysicalPlan(root=root, statistics=statistics, logical_plan=plan)
 
 
@@ -293,48 +365,59 @@ def _build(
     graph: PropertyGraph,
     statistics: PipelineStatistics,
     default_max_length: int | None,
+    budget: QueryBudget | None = None,
 ) -> _PhysicalOperator:
     if isinstance(plan, NodesScan):
-        return _NodesScanOp(graph, statistics)
+        return _NodesScanOp(graph, statistics, budget)
     if isinstance(plan, EdgesScan):
-        return _EdgesScanOp(graph, statistics)
+        return _EdgesScanOp(graph, statistics, budget)
     if isinstance(plan, Selection):
-        return _FilterOp(plan, _build(plan.child, graph, statistics, default_max_length), statistics)
+        return _FilterOp(
+            plan,
+            _build(plan.child, graph, statistics, default_max_length, budget),
+            statistics,
+            budget,
+        )
     if isinstance(plan, Join):
         return _HashJoinOp(
-            _build(plan.left, graph, statistics, default_max_length),
-            _build(plan.right, graph, statistics, default_max_length),
+            _build(plan.left, graph, statistics, default_max_length, budget),
+            _build(plan.right, graph, statistics, default_max_length, budget),
             statistics,
+            budget,
         )
     if isinstance(plan, Union):
         return _UnionOp(
-            _build(plan.left, graph, statistics, default_max_length),
-            _build(plan.right, graph, statistics, default_max_length),
+            _build(plan.left, graph, statistics, default_max_length, budget),
+            _build(plan.right, graph, statistics, default_max_length, budget),
             statistics,
+            budget,
         )
     if isinstance(plan, Intersection):
         return _IntersectionOp(
-            _build(plan.left, graph, statistics, default_max_length),
-            _build(plan.right, graph, statistics, default_max_length),
+            _build(plan.left, graph, statistics, default_max_length, budget),
+            _build(plan.right, graph, statistics, default_max_length, budget),
             statistics,
+            budget,
         )
     if isinstance(plan, Difference):
         return _DifferenceOp(
-            _build(plan.left, graph, statistics, default_max_length),
-            _build(plan.right, graph, statistics, default_max_length),
+            _build(plan.left, graph, statistics, default_max_length, budget),
+            _build(plan.right, graph, statistics, default_max_length, budget),
             statistics,
+            budget,
         )
     if isinstance(plan, Recursive):
         return _RecursiveOp(
             plan,
-            _build(plan.child, graph, statistics, default_max_length),
+            _build(plan.child, graph, statistics, default_max_length, budget),
             statistics,
             default_max_length,
+            budget,
         )
     if isinstance(plan, (GroupBy, OrderBy, Projection)):
         pipeline, base = _collect_solution_space_pipeline(plan)
-        child = _build(base, graph, statistics, default_max_length)
-        return _SolutionSpaceOp(plan, child, pipeline, statistics)
+        child = _build(base, graph, statistics, default_max_length, budget)
+        return _SolutionSpaceOp(plan, child, pipeline, statistics, budget)
     raise EvaluationError(f"cannot build a physical operator for {type(plan).__name__}")
 
 

@@ -35,6 +35,41 @@ class ServiceError(PathAlgebraError):
     """The concurrent query service was misused (closed, stale, or misconfigured)."""
 
 
+class BudgetExceeded(PathAlgebraError):
+    """A query exceeded its :class:`~repro.execution.QueryBudget` and was cancelled.
+
+    Raised cooperatively from inside the execution stack (closure frontier
+    loops, physical operators, baselines) at the next budget checkpoint after
+    the deadline passed or a resource cap was hit.  The exception carries the
+    partial progress made up to the kill so callers — notably
+    :class:`~repro.service.QueryService` — can report how far the query got.
+
+    Attributes:
+        reason: Which budget dimension was exhausted — ``"deadline"``,
+            ``"max_visited"`` or ``"max_results"``.
+        paths_visited: Paths constructed/visited before the kill.
+        depth_reached: Deepest fix-point round (or traversal depth) reached.
+        stopped_at: Name of the operator or loop that observed the kill.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        paths_visited: int = 0,
+        depth_reached: int = 0,
+        stopped_at: str = "",
+    ) -> None:
+        self.reason = reason
+        self.paths_visited = paths_visited
+        self.depth_reached = depth_reached
+        self.stopped_at = stopped_at
+        where = f" in {stopped_at}" if stopped_at else ""
+        super().__init__(
+            f"query budget exceeded ({reason}){where} after visiting "
+            f"{paths_visited} paths (depth {depth_reached})"
+        )
+
+
 class PathError(PathAlgebraError):
     """Base class for errors related to path construction or manipulation."""
 

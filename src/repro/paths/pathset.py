@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator
 
+from repro.execution import QueryBudget
 from repro.graph.model import PropertyGraph
 from repro.paths.join_index import JoinIndex
 from repro.paths.path import Path
@@ -114,7 +115,9 @@ class PathSet:
         """Return the paths satisfying ``predicate`` (order preserved)."""
         return PathSet.from_unique(path for path in self._paths if predicate(path))
 
-    def join(self, other: "PathSet | JoinIndex") -> "PathSet":
+    def join(
+        self, other: "PathSet | JoinIndex", budget: QueryBudget | None = None
+    ) -> "PathSet":
         """Path join ``self ⋈ other``: concatenate every compatible pair.
 
         A pair ``(p1, p2)`` is compatible when ``Last(p1) == First(p2)``.  The
@@ -122,12 +125,29 @@ class PathSet:
         join costs ``O(|self| + |other| + |result|)`` pair probes rather than
         the naive quadratic scan; callers that join against the same base
         repeatedly can pass a prebuilt :class:`JoinIndex` directly.
+
+        When a :class:`~repro.execution.QueryBudget` is given, produced pairs
+        are charged against it in batches, so a quadratic join blow-up is
+        killed within one check interval rather than running to completion.
         """
         index = other if isinstance(other, JoinIndex) else JoinIndex(other._paths)
         result = PathSet()
+        if budget is None:
+            for left in self._paths:
+                for right in index.extensions(left.last()):
+                    result.add(left.concat(right))
+            return result
+        batch = QueryBudget.CHARGE_BATCH
+        pending = 0
         for left in self._paths:
             for right in index.extensions(left.last()):
                 result.add(left.concat(right))
+                pending += 1
+                if pending >= batch:
+                    budget.charge(pending, "⋈")
+                    pending = 0
+        if pending:
+            budget.charge(pending, "⋈")
         return result
 
     # ------------------------------------------------------------------

@@ -43,6 +43,7 @@ from itertools import count
 from typing import Callable
 
 from repro.errors import NonTerminatingQueryError
+from repro.execution import QueryBudget
 from repro.paths.join_index import JoinIndex
 from repro.paths.path import Path
 from repro.paths.pathset import PathSet
@@ -89,6 +90,17 @@ _PREDICATES: dict[Restrictor, Callable[[Path], bool]] = {
     Restrictor.SIMPLE: is_simple,
 }
 
+#: Frontier chunk size of the budgeted closure loops (and charge batch of
+#: the heap loops): small enough that a deadline is observed within
+#: milliseconds, large enough that per-path accounting cost vanishes — the
+#: innermost extension loops carry no budget code at all.  Derived from the
+#: single granularity knob on :class:`QueryBudget`.
+_BUDGET_BATCH = QueryBudget.CHARGE_BATCH
+
+
+def _closure_label(restrictor: Restrictor) -> str:
+    return f"ϕ{restrictor.value.capitalize()}"
+
 
 def filter_by_restrictor(paths: PathSet, restrictor: Restrictor) -> PathSet:
     """Filter an already-computed path set by the restrictor's path-level predicate.
@@ -129,6 +141,7 @@ def recursive_closure(
     restrictor: Restrictor = Restrictor.WALK,
     max_length: int | None = None,
     join_index: JoinIndex | None = None,
+    budget: QueryBudget | None = None,
 ) -> PathSet:
     """Evaluate ``ϕ_restrictor(base)`` (Definition 4.1 specialized per Section 4).
 
@@ -142,26 +155,33 @@ def recursive_closure(
             Callers that materialize the base anyway (the physical
             ``_RecursiveOp``, the logical evaluator) pass it in so the index
             is built exactly once per closure.
+        budget: Optional cooperative cancellation token.  The fix-point loops
+            consult the clock at every frontier-expansion boundary, and large
+            frontiers are processed in ``_BUDGET_BATCH``-sized chunks with a
+            check per chunk, so a deadline kills the closure within one check
+            interval even mid-round.
 
     Raises:
         NonTerminatingQueryError: for WALK without ``max_length`` when the
             closure provably does not terminate (a generated path exceeded
             the total number of distinct edges in the base, which implies a
             reachable cycle and therefore infinitely many walks).
+        BudgetExceeded: when ``budget`` is exhausted before the fix point.
     """
     if join_index is None:
         join_index = JoinIndex(base)
     if restrictor is Restrictor.SHORTEST:
-        return _closure_shortest(base, max_length, join_index)
+        return _closure_shortest(base, max_length, join_index, budget)
     if restrictor is Restrictor.WALK:
-        return _closure_walk(base, max_length, join_index)
-    return _closure_pruned(base, restrictor, max_length, join_index)
+        return _closure_walk(base, max_length, join_index, budget)
+    return _closure_pruned(base, restrictor, max_length, join_index, budget)
 
 
 def recursive_closure_postfilter(
     base: PathSet,
     restrictor: Restrictor,
     max_length: int,
+    budget: QueryBudget | None = None,
 ) -> PathSet:
     """Reference implementation: enumerate bounded walks, then filter (ablation baseline).
 
@@ -170,14 +190,19 @@ def recursive_closure_postfilter(
     the restrictor.  Results are identical to the pruning strategy whenever
     ``max_length`` is large enough to cover every conforming path.
     """
-    walks = _closure_walk(base, max_length, JoinIndex(base))
+    walks = _closure_walk(base, max_length, JoinIndex(base), budget)
     return filter_by_restrictor(walks, restrictor)
 
 
 # ----------------------------------------------------------------------
 # Walk closure
 # ----------------------------------------------------------------------
-def _closure_walk(base: PathSet, max_length: int | None, index: JoinIndex) -> PathSet:
+def _closure_walk(
+    base: PathSet,
+    max_length: int | None,
+    index: JoinIndex,
+    budget: QueryBudget | None = None,
+) -> PathSet:
     """Fix point of Definition 4.1 with an optional length bound.
 
     Without a bound, a sound non-termination detector is used: if any produced
@@ -199,6 +224,9 @@ def _closure_walk(base: PathSet, max_length: int | None, index: JoinIndex) -> Pa
     buckets = _annotate_extensions(index, lambda ext: ())
     unchecked = Path._unchecked
     bucket_of = buckets.get
+    budgeted = budget is not None
+    batch = _BUDGET_BATCH
+    depth = 0
 
     # Accumulate into a plain list + set: Path hashes are cached, so handing
     # the list to from_unique at the end costs nothing extra.
@@ -207,26 +235,45 @@ def _closure_walk(base: PathSet, max_length: int | None, index: JoinIndex) -> Pa
     frontier: list[Path] = list(result_paths)
     while frontier:
         produced: list[Path] = []
-        for path in frontier:
-            extensions = bucket_of(path.last())
-            if not extensions:
-                continue
-            length = path.len()
-            nodes = path.node_ids
-            edges = path.edge_ids
-            for ext_len, _, nodes_tail, ext_edges in extensions:
-                if length + ext_len > bound:
-                    if guard:
-                        raise NonTerminatingQueryError(
-                            "ϕWalk does not terminate on this input (cycle detected); "
-                            "provide max_length or use a restricted ϕ variant"
-                        )
+        # Budget checks happen at chunk boundaries only, so the innermost
+        # loop carries zero budget code: a big frontier is processed in
+        # _BUDGET_BATCH-sized chunks (one reference-slice alive at a time)
+        # and the clock is read after each one, bounding unchecked work by
+        # one chunk's extension scans.
+        if budgeted:
+            depth += 1
+            budget.checkpoint("ϕWalk", depth=depth)
+            split = len(frontier) > batch
+        else:
+            split = False
+        charged = 0
+        for start in range(0, len(frontier), batch) if split else (0,):
+            chunk = frontier[start : start + batch] if split else frontier
+            for path in chunk:
+                extensions = bucket_of(path.last())
+                if not extensions:
                     continue
-                joined = unchecked(graph, nodes + nodes_tail, edges + ext_edges)
-                if joined not in seen:
-                    seen.add(joined)
-                    result_paths.append(joined)
-                    produced.append(joined)
+                length = path.len()
+                nodes = path.node_ids
+                edges = path.edge_ids
+                for ext_len, _, nodes_tail, ext_edges in extensions:
+                    if length + ext_len > bound:
+                        if guard:
+                            raise NonTerminatingQueryError(
+                                "ϕWalk does not terminate on this input (cycle detected); "
+                                "provide max_length or use a restricted ϕ variant"
+                            )
+                        continue
+                    joined = unchecked(graph, nodes + nodes_tail, edges + ext_edges)
+                    if joined not in seen:
+                        seen.add(joined)
+                        result_paths.append(joined)
+                        produced.append(joined)
+            if budgeted:
+                if len(produced) > charged:
+                    budget.charge(len(produced) - charged, "ϕWalk")
+                    charged = len(produced)
+                budget.checkpoint("ϕWalk")
         frontier = produced
     return PathSet.from_unique(result_paths)
 
@@ -260,6 +307,7 @@ def _closure_pruned(
     restrictor: Restrictor,
     max_length: int | None,
     index: JoinIndex,
+    budget: QueryBudget | None = None,
 ) -> PathSet:
     """Fix point that discards non-conforming paths as soon as they appear.
 
@@ -296,37 +344,57 @@ def _closure_pruned(
     extend_trail = extend_trail_state
     extend_acyclic = extend_acyclic_state
     extend_simple = extend_simple_state
+    budgeted = budget is not None
+    label = _closure_label(restrictor) if budgeted else ""
+    batch = _BUDGET_BATCH
+    depth = 0
 
     result_paths: list[Path] = list(conforming_base)
     seen: set[Path] = set(result_paths)
     while frontier:
         produced: list[tuple[Path, set[str]]] = []
-        for path, visited in frontier:
-            extensions = bucket_of(path.last())
-            if not extensions:
-                continue
-            length = path.len()
-            nodes = path.node_ids
-            edges = path.edge_ids
-            if simple:
-                first = nodes[0]
-                closed = length > 0 and first == nodes[-1]
-            for ext_len, check_ids, nodes_tail, ext_edges in extensions:
-                if length + ext_len > bound:
+        # Chunked budget checks (see _closure_walk): the innermost loop
+        # carries zero budget code; the clock is read per frontier chunk.
+        if budgeted:
+            depth += 1
+            budget.checkpoint(label, depth=depth)
+            split = len(frontier) > batch
+        else:
+            split = False
+        charged = 0
+        for start in range(0, len(frontier), batch) if split else (0,):
+            chunk = frontier[start : start + batch] if split else frontier
+            for path, visited in chunk:
+                extensions = bucket_of(path.last())
+                if not extensions:
                     continue
-                if trail:
-                    extended = extend_trail(visited, check_ids)
-                elif simple:
-                    extended = extend_simple(visited, first, closed, check_ids)
-                else:
-                    extended = extend_acyclic(visited, check_ids)
-                if extended is None:
-                    continue
-                joined = unchecked(graph, nodes + nodes_tail, edges + ext_edges)
-                if joined not in seen:
-                    seen.add(joined)
-                    result_paths.append(joined)
-                    produced.append((joined, extended))
+                length = path.len()
+                nodes = path.node_ids
+                edges = path.edge_ids
+                if simple:
+                    first = nodes[0]
+                    closed = length > 0 and first == nodes[-1]
+                for ext_len, check_ids, nodes_tail, ext_edges in extensions:
+                    if length + ext_len > bound:
+                        continue
+                    if trail:
+                        extended = extend_trail(visited, check_ids)
+                    elif simple:
+                        extended = extend_simple(visited, first, closed, check_ids)
+                    else:
+                        extended = extend_acyclic(visited, check_ids)
+                    if extended is None:
+                        continue
+                    joined = unchecked(graph, nodes + nodes_tail, edges + ext_edges)
+                    if joined not in seen:
+                        seen.add(joined)
+                        result_paths.append(joined)
+                        produced.append((joined, extended))
+            if budgeted:
+                if len(produced) > charged:
+                    budget.charge(len(produced) - charged, label)
+                    charged = len(produced)
+                budget.checkpoint(label)
         frontier = produced
     return PathSet.from_unique(result_paths)
 
@@ -335,7 +403,10 @@ def _closure_pruned(
 # Shortest closure
 # ----------------------------------------------------------------------
 def _closure_shortest(
-    base: PathSet, max_length: int | None, index: JoinIndex
+    base: PathSet,
+    max_length: int | None,
+    index: JoinIndex,
+    budget: QueryBudget | None = None,
 ) -> PathSet:
     """All minimum-length closure paths per endpoint pair (ϕShortest).
 
@@ -375,9 +446,18 @@ def _closure_shortest(
             continue
         heapq.heappush(heap, (length, next(tie_breaker), path))
 
+    budgeted = budget is not None
+    batch = _BUDGET_BATCH
+    pending = 0
     seen: set[Path] = set()
     while heap:
         length, _, path = heapq.heappop(heap)
+        if budgeted:
+            pending += 1
+            if pending >= batch:
+                budget.note_depth(length)
+                budget.charge(pending, "ϕShortest")
+                pending = 0
         if path in seen:
             continue
         seen.add(path)
@@ -400,6 +480,8 @@ def _closure_shortest(
             new_path = path.concat(extension)
             if new_path not in seen:
                 heapq.heappush(heap, (new_length, next(tie_breaker), new_path))
+    if budgeted and pending:
+        budget.charge(pending, "ϕShortest")
     return results
 
 
@@ -410,6 +492,7 @@ def recursive_closure_baseline(
     base: PathSet,
     restrictor: Restrictor = Restrictor.WALK,
     max_length: int | None = None,
+    budget: QueryBudget | None = None,
 ) -> PathSet:
     """The pre-incremental closure strategy, retained as a measurable baseline.
 
@@ -422,7 +505,7 @@ def recursive_closure_baseline(
     speedup of the incremental engine over this strategy.
     """
     if restrictor is Restrictor.SHORTEST:
-        return _baseline_shortest(base, max_length)
+        return _baseline_shortest(base, max_length, budget)
     predicate = _PREDICATES.get(restrictor)
     if predicate is None:
         conforming = list(base)
@@ -432,11 +515,16 @@ def recursive_closure_baseline(
     distinct_edges = {edge_id for path in base for edge_id in path.edge_ids}
     termination_bound = len(distinct_edges)
 
+    label = _closure_label(restrictor)
+    depth = 0
     result = PathSet(conforming)
     frontier = list(conforming)
     while frontier:
+        if budget is not None:
+            depth += 1
+            budget.checkpoint(label, depth=depth)
         produced: list[Path] = []
-        joined = PathSet(frontier).join(base)
+        joined = PathSet(frontier).join(base, budget=budget)
         for path in joined:
             if max_length is not None and path.len() > max_length:
                 continue
@@ -453,7 +541,9 @@ def recursive_closure_baseline(
     return result
 
 
-def _baseline_shortest(base: PathSet, max_length: int | None) -> PathSet:
+def _baseline_shortest(
+    base: PathSet, max_length: int | None, budget: QueryBudget | None = None
+) -> PathSet:
     """The pre-incremental ϕShortest: no insert-time domination check."""
     best: dict[tuple[str, str], int] = {}
     results = PathSet()
@@ -469,9 +559,17 @@ def _baseline_shortest(base: PathSet, max_length: int | None) -> PathSet:
     for path in base:
         base_by_first.setdefault(path.first(), []).append(path)
 
+    budgeted = budget is not None
+    pending = 0
     seen: set[Path] = set()
     while heap:
         length, _, path = heapq.heappop(heap)
+        if budgeted:
+            pending += 1
+            if pending >= _BUDGET_BATCH:
+                budget.note_depth(length)
+                budget.charge(pending, "ϕShortest")
+                pending = 0
         if path in seen:
             continue
         seen.add(path)
@@ -493,4 +591,6 @@ def _baseline_shortest(base: PathSet, max_length: int | None) -> PathSet:
                 continue
             if new_path not in seen:
                 heapq.heappush(heap, (new_length, next(tie_breaker), new_path))
+    if budgeted and pending:
+        budget.charge(pending, "ϕShortest")
     return results

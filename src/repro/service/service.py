@@ -9,9 +9,13 @@ serving workloads where queries and graph mutations interleave:
   mutations, and the version it ran against is reported in its outcome.
 * **Batched submission** — :meth:`submit` / :meth:`submit_many` enqueue
   requests onto a *bounded* queue drained by a pool of worker threads; each
-  request may carry a deadline, enforced cooperatively when a worker picks it
-  up.  :meth:`QueryTicket.result` delivers the outcome (a future-like
-  handoff), and :meth:`run_batch` is the synchronous convenience wrapper.
+  request may carry a deadline and resource caps, enforced cooperatively both
+  at dequeue and *in flight*: the worker derives a
+  :class:`~repro.execution.QueryBudget` from the request's absolute deadline
+  and threads it through the engine, so a runaway recursion dies within one
+  budget-check interval instead of occupying the worker past its deadline.
+  :meth:`QueryTicket.result` delivers the outcome (a future-like handoff),
+  and :meth:`run_batch` is the synchronous convenience wrapper.
 * **Shared caches** — all workers share one lock-striped
   :class:`~repro.service.cache.StripedLRUCache` of parsed-and-optimized plans
   (keyed on query text, options *and* graph version, so a plan is never
@@ -25,6 +29,12 @@ work, so the worker pool provides *isolation and overlap* (queries keep
 draining while a producer thread mutates or blocks), not CPU parallelism.
 The measured throughput wins on cache-hot workloads (``BENCH_service.json``)
 come from version-keyed result reuse; see PERFORMANCE.md.
+
+A note on clocks: every timestamp in this module — enqueue stamps, absolute
+deadlines, elapsed measurements — comes from ``time.monotonic()``.  Deadline
+math only works when the stamp being compared and the clock being read share
+an epoch; ``perf_counter`` is not guaranteed to share one with ``monotonic``,
+and wall clocks can jump, so one monotonic clock is used for everything.
 """
 
 from __future__ import annotations
@@ -36,7 +46,8 @@ from dataclasses import dataclass, field, replace
 
 from repro.engine.engine import PathQueryEngine
 from repro.engine.executor import EXECUTOR_NAMES
-from repro.errors import ServiceError
+from repro.errors import BudgetExceeded, ServiceError
+from repro.execution import QueryBudget
 from repro.graph.model import PropertyGraph
 from repro.graph.snapshot import GraphSnapshot
 from repro.paths.pathset import PathSet
@@ -57,14 +68,30 @@ class QueryOutcome:
         version: The graph version the query was pinned to at submission.
         paths: The result paths (``None`` on error or timeout).
         error: Error message when the query failed; ``None`` on success.
-        timed_out: ``True`` when the per-query deadline expired before a
-            worker could start executing it.
+        timed_out: ``True`` when the query was killed by its budget — either
+            the deadline expired before a worker could start executing it
+            (``stopped_at == "queue"``) or the in-flight execution was
+            cancelled cooperatively mid-evaluation.
+        budget_reason: Which budget dimension killed the query
+            (``"deadline"``, ``"max_visited"`` or ``"max_results"``; empty
+            when the query was not budget-killed).
+        paths_visited: Paths visited as accounted by the request's budget:
+            partial progress when the query was killed, total visited work
+            when a budgeted query completed, zero when no budget was
+            attached or the query never started (use ``timed_out`` /
+            ``budget_reason`` to tell kills apart, not this counter).
+        depth_reached: Deepest fix-point round or traversal depth reached
+            (same accounting caveats as ``paths_visited``).
+        stopped_at: Operator or loop that observed the kill (``"queue"`` when
+            the deadline had already expired at dequeue).
         executor: Name of the executor that ran the plan (empty on failure).
         plan_cache_hit: Whether the parsed plan came from the shared plan cache.
         result_cache_hit: Whether the whole outcome was served from the
             result cache (no evaluation happened for this request).
         elapsed_seconds: Wall-clock execution time for this request (near
-            zero on a result-cache hit).
+            zero on a result-cache hit; excludes queue wait).
+        queued_seconds: Time the request spent waiting in the submission
+            queue before a worker picked it up.
         worker: Name of the worker that served the request.
     """
 
@@ -73,10 +100,15 @@ class QueryOutcome:
     paths: PathSet | None = None
     error: str | None = None
     timed_out: bool = False
+    budget_reason: str = ""
+    paths_visited: int = 0
+    depth_reached: int = 0
+    stopped_at: str = ""
     executor: str = ""
     plan_cache_hit: bool = False
     result_cache_hit: bool = False
     elapsed_seconds: float = 0.0
+    queued_seconds: float = 0.0
     worker: str = ""
 
     @property
@@ -142,13 +174,24 @@ class _Request:
     executor: str | None
     limit: int | None
     deadline: float | None  # absolute time.monotonic() value
+    max_visited: int | None
+    enqueued_at: float  # time.monotonic() stamp taken at submission
     snapshot: GraphSnapshot
     ticket: QueryTicket
 
 
 @dataclass
 class ServiceStatistics:
-    """Point-in-time counters of a :class:`QueryService`."""
+    """Point-in-time counters of a :class:`QueryService`.
+
+    ``timed_out`` splits into ``timed_out_at_dequeue`` (the deadline had
+    already passed when a worker picked the request up — pure queue-wait
+    starvation) and ``timed_out_in_flight`` (the execution started and was
+    killed cooperatively by its budget), so capacity problems and runaway
+    queries are distinguishable.  ``queued_seconds_total`` /
+    ``queued_seconds_max`` aggregate queue wait across all completed
+    requests.
+    """
 
     backend: str = "thread"
     workers: int = 0
@@ -156,8 +199,12 @@ class ServiceStatistics:
     completed: int = 0
     failed: int = 0
     timed_out: int = 0
+    timed_out_at_dequeue: int = 0
+    timed_out_in_flight: int = 0
     executed: int = 0
     result_cache_served: int = 0
+    queued_seconds_total: float = 0.0
+    queued_seconds_max: float = 0.0
     plan_cache: dict[str, int] = field(default_factory=dict)
     result_cache: dict[str, int] = field(default_factory=dict)
 
@@ -180,9 +227,14 @@ class QueryService:
         optimize: Whether worker engines run the rewrite optimizer.
         default_max_length: Engine-level bound for unbounded ϕWalk recursion.
         default_deadline: Default per-query deadline in seconds (``None`` —
-            no deadline).  Deadlines are enforced cooperatively when a worker
-            dequeues the request; an expired request is answered with a
-            ``timed_out`` outcome without being executed.
+            no deadline).  Deadlines are enforced both at dequeue (an expired
+            request is answered with a ``timed_out`` outcome without being
+            executed) and *in flight*: the worker derives a
+            :class:`~repro.execution.QueryBudget` from the absolute deadline
+            and the engine cancels the execution cooperatively at the next
+            budget checkpoint after it passes.
+        default_max_visited: Default cap on paths visited per query
+            (``None`` — unlimited); per-call ``max_visited`` overrides it.
         max_pending: Bound of the submission queue; :meth:`submit` blocks
             once this many requests are waiting (back-pressure).
     """
@@ -198,6 +250,7 @@ class QueryService:
         optimize: bool = True,
         default_max_length: int | None = None,
         default_deadline: float | None = None,
+        default_max_visited: int | None = None,
         max_pending: int = 1024,
     ) -> None:
         if workers < 0:
@@ -210,6 +263,7 @@ class QueryService:
         self.workers = workers
         self.default_executor = executor
         self.default_deadline = default_deadline
+        self.default_max_visited = default_max_visited
         self.max_pending = max_pending
         self.plan_cache = StripedLRUCache(plan_cache_size, cache_stripes)
         self.result_cache = StripedLRUCache(result_cache_size, cache_stripes)
@@ -235,8 +289,12 @@ class QueryService:
         self._completed = 0
         self._failed = 0
         self._timed_out = 0
+        self._timed_out_at_dequeue = 0
+        self._timed_out_in_flight = 0
         self._executed = 0
         self._result_cache_served = 0
+        self._queued_seconds_total = 0.0
+        self._queued_seconds_max = 0.0
         self._closed = False
         self._queue: queue_module.Queue | None = None
         self._threads: list[threading.Thread] = []
@@ -262,23 +320,33 @@ class QueryService:
         executor: str | None = None,
         limit: int | None = None,
         deadline: float | None = None,
+        max_visited: int | None = None,
     ) -> QueryTicket:
         """Enqueue one query and return its :class:`QueryTicket`.
 
         The query is pinned to a snapshot of the graph *now*, at submission —
         mutations that commit while it waits in the queue are invisible to
         it.  Blocks when the submission queue is full (back-pressure).
+
+        ``deadline`` is relative (seconds from now); it is converted to an
+        absolute monotonic instant at submission, so queue wait counts
+        against it.  ``max_visited`` caps the paths the execution may visit.
         """
         relative = deadline if deadline is not None else self.default_deadline
         with self._submit_lock:
             if self._closed:
                 raise ServiceError("service is closed; no further submissions accepted")
+            now = time.monotonic()
             request = _Request(
                 text=text,
                 max_length=max_length,
                 executor=executor,
                 limit=limit,
-                deadline=(time.monotonic() + relative) if relative is not None else None,
+                deadline=(now + relative) if relative is not None else None,
+                max_visited=(
+                    max_visited if max_visited is not None else self.default_max_visited
+                ),
+                enqueued_at=now,
                 snapshot=self.graph.snapshot(),
                 ticket=QueryTicket(),
             )
@@ -333,19 +401,37 @@ class QueryService:
             self._completed += 1
             if outcome.timed_out:
                 self._timed_out += 1
+                if outcome.stopped_at == "queue":
+                    self._timed_out_at_dequeue += 1
+                else:
+                    self._timed_out_in_flight += 1
             elif outcome.error is not None:
                 self._failed += 1
             if outcome.result_cache_hit:
                 self._result_cache_served += 1
             elif outcome.ok:
                 self._executed += 1
+            self._queued_seconds_total += outcome.queued_seconds
+            if outcome.queued_seconds > self._queued_seconds_max:
+                self._queued_seconds_max = outcome.queued_seconds
         request.ticket._resolve(outcome)
 
     def _execute(self, request: _Request, engine: PathQueryEngine, worker: str) -> QueryOutcome:
         version = request.snapshot.version
-        if request.deadline is not None and time.monotonic() >= request.deadline:
+        # One clock for everything: the enqueue stamp, the absolute deadline
+        # and the elapsed measurement below all come from time.monotonic(),
+        # so every difference between them is meaningful (see module docs).
+        started = time.monotonic()
+        queued = started - request.enqueued_at
+        if request.deadline is not None and started >= request.deadline:
             return QueryOutcome(
-                text=request.text, version=version, timed_out=True, worker=worker
+                text=request.text,
+                version=version,
+                timed_out=True,
+                budget_reason="deadline",
+                stopped_at="queue",
+                queued_seconds=queued,
+                worker=worker,
             )
         effective_executor = (
             request.executor if request.executor is not None else self.default_executor
@@ -358,7 +444,6 @@ class QueryService:
             request.limit,
             version,
         )
-        started = time.perf_counter()
         cached = self.result_cache.get(key)
         if cached is not None:
             # Hand out a fresh PathSet per hit: PathSet is mutable, and a
@@ -370,11 +455,23 @@ class QueryService:
                 cached,
                 paths=PathSet.from_unique(cached.paths),
                 result_cache_hit=True,
-                # This request never consulted the plan cache; the stored
-                # flag describes the request that computed the entry.
+                # This request never consulted the plan cache nor visited
+                # any path; the stored values describe the request that
+                # computed the entry.
                 plan_cache_hit=False,
+                paths_visited=0,
+                depth_reached=0,
                 worker=worker,
-                elapsed_seconds=time.perf_counter() - started,
+                elapsed_seconds=time.monotonic() - started,
+                queued_seconds=queued,
+            )
+        # The budget carries the request's *absolute* deadline, so time spent
+        # queued (and in parse/plan) counts against it — an in-flight query
+        # dies within one budget-check interval of the deadline.
+        budget: QueryBudget | None = None
+        if request.deadline is not None or request.max_visited is not None:
+            budget = QueryBudget(
+                deadline=request.deadline, max_visited=request.max_visited
             )
         try:
             result = engine.query(
@@ -383,6 +480,24 @@ class QueryService:
                 executor=request.executor,
                 limit=request.limit,
                 graph=request.snapshot,
+                budget=budget,
+            )
+        except BudgetExceeded as exceeded:
+            # A budget kill is an expected outcome, not a failure: report it
+            # as timed out with the partial progress the execution made.
+            # Nothing is cached — the result cache only ever stores complete
+            # outcomes, and the plan cache holds at most the (valid) plan.
+            return QueryOutcome(
+                text=request.text,
+                version=version,
+                timed_out=True,
+                budget_reason=exceeded.reason,
+                paths_visited=exceeded.paths_visited,
+                depth_reached=exceeded.depth_reached,
+                stopped_at=exceeded.stopped_at,
+                worker=worker,
+                elapsed_seconds=time.monotonic() - started,
+                queued_seconds=queued,
             )
         except Exception as error:  # keep the worker alive on any query failure
             return QueryOutcome(
@@ -390,7 +505,8 @@ class QueryService:
                 version=version,
                 error=f"{type(error).__name__}: {error}",
                 worker=worker,
-                elapsed_seconds=time.perf_counter() - started,
+                elapsed_seconds=time.monotonic() - started,
+                queued_seconds=queued,
             )
         outcome = QueryOutcome(
             text=request.text,
@@ -398,7 +514,10 @@ class QueryService:
             paths=result.paths,
             executor=result.executor,
             plan_cache_hit=result.cache_hit,
-            elapsed_seconds=time.perf_counter() - started,
+            paths_visited=result.statistics.budget_paths_visited,
+            depth_reached=result.statistics.budget_depth_reached,
+            elapsed_seconds=time.monotonic() - started,
+            queued_seconds=queued,
             worker=worker,
         )
         # Cache a private copy of the path set — the outcome handed to the
@@ -419,8 +538,12 @@ class QueryService:
                 completed=self._completed,
                 failed=self._failed,
                 timed_out=self._timed_out,
+                timed_out_at_dequeue=self._timed_out_at_dequeue,
+                timed_out_in_flight=self._timed_out_in_flight,
                 executed=self._executed,
                 result_cache_served=self._result_cache_served,
+                queued_seconds_total=self._queued_seconds_total,
+                queued_seconds_max=self._queued_seconds_max,
                 plan_cache=self.plan_cache.stats(),
                 result_cache=self.result_cache.stats(),
             )

@@ -241,3 +241,90 @@ class TestStatsCommand:
         captured = capsys.readouterr()
         assert code == 0
         assert "'Knows': 4" in captured.out
+
+
+class TestBudgetFlags:
+    """CLI surface of the budget subsystem (ISSUE 4)."""
+
+    HEAVY = "MATCH ALL WALK p = (?x)-[Knows+]->(?y)"
+
+    def test_query_max_visited_kill_reports_progress(self, capsys) -> None:
+        code = main(
+            [
+                "query",
+                "--dataset",
+                "ldbc",
+                "--max-length",
+                "5",
+                "--max-visited",
+                "1000",
+                self.HEAVY,
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "BUDGET EXCEEDED (max_visited)" in captured.err
+        assert "visited" in captured.err
+
+    def test_query_generous_timeout_succeeds(self, capsys) -> None:
+        code = main(
+            [
+                "query",
+                "--dataset",
+                "figure1",
+                "--timeout",
+                "60",
+                "MATCH ALL TRAIL p = (?x)-[Knows]->(?y)",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "# 4 paths" in captured.out
+
+    def test_serve_summary_and_partial_failure_exit_code(self, tmp_path, capsys) -> None:
+        path = tmp_path / "batch.gql"
+        path.write_text(
+            f"{self.HEAVY}\nMATCH ALL TRAIL p = (?x)-[Knows]->(?y)\n", encoding="utf-8"
+        )
+        code = main(
+            [
+                "serve",
+                "--dataset",
+                "ldbc",
+                "--batch-file",
+                str(path),
+                "--workers",
+                "1",
+                "--max-length",
+                "5",
+                "--max-visited",
+                "1000",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1  # one killed, one served
+        assert "# summary: 1 executed, 1 timed out" in captured.out
+        assert "in flight" in captured.out
+
+    def test_serve_returns_2_when_nothing_succeeds(self, tmp_path, capsys) -> None:
+        path = tmp_path / "batch.gql"
+        path.write_text(f"{self.HEAVY}\n", encoding="utf-8")
+        code = main(
+            [
+                "serve",
+                "--dataset",
+                "ldbc",
+                "--batch-file",
+                str(path),
+                "--workers",
+                "1",
+                "--max-length",
+                "5",
+                "--max-visited",
+                "1000",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "# summary: 0 executed, 1 timed out" in captured.out
+        assert "# TIMEOUT  (max_visited in" in captured.out
