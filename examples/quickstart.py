@@ -3,9 +3,11 @@
 This script walks through the main entry points of the library:
 
 1. build / load a property graph (the paper's Figure 1 LDBC SNB snippet);
-2. run the introduction's Moe-to-Apu query through the GQL front end;
-3. inspect the logical plan, the optimizer rewrites and the results;
-4. build the same query programmatically with the algebra API.
+2. connect the client API and run a parameterized prepared query through a
+   snapshot-pinned session, streaming the results off a cursor;
+3. run the introduction's Moe-to-Apu query through the GQL front end;
+4. inspect the logical plan, the optimizer rewrites and the results;
+5. build the same query programmatically with the algebra API.
 
 Run with::
 
@@ -19,6 +21,7 @@ from repro import (
     PathQueryEngine,
     Restrictor,
     compile_regex,
+    connect,
     evaluate_to_paths,
     figure1_graph,
     to_algebra_notation,
@@ -32,6 +35,21 @@ def main() -> None:
     print(f"Loaded {graph!r}")
     print(f"  node labels: {sorted(graph.node_labels())}")
     print(f"  edge labels: {sorted(graph.edge_labels())}")
+
+    # ------------------------------------------------------------------
+    # 0. The client API: connect -> session -> prepare -> cursor.
+    # ------------------------------------------------------------------
+    print("\n=== Client API: prepared query, one plan, many bindings ===")
+    db = connect(graph, default_max_length=6)
+    with db.session() as session:
+        prepared = session.prepare(
+            "MATCH ANY SHORTEST TRAIL p = (?x {name: $name})-[:Knows]->+(?y)"
+        )
+        for who in ("Moe", "Lisa"):
+            rows = [str(path) for path in prepared.execute(name=who)]
+            print(f"  from {who}: {len(rows)} paths  {rows[:2]}")
+    stats = db.cache_stats()
+    print(f"  plan cache: {stats['hits']} hits / {stats['misses']} miss(es)")
 
     engine = PathQueryEngine(graph, default_max_length=6)
 

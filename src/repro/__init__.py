@@ -6,16 +6,23 @@ covering the core operators (selection, join, union), the recursive operator
 ϕ under the five GQL path semantics, and the extended operators (group-by,
 order-by, projection) that express GQL selectors and restrictors.
 
-Quick start::
+Quick start (the client API)::
 
-    from repro import PathQueryEngine, figure1_graph
+    import repro
 
-    engine = PathQueryEngine(figure1_graph())
-    result = engine.query(
-        'MATCH ANY SHORTEST TRAIL p = (?x {name: "Moe"})-[:Knows]->+(?y)'
-    )
-    for path in result.paths:
-        print(path)
+    db = repro.connect(repro.figure1_graph())
+    with db.session() as session:
+        pq = session.prepare(
+            'MATCH ANY SHORTEST TRAIL p = (?x {name: $name})-[:Knows]->+(?y)'
+        )
+        for path in pq.execute(name="Moe"):
+            print(path)
+
+:func:`connect` returns a :class:`Database` owning the graph and the shared
+plan cache; sessions pin a graph snapshot and hand out streaming
+:class:`ResultCursor` results; prepared queries bind ``$name`` placeholders
+per execution while sharing one cached plan.  The lower-level
+:class:`PathQueryEngine` facade remains available for direct use.
 """
 
 from repro.algebra import (
@@ -42,17 +49,24 @@ from repro.algebra import (
     to_algebra_notation,
     to_plan_tree,
 )
+from repro.api import Database, PreparedQuery, Session, connect
 from repro.datasets import figure1_graph, ldbc_like_graph
 from repro.engine import (
+    BindingTable,
     ExecutionStatistics,
     Executor,
     ExplainResult,
     MaterializeExecutor,
+    PathBinding,
     PathQueryEngine,
     PipelineExecutor,
     PlanCache,
     QueryResult,
+    ResultCursor,
+    bind_paths,
 )
+from repro.errors import BudgetExceeded, ParameterError, PathAlgebraError
+from repro.execution import QueryBudget
 from repro.graph import Edge, GraphBuilder, GraphSnapshot, Node, PropertyGraph
 from repro.gql import parse_query, plan_query, plan_text
 from repro.optimizer import Optimizer, optimize
@@ -77,6 +91,21 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # client API
+    "connect",
+    "Database",
+    "Session",
+    "PreparedQuery",
+    "ResultCursor",
+    # result bindings (tabular row views)
+    "PathBinding",
+    "BindingTable",
+    "bind_paths",
+    # budgets and errors
+    "QueryBudget",
+    "BudgetExceeded",
+    "ParameterError",
+    "PathAlgebraError",
     # graph
     "PropertyGraph",
     "GraphSnapshot",

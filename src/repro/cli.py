@@ -3,7 +3,10 @@
 Subcommands:
 
 * ``query``    — run an extended-GQL query against a graph file (JSON or CSV)
-  or one of the built-in data sets, printing the matching paths;
+  or one of the built-in data sets, printing the matching paths; supports
+  ``$name`` placeholders bound with repeatable ``--param name=value`` flags
+  and ``--format jsonl`` streaming one binding row per line through the
+  result cursor;
 * ``explain``  — show the logical plan, the optimizer rewrites and the cost
   estimates without executing the query;
 * ``serve``    — run a batch of queries through the concurrent
@@ -26,17 +29,17 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path as FilePath
 
+from repro.api import connect
 from repro.datasets.figure1 import figure1_graph
 from repro.datasets.generators import chain_graph, cycle_graph, grid_graph, random_graph
 from repro.datasets.ldbc import LDBCParameters, ldbc_like_graph
-from repro.engine.engine import PathQueryEngine
 from repro.engine.executor import EXECUTOR_NAMES
 from repro.errors import BudgetExceeded, PathAlgebraError
-from repro.execution import QueryBudget
 from repro.graph.io import load_csv, load_json, save_json
 from repro.graph.model import PropertyGraph
 from repro.graph.stats import compute_statistics
@@ -89,6 +92,22 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="kill the query after visiting this many paths (resource cap)",
+    )
+    query.add_argument(
+        "--param",
+        action="append",
+        default=None,
+        metavar="NAME=VALUE",
+        help="bind a $name placeholder of the query (repeatable; values parse "
+        "as int/true/false where possible, else as strings)",
+    )
+    query.add_argument(
+        "--format",
+        choices=["paths", "jsonl"],
+        default="paths",
+        help="output format: 'paths' prints sorted path values; 'jsonl' "
+        "streams one JSON binding row per line through the result cursor "
+        "without materializing the full result (default: paths)",
     )
 
     serve = subparsers.add_parser(
@@ -195,50 +214,98 @@ def _load_graph(args: argparse.Namespace) -> PropertyGraph:
     return figure1_graph()
 
 
+def _parse_param_value(raw: str):
+    """Parse a ``--param`` value: int, float, true/false, else the raw string."""
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    if raw.lower() == "true":
+        return True
+    if raw.lower() == "false":
+        return False
+    return raw
+
+
+def _parse_params(pairs: list[str] | None) -> dict | None:
+    """Parse repeated ``--param name=value`` flags into a binding mapping."""
+    if not pairs:
+        return None
+    params: dict = {}
+    for pair in pairs:
+        name, separator, value = pair.partition("=")
+        if not separator or not name:
+            raise SystemExit(f"error: --param expects NAME=VALUE, got {pair!r}")
+        params[name.lstrip("$")] = _parse_param_value(value)
+    return params
+
+
+def _budget_exceeded_note(exceeded: BudgetExceeded) -> None:
+    print(
+        f"# BUDGET EXCEEDED ({exceeded.reason}) in {exceeded.stopped_at or '?'}: "
+        f"visited {exceeded.paths_visited} paths, reached depth "
+        f"{exceeded.depth_reached} before the kill",
+        file=sys.stderr,
+    )
+
+
 def _command_query(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    engine = PathQueryEngine(
+    db = connect(
         graph,
         optimize=not args.no_optimize,
         default_max_length=args.max_length,
         executor=args.executor,
     )
-    budget = None
-    if args.timeout is not None or args.max_visited is not None:
-        budget = QueryBudget(
-            deadline=(time.monotonic() + args.timeout) if args.timeout is not None else None,
-            max_visited=args.max_visited,
-        )
-    try:
-        result = engine.query(
-            args.text, max_length=args.max_length, limit=args.limit, budget=budget
-        )
-    except BudgetExceeded as exceeded:
+    params = _parse_params(args.param)
+    with db.session(
+        timeout=args.timeout,
+        max_visited=args.max_visited,
+        max_length=args.max_length,
+        limit=args.limit,
+    ) as session:
+        if args.format == "jsonl":
+            # Stream one binding row per line straight off the cursor: under
+            # the pipeline executor nothing is materialized beyond the rows
+            # printed, so huge results flow in bounded memory.
+            cursor = session.execute(args.text, params)
+            try:
+                for row in cursor.bindings():
+                    print(json.dumps(row.to_dict(), sort_keys=True))
+            except BudgetExceeded as exceeded:
+                _budget_exceeded_note(exceeded)
+                return 2
+            return 0
+        try:
+            cursor = session.execute(args.text, params)
+            paths = cursor.fetchall()
+        except BudgetExceeded as exceeded:
+            _budget_exceeded_note(exceeded)
+            return 2
+        count = cursor.rows_returned
         print(
-            f"# BUDGET EXCEEDED ({exceeded.reason}) in {exceeded.stopped_at or '?'}: "
-            f"visited {exceeded.paths_visited} paths, reached depth "
-            f"{exceeded.depth_reached} before the kill",
-            file=sys.stderr,
+            f"# {count} paths  ({cursor.elapsed_seconds * 1e3:.2f} ms)"
+            f"  [{cursor.executor} executor]"
         )
-        return 2
-    print(
-        f"# {len(result)} paths  ({result.elapsed_seconds * 1e3:.2f} ms)"
-        f"  [{result.executor} executor]"
-    )
-    if args.phases:
-        timings = ", ".join(
-            f"{phase} {seconds * 1e3:.2f} ms" for phase, seconds in result.phase_seconds.items()
-        )
-        print(f"# phases: {timings}")
-    if result.applied_rules:
-        print(f"# optimizer rewrites: {', '.join(result.applied_rules)}")
-    for path in result.paths.sorted():
-        print(path)
-    if result.truncated:
-        if result.total_paths is not None:
-            print(f"# ... and {result.total_paths - len(result)} more")
-        else:
-            print(f"# ... stopped after {len(result)} paths (limit pushed into the pipeline)")
+        if args.phases:
+            timings = ", ".join(
+                f"{phase} {seconds * 1e3:.2f} ms"
+                for phase, seconds in cursor.phase_seconds.items()
+            )
+            print(f"# phases: {timings}")
+        if cursor.applied_rules:
+            print(f"# optimizer rewrites: {', '.join(cursor.applied_rules)}")
+        for path in sorted(paths, key=lambda path: (path.len(), path.interleaved())):
+            print(path)
+        if cursor.truncated:
+            if cursor.total_paths is not None:
+                print(f"# ... and {cursor.total_paths - count} more")
+            else:
+                print(f"# ... stopped after {count} paths (limit pushed into the pipeline)")
     return 0
 
 
@@ -256,25 +323,25 @@ def _read_batch(args: argparse.Namespace) -> list[str]:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
-    from repro.service import QueryService
-
     graph = _load_graph(args)
     queries = _read_batch(args)
     if not queries:
         print("error: no queries to serve", file=sys.stderr)
         return 1
     started = time.perf_counter()
-    with QueryService(
+    with connect(
         graph,
-        workers=args.workers,
-        plan_cache_size=args.plan_cache_size,
-        result_cache_size=args.result_cache_size,
-        executor=args.executor,
         optimize=not args.no_optimize,
         default_max_length=args.max_length,
-        default_deadline=args.deadline,
-        default_max_visited=args.max_visited,
-    ) as service:
+        executor=args.executor,
+        plan_cache_size=args.plan_cache_size,
+    ) as db:
+        service = db.service(
+            workers=args.workers,
+            result_cache_size=args.result_cache_size,
+            default_deadline=args.deadline,
+            default_max_visited=args.max_visited,
+        )
         outcomes = service.run_batch(queries, max_length=args.max_length, limit=args.limit)
         stats = service.statistics()
     elapsed = time.perf_counter() - started
@@ -342,8 +409,8 @@ def _command_serve(args: argparse.Namespace) -> int:
 
 def _command_explain(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    engine = PathQueryEngine(graph, default_max_length=args.max_length)
-    explanation = engine.explain(args.text, max_length=args.max_length)
+    db = connect(graph, default_max_length=args.max_length)
+    explanation = db.explain(args.text, max_length=args.max_length)
     print(explanation.render())
     return 0
 
@@ -404,6 +471,14 @@ def main(argv: list[str] | None = None) -> int:
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # A downstream consumer (head, jq) closed the pipe mid-stream —
+        # normal for --format jsonl.  Point stdout at devnull so the
+        # interpreter's shutdown flush cannot raise again.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests

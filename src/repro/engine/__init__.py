@@ -22,7 +22,7 @@ from repro.engine.physical import (
     build_pipeline,
     execute_pipeline,
 )
-from repro.engine.results import BindingTable, PathBinding, bind_paths
+from repro.engine.results import BindingTable, PathBinding, ResultCursor, bind_paths
 from repro.execution import ExecutionStatistics
 
 __all__ = [
@@ -45,5 +45,6 @@ __all__ = [
     "execute_pipeline",
     "BindingTable",
     "PathBinding",
+    "ResultCursor",
     "bind_paths",
 ]

@@ -23,6 +23,7 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 from repro.algebra.expressions import Expression
 from repro.algebra.printer import to_algebra_notation, to_plan_tree
@@ -30,11 +31,16 @@ from repro.engine.executor import (
     EXECUTOR_NAMES,
     ExecutionResult,
     Executor,
+    PipelineExecutor,
     choose_executor,
     resolve_executor,
 )
+from repro.engine.physical import build_pipeline
+from repro.engine.results import ResultCursor
+from repro.errors import ParameterError
 from repro.execution import ExecutionStatistics, QueryBudget
 from repro.graph.model import PropertyGraph
+from repro.gql.params import bind_parameters, collect_parameters
 from repro.gql.parser import parse_query
 from repro.gql.planner import plan_query
 from repro.optimizer.cost import CostModel, PlanCost
@@ -116,8 +122,16 @@ class CachedPlan:
     applied_rules: list[str]
     #: Memoized ``"auto"`` choice: a pure function of the optimized plan and
     #: the graph version, both already part of the cache key, so cache hits
-    #: skip the cost-model walk as well.
+    #: skip the cost-model walk as well.  Parameter bindings never change the
+    #: plan *shape*, so one choice serves every binding of a prepared query.
     auto_executor: str | None = None
+    #: ``$name`` placeholders the query declares — the parse-level set when
+    #: the plan came from GQL text (the surface contract, even if a rewrite
+    #: were to eliminate a parameterized selection), the plan-derived set for
+    #: programmatic plans.  A parameterized plan is cached under its
+    #: parameterized text and re-bound per execution; executing it without
+    #: (complete) bindings is an error.
+    parameters: tuple[str, ...] = ()
 
 
 class PlanCache:
@@ -235,6 +249,7 @@ class PathQueryEngine:
         limit: int | None = None,
         graph: PropertyGraph | None = None,
         budget: QueryBudget | None = None,
+        params: Mapping[str, Any] | None = None,
     ) -> QueryResult:
         """Parse, plan, optimize, and execute an extended-GQL query.
 
@@ -261,10 +276,144 @@ class PathQueryEngine:
                 progress; budgets are *not* part of the plan-cache key, and a
                 budget-killed query leaves only the (valid) parsed plan in
                 the cache — never a partial result.
+            params: Bindings for the query's ``$name`` placeholders.  The
+                plan is cached under the *parameterized* text — distinct
+                bindings share one cached plan — and the concrete values are
+                substituted into a fresh copy of the plan per execution, so
+                bindings can never leak between executions.  Executing a
+                parameterized query with missing, surplus or absent bindings
+                raises :class:`~repro.errors.ParameterError`.
         """
         started = time.perf_counter()
         target = self._target_graph(graph)
         phase_seconds = dict.fromkeys(PHASES, 0.0)
+        cached, cache_hit = self._cached_gql(text, max_length, target, budget, phase_seconds)
+        return self._finish(
+            cached, executor, limit, cache_hit, started, phase_seconds, target, budget, params
+        )
+
+    def query_plan(
+        self,
+        plan: Expression,
+        executor: str | None = None,
+        limit: int | None = None,
+        graph: PropertyGraph | None = None,
+        budget: QueryBudget | None = None,
+        params: Mapping[str, Any] | None = None,
+    ) -> QueryResult:
+        """Optimize and execute an already-constructed logical plan."""
+        started = time.perf_counter()
+        target = self._target_graph(graph)
+        phase_seconds = dict.fromkeys(PHASES, 0.0)
+        cached = self._optimize_into(plan, phase_seconds)
+        return self._finish(
+            cached, executor, limit, False, started, phase_seconds, target, budget, params
+        )
+
+    def prepare(
+        self,
+        text: str,
+        max_length: int | None = None,
+        graph: PropertyGraph | None = None,
+    ) -> CachedPlan:
+        """Parse, plan and optimize ``text`` without executing it.
+
+        The workhorse behind :meth:`repro.api.Session.prepare`: the
+        parsed-and-optimized plan lands in the plan cache under the
+        parameterized text, so every subsequent execution — whatever its
+        bindings — is a cache hit.  Returns the :class:`CachedPlan`, whose
+        :attr:`~CachedPlan.parameters` lists the ``$name`` placeholders the
+        caller must bind.
+        """
+        target = self._target_graph(graph)
+        cached, _ = self._cached_gql(
+            text, max_length, target, None, dict.fromkeys(PHASES, 0.0)
+        )
+        return cached
+
+    def open_cursor(
+        self,
+        text: str,
+        params: Mapping[str, Any] | None = None,
+        max_length: int | None = None,
+        executor: str | None = None,
+        limit: int | None = None,
+        graph: PropertyGraph | None = None,
+        budget: QueryBudget | None = None,
+    ) -> ResultCursor:
+        """Execute a query and return a streaming :class:`ResultCursor`.
+
+        The cursor-shaped twin of :meth:`query` (same plan cache, same
+        parameter binding, same executor selection) with one behavioral
+        difference: under the pipeline executor nothing is materialized up
+        front — paths are pulled from the physical pipeline as the consumer
+        iterates, with a ``limit`` applied at the cursor boundary, so
+        fetching a handful of rows of a huge query touches a correspondingly
+        small part of the search space.  Under the materializing executor the
+        result is computed eagerly (that executor cannot terminate early) and
+        the cursor iterates it; the surface is identical either way.
+        """
+        started = time.perf_counter()
+        target = self._target_graph(graph)
+        phase_seconds = dict.fromkeys(PHASES, 0.0)
+        cached, cache_hit = self._cached_gql(text, max_length, target, budget, phase_seconds)
+        plan_to_run = self._bound_plan(cached, params)
+        if budget is not None:
+            budget.checkpoint("optimize")
+        name = self._executor_name(executor, cached, target)
+        truncated: bool | None = None
+        total_paths: int | None = None
+        cursor_limit = limit
+        if name == PipelineExecutor.name:
+            pipeline = build_pipeline(
+                plan_to_run, target, self.default_max_length, budget=budget
+            )
+            statistics = pipeline.statistics
+            statistics.executor = name
+            source = pipeline.stream()
+        else:
+            execution = resolve_executor(name).execute(
+                plan_to_run,
+                target,
+                default_max_length=self.default_max_length,
+                limit=limit,
+                budget=budget,
+            )
+            statistics = execution.statistics
+            source = iter(execution.paths)
+            truncated = execution.truncated
+            total_paths = execution.total_paths
+            cursor_limit = None  # already applied by the executor
+        cache = self.plan_cache
+        statistics.plan_cache_hits = cache.hits
+        statistics.plan_cache_misses = cache.misses
+        statistics.plan_cache_evictions = cache.evictions
+        return ResultCursor(
+            source,
+            statistics=statistics,
+            executor=name,
+            plan=cached.plan,
+            optimized_plan=plan_to_run,
+            applied_rules=list(cached.applied_rules),
+            cache_hit=cache_hit,
+            limit=cursor_limit,
+            budget=budget,
+            truncated=truncated,
+            total_paths=total_paths,
+            started=started,
+            phase_seconds=phase_seconds,
+            graph_version=target.version,
+        )
+
+    def _cached_gql(
+        self,
+        text: str,
+        max_length: int | None,
+        target: PropertyGraph,
+        budget: QueryBudget | None,
+        phase_seconds: dict[str, float],
+    ) -> tuple[CachedPlan, bool]:
+        """Serve the parsed-and-optimized plan for ``text`` from the plan cache."""
         key = ("gql", text, max_length, self.optimize_plans, target.version)
         cached = self.plan_cache.get(key)
         cache_hit = cached is not None
@@ -277,28 +426,37 @@ class PathQueryEngine:
             phase_started = time.perf_counter()
             plan = plan_query(ast)
             phase_seconds["plan"] = time.perf_counter() - phase_started
-            cached = self._optimize_into(plan, phase_seconds)
+            cached = self._optimize_into(plan, phase_seconds, declared=ast.parameters)
             self.plan_cache.put(key, cached)
-        return self._finish(
-            cached, executor, limit, cache_hit, started, phase_seconds, target, budget
-        )
+        return cached, cache_hit
 
-    def query_plan(
-        self,
-        plan: Expression,
-        executor: str | None = None,
-        limit: int | None = None,
-        graph: PropertyGraph | None = None,
-        budget: QueryBudget | None = None,
-    ) -> QueryResult:
-        """Optimize and execute an already-constructed logical plan."""
-        started = time.perf_counter()
-        target = self._target_graph(graph)
-        phase_seconds = dict.fromkeys(PHASES, 0.0)
-        cached = self._optimize_into(plan, phase_seconds)
-        return self._finish(
-            cached, executor, limit, False, started, phase_seconds, target, budget
-        )
+    def _bound_plan(
+        self, cached: CachedPlan, params: Mapping[str, Any] | None
+    ) -> Expression:
+        """Substitute ``params`` into the cached plan, validating the binding set."""
+        if not cached.parameters:
+            if params:
+                raise ParameterError(
+                    f"query declares no parameters, got binding(s) for "
+                    f"{', '.join('$' + name for name in sorted(params))}"
+                )
+            return cached.optimized
+        supplied = params or {}
+        missing = [name for name in cached.parameters if name not in supplied]
+        if missing:
+            raise ParameterError(
+                "missing binding(s) for "
+                + ", ".join(f"${name}" for name in missing)
+            )
+        extra = sorted(set(supplied) - set(cached.parameters))
+        if extra:
+            raise ParameterError(
+                "unknown parameter(s) "
+                + ", ".join(f"${name}" for name in extra)
+                + "; the query declares "
+                + ", ".join(f"${name}" for name in cached.parameters)
+            )
+        return bind_parameters(cached.optimized, supplied)
 
     def execute_regex(
         self,
@@ -404,7 +562,12 @@ class PathQueryEngine:
     # ------------------------------------------------------------------
     # Shared pipeline tail
     # ------------------------------------------------------------------
-    def _optimize_into(self, plan: Expression, phase_seconds: dict[str, float]) -> CachedPlan:
+    def _optimize_into(
+        self,
+        plan: Expression,
+        phase_seconds: dict[str, float],
+        declared: tuple[str, ...] | None = None,
+    ) -> CachedPlan:
         phase_started = time.perf_counter()
         optimized = plan
         applied: list[str] = []
@@ -413,7 +576,12 @@ class PathQueryEngine:
             optimized = result.optimized
             applied = result.applied_rules
         phase_seconds["optimize"] = time.perf_counter() - phase_started
-        return CachedPlan(plan=plan, optimized=optimized, applied_rules=applied)
+        return CachedPlan(
+            plan=plan,
+            optimized=optimized,
+            applied_rules=applied,
+            parameters=declared if declared is not None else collect_parameters(optimized),
+        )
 
     def _finish(
         self,
@@ -425,8 +593,10 @@ class PathQueryEngine:
         phase_seconds: dict[str, float],
         graph: PropertyGraph | None = None,
         budget: QueryBudget | None = None,
+        params: Mapping[str, Any] | None = None,
     ) -> QueryResult:
         target = graph if graph is not None else self.graph
+        plan_to_run = self._bound_plan(cached, params)
         if budget is not None:
             # The planning phases are over; one clock read here kills queries
             # whose deadline expired while parsing/optimizing before any
@@ -435,7 +605,7 @@ class PathQueryEngine:
         phase_started = time.perf_counter()
         chosen = self._resolve(executor, cached, target)
         execution: ExecutionResult = chosen.execute(
-            cached.optimized,
+            plan_to_run,
             target,
             default_max_length=self.default_max_length,
             limit=limit,
@@ -449,7 +619,7 @@ class PathQueryEngine:
         return QueryResult(
             paths=execution.paths,
             plan=cached.plan,
-            optimized_plan=cached.optimized,
+            optimized_plan=plan_to_run,
             applied_rules=list(cached.applied_rules),
             statistics=execution.statistics,
             elapsed_seconds=time.perf_counter() - started,
@@ -469,13 +639,9 @@ class PathQueryEngine:
         Shares the plan cache with :meth:`query`: explaining a query warms
         the cache for a subsequent execution and vice versa.
         """
-        key = ("gql", text, max_length, self.optimize_plans, self.graph.version)
-        cached = self.plan_cache.get(key)
-        if cached is None:
-            ast = parse_query(text, max_length=max_length)
-            plan = plan_query(ast)
-            cached = self._optimize_into(plan, dict.fromkeys(PHASES, 0.0))
-            self.plan_cache.put(key, cached)
+        cached, _ = self._cached_gql(
+            text, max_length, self.graph, None, dict.fromkeys(PHASES, 0.0)
+        )
         return self._explain_cached(cached)
 
     def explain_plan(self, plan: Expression) -> ExplainResult:

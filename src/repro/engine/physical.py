@@ -41,14 +41,14 @@ from repro.algebra.expressions import (
     Selection,
     Union,
 )
-from repro.algebra.solution_space import group_by, order_by, project
+from repro.algebra.solution_space import ALL, group_by, order_by, project
 from repro.errors import EvaluationError
 from repro.execution import ExecutionStatistics, QueryBudget
 from repro.graph.model import PropertyGraph
 from repro.paths.join_index import JoinIndex
 from repro.paths.path import Path
 from repro.paths.pathset import PathSet
-from repro.semantics.restrictors import recursive_closure
+from repro.semantics.restrictors import iter_recursive_closure
 
 __all__ = ["PhysicalPlan", "PipelineStatistics", "build_pipeline", "execute_pipeline"]
 
@@ -232,7 +232,17 @@ class _DifferenceOp(_PhysicalOperator):
 
 
 class _RecursiveOp(_PhysicalOperator):
-    """Blocking operator: materializes its input and runs the fix-point closure."""
+    """Materializes its input, then *streams* the fix-point closure round by round.
+
+    The input must be materialized (every frontier round joins against the
+    full base), but the closure itself is produced through
+    :func:`~repro.semantics.restrictors.iter_recursive_closure`: each newly
+    discovered path is yielded immediately, so a limited pull (LIMIT
+    pushdown, a :class:`~repro.engine.results.ResultCursor` consuming a few
+    rows) suspends the fix point instead of paying for the whole closure.
+    SHORTEST remains blocking inside the iterator (domination is a global
+    property of the closure).
+    """
 
     def __init__(
         self,
@@ -255,7 +265,7 @@ class _RecursiveOp(_PhysicalOperator):
         max_length = self._expression.max_length
         if max_length is None:
             max_length = self._default_max_length
-        closure = recursive_closure(
+        closure = iter_recursive_closure(
             base,
             self._expression.restrictor,
             max_length,
@@ -267,11 +277,15 @@ class _RecursiveOp(_PhysicalOperator):
 
 
 class _SolutionSpaceOp(_PhysicalOperator):
-    """Blocking operator covering GroupBy / OrderBy / Projection chains.
+    """Operator covering GroupBy / OrderBy / Projection chains.
 
     A projection over (order-by over) group-by is executed as one unit so the
     projection limits can be applied without materializing more than the
-    grouped structure requires.
+    grouped structure requires.  The chain is inherently blocking *only when
+    a projection can actually drop paths*: a chain whose projections keep
+    everything (``ALL PARTITIONS ALL GROUPS ALL PATHS`` — the plan shape of
+    the GQL ``ALL`` selector) returns exactly the child's path set, so it
+    streams the child through untouched instead of materializing it.
     """
 
     def __init__(
@@ -286,7 +300,29 @@ class _SolutionSpaceOp(_PhysicalOperator):
         self._child = child
         self._pipeline = pipeline
 
+    def _streams_through(self) -> bool:
+        """``True`` when the chain provably keeps every child path *in order*.
+
+        Group-by only restructures the solution space, so the path set — and
+        the order paths stream out in — survives it.  Two stages force the
+        blocking path: a projection with a numeric component (it drops
+        paths), and an order-by (it defines a caller-visible ordering that a
+        pass-through would silently discard).
+        """
+        for stage in self._pipeline:
+            if isinstance(stage, OrderBy):
+                return False
+            if isinstance(stage, Projection):
+                spec = stage.spec
+                if not (spec.partitions == ALL and spec.groups == ALL and spec.paths == ALL):
+                    return False
+        return True
+
     def paths(self) -> Iterator[Path]:
+        if self._streams_through():
+            for path in self._child.paths():
+                yield self._emit(path)
+            return
         current = PathSet.from_unique(self._child.paths())
         space = None
         for stage in self._pipeline:

@@ -11,13 +11,16 @@ path-query answers as ordinary tuples.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
+from repro.errors import BudgetExceeded
+from repro.execution import ExecutionStatistics, QueryBudget
 from repro.paths.path import Path
 from repro.paths.pathset import PathSet
 
-__all__ = ["PathBinding", "BindingTable", "bind_paths"]
+__all__ = ["PathBinding", "BindingTable", "bind_paths", "ResultCursor"]
 
 
 @dataclass(frozen=True)
@@ -146,3 +149,220 @@ class BindingTable:
 def bind_paths(paths: PathSet | Iterable[Path]) -> BindingTable:
     """Convenience wrapper: build a :class:`BindingTable` from a path set."""
     return BindingTable.from_paths(paths)
+
+
+class ResultCursor:
+    """A streaming, forward-only view of one query execution.
+
+    The uniform result surface of the client API
+    (:meth:`repro.api.Session.execute` and friends): iterating the cursor
+    pulls result paths one at a time from the underlying executor.  Behind
+    the pull-based pipeline executor that means *bounded memory* — consuming
+    five rows of a huge walk query costs a few fix-point rounds, not the
+    whole closure; behind the materializing executor the result is already
+    complete and the cursor simply iterates it, so client code never needs to
+    know which executor ran.
+
+    DB-API-flavoured access: lazy iteration, :meth:`fetchone`,
+    :meth:`fetchmany`, :meth:`fetchall`, :meth:`close` (also a context
+    manager).  :meth:`bindings` is the tabular row view — a lazy stream of
+    :class:`PathBinding` rows for applications that consume binding tables
+    rather than path values.
+
+    Execution metadata — :attr:`statistics`, :attr:`truncated`,
+    :attr:`total_paths`, :attr:`elapsed_seconds`, the budget's
+    partial-progress counters — *finalizes on close* (closing happens
+    automatically when the stream is exhausted).  ``truncated`` is ``None``
+    while it cannot be known yet: a pipeline cursor abandoned mid-stream has
+    no way to tell whether more paths existed.
+
+    A :class:`~repro.errors.BudgetExceeded` raised mid-stream (deadline or
+    resource cap) closes the cursor, finalizes the partial-progress counters
+    into :attr:`statistics`, and propagates to the consumer.
+    """
+
+    def __init__(
+        self,
+        source: Iterator[Path],
+        *,
+        statistics: ExecutionStatistics,
+        executor: str = "",
+        plan: Any = None,
+        optimized_plan: Any = None,
+        applied_rules: Sequence[str] = (),
+        cache_hit: bool = False,
+        limit: int | None = None,
+        budget: QueryBudget | None = None,
+        truncated: bool | None = None,
+        total_paths: int | None = None,
+        started: float | None = None,
+        phase_seconds: dict[str, float] | None = None,
+        graph_version: int | None = None,
+    ) -> None:
+        self._source = source
+        self.statistics = statistics
+        self.executor = executor
+        self.plan = plan
+        self.optimized_plan = optimized_plan
+        self.applied_rules = list(applied_rules)
+        self.cache_hit = cache_hit
+        self.graph_version = graph_version
+        self.truncated = truncated
+        self.total_paths = total_paths
+        self.phase_seconds = dict(phase_seconds) if phase_seconds is not None else {}
+        self.elapsed_seconds = 0.0
+        self._limit = limit
+        self._budget = budget
+        self._started = started if started is not None else time.perf_counter()
+        self._opened = time.perf_counter()
+        self._returned = 0
+        self._closed = False
+        self._exhausted = False
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+    def __iter__(self) -> "ResultCursor":
+        return self
+
+    def __next__(self) -> Path:
+        if self._closed or self._exhausted:
+            raise StopIteration
+        if self._limit is not None and self._returned >= self._limit:
+            # The limit cut the stream; one probe pull decides whether it
+            # actually mattered (mirrors PipelineExecutor's probe).
+            if self.truncated is None:
+                self.truncated = next(self._source, None) is not None
+                if not self.truncated:
+                    self.total_paths = self._returned
+            self._finish_stream()
+            raise StopIteration
+        try:
+            path = next(self._source)
+        except StopIteration:
+            if self.truncated is None:
+                self.truncated = False
+                self.total_paths = self._returned
+            self._finish_stream()
+            raise
+        except BudgetExceeded:
+            self._closed = True
+            self._release_source()
+            self._finalize()
+            raise
+        self._returned += 1
+        if self._budget is not None:
+            # The result-size cap applies to what the caller receives; a
+            # streaming consumer trips it on the offending fetch.
+            try:
+                self._budget.check_result_size(self._returned, "result")
+            except BudgetExceeded:
+                self._closed = True
+                self._release_source()
+                self._finalize()
+                raise
+        return path
+
+    def _finish_stream(self) -> None:
+        self._exhausted = True
+        self._release_source()
+        self._finalize()
+
+    def _release_source(self) -> None:
+        """Close the underlying stream so abandoned pipeline work is freed.
+
+        A limit-stopped or mid-stream-closed cursor leaves the pipeline's
+        generator chain suspended (frontier lists, seen-sets, join indexes);
+        closing the root generator unwinds it immediately instead of waiting
+        for garbage collection.
+        """
+        close_source = getattr(self._source, "close", None)
+        if close_source is not None:
+            close_source()
+
+    # ------------------------------------------------------------------
+    # Fetch API
+    # ------------------------------------------------------------------
+    def fetchone(self) -> Path | None:
+        """Return the next path, or ``None`` when the stream is exhausted."""
+        return next(self, None)
+
+    def fetchmany(self, size: int = 1) -> list[Path]:
+        """Return up to ``size`` further paths (fewer at the end of the stream)."""
+        if size < 0:
+            raise ValueError(f"fetchmany size must be >= 0, got {size}")
+        batch: list[Path] = []
+        while len(batch) < size:
+            path = next(self, None)
+            if path is None:
+                break
+            batch.append(path)
+        return batch
+
+    def fetchall(self) -> list[Path]:
+        """Drain the remaining stream into a list (closes the cursor)."""
+        return list(self)
+
+    def bindings(self) -> Iterator[PathBinding]:
+        """Lazily yield one :class:`PathBinding` row per remaining path.
+
+        The tabular face of the cursor: each row carries the endpoint and
+        group variables (nodes, edges, labels) GQL binds for a path, ready
+        for JSON serialization via :meth:`PathBinding.to_dict` — this is what
+        the CLI's ``--format jsonl`` streams, one row per line, without ever
+        materializing the result.
+        """
+        for path in self:
+            yield PathBinding.from_path(path)
+
+    def to_table(self) -> BindingTable:
+        """Drain the remaining stream into a :class:`BindingTable`."""
+        return BindingTable(list(self.bindings()))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """``True`` once the cursor is closed (explicitly or by exhaustion)."""
+        return self._closed or self._exhausted
+
+    @property
+    def rows_returned(self) -> int:
+        """Number of paths handed to the consumer so far."""
+        return self._returned
+
+    def close(self) -> None:
+        """Stop the stream and finalize statistics; idempotent.
+
+        Abandoned upstream work is released (the pipeline's suspended
+        generators are closed), and the budget's partial-progress counters
+        are captured into :attr:`statistics` even when the stream was not
+        consumed to the end.
+        """
+        if self.closed:
+            return
+        self._closed = True
+        self._release_source()
+        self._finalize()
+
+    def _finalize(self) -> None:
+        self.statistics.capture_budget(self._budget)
+        now = time.perf_counter()
+        self.phase_seconds["execute"] = (
+            self.phase_seconds.get("execute", 0.0) + (now - self._opened)
+        )
+        self.elapsed_seconds = now - self._started
+
+    def __enter__(self) -> "ResultCursor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self.closed else "open"
+        return (
+            f"ResultCursor({state}, executor={self.executor!r}, "
+            f"rows_returned={self._returned})"
+        )

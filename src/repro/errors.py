@@ -131,5 +131,14 @@ class PlanningError(PathAlgebraError):
     """A parsed query could not be translated into an algebra plan."""
 
 
+class ParameterError(PathAlgebraError):
+    """A parameterized query was executed with invalid bindings.
+
+    Raised when a ``$name`` placeholder is left unbound at execution time,
+    when a binding names a parameter the query does not declare, or when a
+    parameterized plan is executed without any bindings at all.
+    """
+
+
 class OptimizerError(PathAlgebraError):
     """A rewrite rule produced an invalid or inconsistent plan."""

@@ -1,12 +1,14 @@
 """Extended-GQL front end: lexer, parser, AST and logical planner (Section 7)."""
 
-from repro.gql.ast import NodePattern, PathPattern, PathQuery
+from repro.gql.ast import NodePattern, Parameter, PathPattern, PathQuery
 from repro.gql.lexer import Token, TokenKind, tokenize
+from repro.gql.params import bind_parameters, collect_parameters
 from repro.gql.parser import GQLParser, parse_query
 from repro.gql.planner import endpoint_condition, plan_query, plan_text
 
 __all__ = [
     "NodePattern",
+    "Parameter",
     "PathPattern",
     "PathQuery",
     "Token",
@@ -17,4 +19,6 @@ __all__ = [
     "plan_query",
     "plan_text",
     "endpoint_condition",
+    "bind_parameters",
+    "collect_parameters",
 ]

@@ -17,10 +17,29 @@ from repro.semantics.restrictors import Restrictor
 from repro.semantics.selectors import Selector
 
 __all__ = [
+    "Parameter",
     "NodePattern",
     "PathPattern",
     "PathQuery",
 ]
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A ``$name`` placeholder standing in for a literal value.
+
+    Parameters flow from the lexer through the AST into the selection
+    conditions of the logical plan, so a parameterized query parses, plans
+    and optimizes exactly once; executing the plan substitutes concrete
+    values via :func:`repro.gql.params.bind_parameters`.  A placeholder is an
+    opaque, hashable value object — structural plan equality and plan-cache
+    keys treat distinct parameter names as distinct plans.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"${self.name}"
 
 
 @dataclass(frozen=True)
@@ -88,6 +107,8 @@ class PathQuery:
     order_by: OrderByKey | None = None
     selector: Selector | None = None
     max_length: int | None = None
+    #: ``$name`` placeholders the query declares, in first-occurrence order.
+    parameters: tuple[str, ...] = ()
 
     def uses_selector_style(self) -> bool:
         """Return ``True`` when the query uses the standard GQL selector style."""

@@ -2,8 +2,9 @@
 
 The token stream feeds the recursive-descent parser in
 :mod:`repro.gql.parser`.  Keywords are case-insensitive; identifiers,
-numbers, single- or double-quoted strings and the punctuation of path
-patterns (``()-[]->{}`` etc.) are recognized.
+numbers, single- or double-quoted strings, ``$name`` parameter placeholders
+(bound at execution time through prepared queries) and the punctuation of
+path patterns (``()-[]->{}`` etc.) are recognized.
 """
 
 from __future__ import annotations
@@ -57,6 +58,7 @@ class TokenKind:
     IDENTIFIER = "IDENTIFIER"
     NUMBER = "NUMBER"
     STRING = "STRING"
+    PARAMETER = "PARAMETER"
     PUNCT = "PUNCT"
     EOF = "EOF"
 
@@ -125,6 +127,19 @@ def tokenize(text: str) -> list[Token]:
             while index < length and text[index].isdigit():
                 advance(1)
             tokens.append(Token(TokenKind.NUMBER, text[start:index], start_line, start_column))
+            continue
+        if char == "$":
+            start_line, start_column = line, column
+            advance(1)
+            start = index
+            while index < length and (text[index].isalnum() or text[index] == "_"):
+                advance(1)
+            name = text[start:index]
+            if not name or name[0].isdigit():
+                raise GQLSyntaxError(
+                    "expected a parameter name after '$'", start_line, start_column
+                )
+            tokens.append(Token(TokenKind.PARAMETER, name, start_line, start_column))
             continue
         if char.isalpha() or char == "_":
             start = index

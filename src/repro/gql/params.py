@@ -1,0 +1,112 @@
+"""Binding ``$name`` placeholders in logical plans (prepared queries).
+
+A parameterized query — ``MATCH ... (?x {name: $name})-[:Knows]->+(?y)`` —
+parses, plans and optimizes exactly once: the :class:`~repro.gql.ast.Parameter`
+placeholders survive planning as opaque values inside the plan's selection
+conditions, and the resulting plan is cached under the *parameterized* text.
+Executing the plan substitutes concrete values with :func:`bind_parameters`,
+a structural rewrite that rebuilds only the subtrees actually containing a
+placeholder (untouched subtrees are shared with the cached plan), so fifty
+bindings of one prepared query cost fifty cheap substitutions and a single
+parse/plan/optimize.
+
+:func:`collect_parameters` is the inspection half: it reports the parameter
+names a plan declares, which the engine uses both to validate bindings
+before execution and to refuse executing a parameterized plan unbound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Mapping
+
+from repro.algebra.conditions import (
+    And,
+    Condition,
+    LabelCondition,
+    Not,
+    Or,
+    PropertyCondition,
+)
+from repro.algebra.expressions import Expression, Selection
+from repro.errors import ParameterError
+from repro.gql.ast import Parameter
+
+__all__ = ["collect_parameters", "bind_parameters"]
+
+
+def collect_parameters(plan: Expression) -> tuple[str, ...]:
+    """Return the ``$name`` placeholders occurring in ``plan``, in plan order.
+
+    Placeholders live in the ``value`` slot of the plan's simple selection
+    conditions (label / property comparisons); the walk visits every
+    :class:`~repro.algebra.expressions.Selection` in the tree.
+    """
+    names: dict[str, None] = {}
+    for node in plan.iter_subtree():
+        if isinstance(node, Selection):
+            _collect_condition(node.condition, names)
+    return tuple(names)
+
+
+def _collect_condition(condition: Condition, names: dict[str, None]) -> None:
+    if isinstance(condition, (And, Or)):
+        _collect_condition(condition.left, names)
+        _collect_condition(condition.right, names)
+    elif isinstance(condition, Not):
+        _collect_condition(condition.operand, names)
+    elif isinstance(condition, (LabelCondition, PropertyCondition)):
+        if isinstance(condition.value, Parameter):
+            names.setdefault(condition.value.name, None)
+
+
+def bind_parameters(plan: Expression, bindings: Mapping[str, Any]) -> Expression:
+    """Substitute concrete values for every placeholder in ``plan``.
+
+    Returns a new plan sharing every parameter-free subtree with the input
+    (the cached plan is never mutated).  When ``plan`` holds no placeholders
+    it is returned unchanged.
+
+    Raises:
+        ParameterError: when a placeholder has no binding.
+    """
+    return _bind_expression(plan, bindings)
+
+
+def _bind_expression(expr: Expression, bindings: Mapping[str, Any]) -> Expression:
+    if isinstance(expr, Selection):
+        condition = _bind_condition(expr.condition, bindings)
+        child = _bind_expression(expr.child, bindings)
+        if condition is expr.condition and child is expr.child:
+            return expr
+        return Selection(condition, child)
+    children = expr.children()
+    if not children:
+        return expr
+    bound = tuple(_bind_expression(child, bindings) for child in children)
+    if all(new is old for new, old in zip(bound, children)):
+        return expr
+    if len(children) == 1:
+        return replace(expr, child=bound[0])
+    return replace(expr, left=bound[0], right=bound[1])
+
+
+def _bind_condition(condition: Condition, bindings: Mapping[str, Any]) -> Condition:
+    if isinstance(condition, (And, Or)):
+        left = _bind_condition(condition.left, bindings)
+        right = _bind_condition(condition.right, bindings)
+        if left is condition.left and right is condition.right:
+            return condition
+        return type(condition)(left, right)
+    if isinstance(condition, Not):
+        operand = _bind_condition(condition.operand, bindings)
+        if operand is condition.operand:
+            return condition
+        return Not(operand)
+    if isinstance(condition, (LabelCondition, PropertyCondition)):
+        value = condition.value
+        if isinstance(value, Parameter):
+            if value.name not in bindings:
+                raise ParameterError(f"parameter ${value.name} is unbound")
+            return replace(condition, value=bindings[value.name])
+    return condition

@@ -36,7 +36,7 @@ from repro.algebra.conditions import (
 )
 from repro.algebra.solution_space import ALL, GroupByKey, OrderByKey, ProjectionSpec
 from repro.errors import GQLSyntaxError
-from repro.gql.ast import NodePattern, PathPattern, PathQuery
+from repro.gql.ast import NodePattern, Parameter, PathPattern, PathQuery
 from repro.gql.lexer import Token, TokenKind, tokenize
 from repro.rpq.ast import Plus, RegexNode, Star
 from repro.rpq.parser import parse_regex
@@ -69,6 +69,8 @@ class GQLParser:
         self._text = text
         self._tokens = tokenize(text)
         self._position = 0
+        #: ``$name`` placeholders encountered while parsing, in order.
+        self._parameters: list[str] = []
 
     # ------------------------------------------------------------------
     # Token helpers
@@ -136,6 +138,7 @@ class GQLParser:
             order_by=order_by,
             selector=selector,
             max_length=max_length,
+            parameters=tuple(dict.fromkeys(self._parameters)),
         )
 
     # ------------------------------------------------------------------
@@ -296,6 +299,10 @@ class GQLParser:
 
     def _parse_literal(self) -> Any:
         token = self._peek()
+        if token.kind == TokenKind.PARAMETER:
+            self._advance()
+            self._parameters.append(token.value)
+            return Parameter(token.value)
         if token.kind == TokenKind.STRING:
             self._advance()
             return token.value
@@ -321,6 +328,11 @@ class GQLParser:
             token = self._peek()
             if token.kind == TokenKind.EOF:
                 raise self._error("unterminated '[' in path pattern")
+            if token.kind == TokenKind.PARAMETER:
+                raise self._error(
+                    "parameters are not supported inside the edge pattern "
+                    "(labels are part of the cached plan shape)"
+                )
             if token.is_punct("["):
                 depth += 1
             if token.is_punct("]"):

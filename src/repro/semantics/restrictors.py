@@ -40,7 +40,7 @@ from __future__ import annotations
 import heapq
 from enum import Enum
 from itertools import count
-from typing import Callable
+from typing import Callable, Iterator
 
 from repro.errors import NonTerminatingQueryError
 from repro.execution import QueryBudget
@@ -59,6 +59,7 @@ from repro.paths.predicates import (
 __all__ = [
     "Restrictor",
     "recursive_closure",
+    "iter_recursive_closure",
     "recursive_closure_baseline",
     "recursive_closure_postfilter",
     "shortest_paths_per_pair",
@@ -192,6 +193,192 @@ def recursive_closure_postfilter(
     """
     walks = _closure_walk(base, max_length, JoinIndex(base), budget)
     return filter_by_restrictor(walks, restrictor)
+
+
+def iter_recursive_closure(
+    base: PathSet,
+    restrictor: Restrictor = Restrictor.WALK,
+    max_length: int | None = None,
+    join_index: JoinIndex | None = None,
+    budget: QueryBudget | None = None,
+) -> Iterator[Path]:
+    """Lazily yield ``ϕ_restrictor(base)``: the base first, then each fix-point round.
+
+    The streaming twin of :func:`recursive_closure`, used by the pull-based
+    pipeline so a cursor that consumes only a handful of paths never pays for
+    (or holds in memory) the rest of the closure: rounds are expanded one
+    frontier entry at a time, and suspending the generator suspends the fix
+    point with it.  Yielded paths are exactly the paths
+    :func:`recursive_closure` returns, already deduplicated; only the order
+    differs from no caller-visible order guarantee to "base, then round by
+    round".
+
+    SHORTEST is inherently blocking — a path is only known to be shortest
+    once every competing round has been expanded — so it materializes through
+    :func:`recursive_closure` and iterates the result.
+
+    For WALK without ``max_length`` the non-termination guard of
+    :func:`recursive_closure` applies lazily: the
+    :class:`~repro.errors.NonTerminatingQueryError` is raised at the moment
+    an over-long walk would be generated, so a consumer that stops earlier
+    never sees it.
+    """
+    if join_index is None:
+        join_index = JoinIndex(base)
+    if restrictor is Restrictor.SHORTEST:
+        yield from _closure_shortest(base, max_length, join_index, budget)
+        return
+    if restrictor is Restrictor.WALK:
+        yield from _iter_closure_walk(base, max_length, join_index, budget)
+        return
+    yield from _iter_closure_pruned(base, restrictor, max_length, join_index, budget)
+
+
+def _iter_closure_walk(
+    base: PathSet,
+    max_length: int | None,
+    index: JoinIndex,
+    budget: QueryBudget | None = None,
+) -> Iterator[Path]:
+    """Streaming variant of :func:`_closure_walk` (same set, round-by-round order).
+
+    The budget is charged per produced path rather than per frontier chunk
+    (a suspended generator holds no backlog, and streaming consumers are
+    latency-bound, not throughput-bound), with one extra safeguard the
+    production-rate accounting alone would miss: the clock is also consulted
+    every ``_BUDGET_BATCH`` *consumed* frontier entries, so a round that
+    scans an enormous frontier while producing almost nothing (most
+    candidates rejected or already seen) still observes its deadline
+    mid-round — the same granularity the blocking closures' chunked loops
+    promise.
+    """
+    if not len(base):
+        return
+    distinct_edges = {edge_id for path in base for edge_id in path.edge_ids}
+    termination_bound = len(distinct_edges)
+    graph = next(iter(base)).graph
+    bound = max_length if max_length is not None else termination_bound
+    guard = max_length is None
+    buckets = _annotate_extensions(index, lambda ext: ())
+    unchecked = Path._unchecked
+    bucket_of = buckets.get
+    budgeted = budget is not None
+    depth = 0
+    scanned = 0
+
+    seen: set[Path] = set(base)
+    frontier: list[Path] = list(seen)
+    yield from frontier
+    while frontier:
+        produced: list[Path] = []
+        if budgeted:
+            depth += 1
+            budget.checkpoint("ϕWalk", depth=depth)
+        for path in frontier:
+            if budgeted:
+                scanned += 1
+                if scanned >= _BUDGET_BATCH:
+                    scanned = 0
+                    budget.checkpoint("ϕWalk")
+            extensions = bucket_of(path.last())
+            if not extensions:
+                continue
+            length = path.len()
+            nodes = path.node_ids
+            edges = path.edge_ids
+            for ext_len, _, nodes_tail, ext_edges in extensions:
+                if length + ext_len > bound:
+                    if guard:
+                        raise NonTerminatingQueryError(
+                            "ϕWalk does not terminate on this input (cycle detected); "
+                            "provide max_length or use a restricted ϕ variant"
+                        )
+                    continue
+                joined = unchecked(graph, nodes + nodes_tail, edges + ext_edges)
+                if joined not in seen:
+                    seen.add(joined)
+                    produced.append(joined)
+                    if budgeted:
+                        budget.charge(1, "ϕWalk")
+                    yield joined
+        frontier = produced
+
+
+def _iter_closure_pruned(
+    base: PathSet,
+    restrictor: Restrictor,
+    max_length: int | None,
+    index: JoinIndex,
+    budget: QueryBudget | None = None,
+) -> Iterator[Path]:
+    """Streaming variant of :func:`_closure_pruned` (Trail / Acyclic / Simple)."""
+    predicate = _PREDICATES[restrictor]
+    conforming_base = [path for path in base if predicate(path)]
+    if not conforming_base:
+        return
+
+    trail = restrictor is Restrictor.TRAIL
+    simple = restrictor is Restrictor.SIMPLE
+    graph = conforming_base[0].graph
+    bound = max_length if max_length is not None else float("inf")
+    if trail:
+        buckets = _annotate_extensions(index, lambda ext: ext.edge_ids)
+        frontier = [(path, set(path.edge_ids)) for path in conforming_base]
+    else:
+        buckets = _annotate_extensions(index, lambda ext: ext.node_ids[1:])
+        frontier = [(path, set(path.node_ids)) for path in conforming_base]
+
+    unchecked = Path._unchecked
+    bucket_of = buckets.get
+    budgeted = budget is not None
+    label = _closure_label(restrictor) if budgeted else ""
+    depth = 0
+    scanned = 0
+
+    seen: set[Path] = set(conforming_base)
+    yield from conforming_base
+    while frontier:
+        produced: list[tuple[Path, set[str]]] = []
+        if budgeted:
+            depth += 1
+            budget.checkpoint(label, depth=depth)
+        for path, visited in frontier:
+            if budgeted:
+                # Clock check per consumed frontier chunk, not only per
+                # produced path: rejection-heavy rounds stay killable (see
+                # _iter_closure_walk).
+                scanned += 1
+                if scanned >= _BUDGET_BATCH:
+                    scanned = 0
+                    budget.checkpoint(label)
+            extensions = bucket_of(path.last())
+            if not extensions:
+                continue
+            length = path.len()
+            nodes = path.node_ids
+            edges = path.edge_ids
+            if simple:
+                first = nodes[0]
+                closed = length > 0 and first == nodes[-1]
+            for ext_len, check_ids, nodes_tail, ext_edges in extensions:
+                if length + ext_len > bound:
+                    continue
+                if trail:
+                    extended = extend_trail_state(visited, check_ids)
+                elif simple:
+                    extended = extend_simple_state(visited, first, closed, check_ids)
+                else:
+                    extended = extend_acyclic_state(visited, check_ids)
+                if extended is None:
+                    continue
+                joined = unchecked(graph, nodes + nodes_tail, edges + ext_edges)
+                if joined not in seen:
+                    seen.add(joined)
+                    produced.append((joined, extended))
+                    if budgeted:
+                        budget.charge(1, label)
+                    yield joined
+        frontier = produced
 
 
 # ----------------------------------------------------------------------

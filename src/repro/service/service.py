@@ -43,6 +43,7 @@ import queue as queue_module
 import threading
 import time
 from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
 
 from repro.engine.engine import PathQueryEngine
 from repro.engine.executor import EXECUTOR_NAMES
@@ -59,12 +60,31 @@ __all__ = ["QueryOutcome", "QueryTicket", "ServiceStatistics", "QueryService"]
 _SHUTDOWN = object()
 
 
+def _params_tuple(params: Mapping[str, Any] | None) -> tuple | None:
+    """Canonicalize parameter bindings for cache keys and outcomes.
+
+    Returns a sorted ``(name, value)`` tuple — the hashable identity of a
+    binding set — or ``None`` when a value is unhashable, in which case the
+    result cache is bypassed for the request (correctness over reuse).
+    """
+    if not params:
+        return ()
+    items = tuple(sorted(params.items()))
+    try:
+        hash(items)
+    except TypeError:
+        return None
+    return items
+
+
 @dataclass(frozen=True)
 class QueryOutcome:
     """The outcome of one query served by :class:`QueryService`.
 
     Attributes:
         text: The query text as submitted.
+        params: The parameter bindings as a sorted ``(name, value)`` tuple
+            (empty for unparameterized submissions).
         version: The graph version the query was pinned to at submission.
         paths: The result paths (``None`` on error or timeout).
         error: Error message when the query failed; ``None`` on success.
@@ -98,6 +118,7 @@ class QueryOutcome:
     text: str
     version: int
     paths: PathSet | None = None
+    params: tuple = ()
     error: str | None = None
     timed_out: bool = False
     budget_reason: str = ""
@@ -178,6 +199,7 @@ class _Request:
     enqueued_at: float  # time.monotonic() stamp taken at submission
     snapshot: GraphSnapshot
     ticket: QueryTicket
+    params: dict[str, Any] | None = None
 
 
 @dataclass
@@ -219,7 +241,13 @@ class QueryService:
         workers: Worker-thread count.  ``0`` executes every submission inline
             on the calling thread (the serial mode used as the benchmark
             baseline) while keeping the full snapshot/caching semantics.
-        plan_cache_size: Total capacity of the shared lock-striped plan cache.
+        plan_cache_size: Total capacity of the shared lock-striped plan cache
+            (ignored when ``plan_cache`` is given).
+        plan_cache: An externally owned plan cache to share instead of
+            building a private one — how :class:`repro.api.Database` lets its
+            direct sessions and its service populate one cache.  Must be
+            thread-safe for ``workers > 0`` (a
+            :class:`~repro.service.cache.StripedLRUCache`).
         result_cache_size: Total capacity of the shared result cache
             (``0`` disables result reuse entirely).
         cache_stripes: Lock stripes for both shared caches.
@@ -252,6 +280,7 @@ class QueryService:
         default_deadline: float | None = None,
         default_max_visited: int | None = None,
         max_pending: int = 1024,
+        plan_cache: StripedLRUCache | None = None,
     ) -> None:
         if workers < 0:
             raise ServiceError(f"workers must be >= 0, got {workers}")
@@ -265,7 +294,9 @@ class QueryService:
         self.default_deadline = default_deadline
         self.default_max_visited = default_max_visited
         self.max_pending = max_pending
-        self.plan_cache = StripedLRUCache(plan_cache_size, cache_stripes)
+        self.plan_cache = (
+            plan_cache if plan_cache is not None else StripedLRUCache(plan_cache_size, cache_stripes)
+        )
         self.result_cache = StripedLRUCache(result_cache_size, cache_stripes)
         self._engines = [
             PathQueryEngine(
@@ -321,6 +352,7 @@ class QueryService:
         limit: int | None = None,
         deadline: float | None = None,
         max_visited: int | None = None,
+        params: Mapping[str, Any] | None = None,
     ) -> QueryTicket:
         """Enqueue one query and return its :class:`QueryTicket`.
 
@@ -331,6 +363,10 @@ class QueryService:
         ``deadline`` is relative (seconds from now); it is converted to an
         absolute monotonic instant at submission, so queue wait counts
         against it.  ``max_visited`` caps the paths the execution may visit.
+        ``params`` binds the query's ``$name`` placeholders; the shared plan
+        cache is keyed on the parameterized text (all bindings share one
+        plan) while the result cache is keyed on text *and* bindings, so two
+        bindings can never serve each other's results.
         """
         relative = deadline if deadline is not None else self.default_deadline
         with self._submit_lock:
@@ -349,6 +385,7 @@ class QueryService:
                 enqueued_at=now,
                 snapshot=self.graph.snapshot(),
                 ticket=QueryTicket(),
+                params=dict(params) if params else None,
             )
             if self._queue is not None:
                 # Bounded wait so a full queue cannot wedge the service:
@@ -423,10 +460,12 @@ class QueryService:
         # so every difference between them is meaningful (see module docs).
         started = time.monotonic()
         queued = started - request.enqueued_at
+        params_tuple = _params_tuple(request.params)
         if request.deadline is not None and started >= request.deadline:
             return QueryOutcome(
                 text=request.text,
                 version=version,
+                params=params_tuple if params_tuple is not None else (),
                 timed_out=True,
                 budget_reason="deadline",
                 stopped_at="queue",
@@ -436,15 +475,22 @@ class QueryService:
         effective_executor = (
             request.executor if request.executor is not None else self.default_executor
         )
+        # The bindings are part of the result identity: the plan cache
+        # deliberately shares one entry across every binding of a prepared
+        # text, so the *result* key must carry the bindings (sorted, so dict
+        # insertion order never splits or aliases entries).  Unhashable
+        # binding values (params_tuple is None) bypass the result cache
+        # entirely rather than failing the request.
         key = (
             "outcome",
             request.text,
+            params_tuple,
             request.max_length,
             effective_executor,
             request.limit,
             version,
         )
-        cached = self.result_cache.get(key)
+        cached = self.result_cache.get(key) if params_tuple is not None else None
         if cached is not None:
             # Hand out a fresh PathSet per hit: PathSet is mutable, and a
             # consumer editing its outcome must not poison the cached entry
@@ -481,6 +527,7 @@ class QueryService:
                 limit=request.limit,
                 graph=request.snapshot,
                 budget=budget,
+                params=request.params,
             )
         except BudgetExceeded as exceeded:
             # A budget kill is an expected outcome, not a failure: report it
@@ -490,6 +537,7 @@ class QueryService:
             return QueryOutcome(
                 text=request.text,
                 version=version,
+                params=params_tuple if params_tuple is not None else (),
                 timed_out=True,
                 budget_reason=exceeded.reason,
                 paths_visited=exceeded.paths_visited,
@@ -503,6 +551,7 @@ class QueryService:
             return QueryOutcome(
                 text=request.text,
                 version=version,
+                params=params_tuple if params_tuple is not None else (),
                 error=f"{type(error).__name__}: {error}",
                 worker=worker,
                 elapsed_seconds=time.monotonic() - started,
@@ -511,6 +560,7 @@ class QueryService:
         outcome = QueryOutcome(
             text=request.text,
             version=version,
+            params=params_tuple if params_tuple is not None else (),
             paths=result.paths,
             executor=result.executor,
             plan_cache_hit=result.cache_hit,
@@ -522,7 +572,10 @@ class QueryService:
         )
         # Cache a private copy of the path set — the outcome handed to the
         # submitting caller must not alias the cached entry (see the hit path).
-        self.result_cache.put(key, replace(outcome, paths=PathSet.from_unique(result.paths)))
+        if params_tuple is not None:
+            self.result_cache.put(
+                key, replace(outcome, paths=PathSet.from_unique(result.paths))
+            )
         return outcome
 
     # ------------------------------------------------------------------

@@ -176,6 +176,109 @@ class TestQueryCommand:
         assert code == 1
 
 
+class TestQueryParams:
+    PARAM_QUERY = "MATCH ANY SHORTEST TRAIL p = (?x {name: $name})-[:Knows]->+(?y)"
+
+    def test_param_binds_placeholder(self, capsys) -> None:
+        code = main(["query", "--param", "name=Moe", self.PARAM_QUERY])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "# 3 paths" in captured.out
+        assert "(n1, e1, n2)" in captured.out
+
+    def test_param_changes_change_results(self, capsys) -> None:
+        main(["query", "--param", "name=Moe", self.PARAM_QUERY])
+        moe = capsys.readouterr().out
+        main(["query", "--param", "name=Lisa", self.PARAM_QUERY])
+        lisa = capsys.readouterr().out
+        assert moe != lisa
+
+    def test_param_is_repeatable(self, capsys) -> None:
+        code = main(
+            [
+                "query",
+                "--param", "a=Moe",
+                "--param", "b=Lisa",
+                "MATCH ALL TRAIL p = (?x {name: $a})-[Knows]->(?y {name: $b})",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "# 1 paths" in captured.out
+
+    def test_param_values_parse_types(self, capsys) -> None:
+        # Integer-valued property comparison: age parses as int, not "42".
+        code = main(
+            [
+                "query",
+                "--param", "min=2",
+                "MATCH ALL TRAIL p = (?x)-[Knows+]->(?y) WHERE len() >= 2 AND x.name = $min",
+            ]
+        )
+        assert code == 0  # parses and runs (no match expected, name is a string)
+        assert "# 0 paths" in capsys.readouterr().out
+
+    def test_missing_param_is_an_error(self, capsys) -> None:
+        code = main(["query", self.PARAM_QUERY])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "missing binding" in captured.err
+
+    def test_malformed_param_flag_exits(self, capsys) -> None:
+        with pytest.raises(SystemExit):
+            main(["query", "--param", "no-equals-sign", self.PARAM_QUERY])
+
+    def test_dollar_prefix_in_flag_is_tolerated(self, capsys) -> None:
+        code = main(["query", "--param", "$name=Moe", self.PARAM_QUERY])
+        assert code == 0
+        assert "# 3 paths" in capsys.readouterr().out
+
+
+class TestQueryJsonl:
+    QUERY = "MATCH ALL TRAIL p = (?x)-[Knows]->(?y)"
+
+    def test_jsonl_streams_one_row_per_line(self, capsys) -> None:
+        code = main(["query", "--format", "jsonl", self.QUERY])
+        captured = capsys.readouterr()
+        assert code == 0
+        lines = [line for line in captured.out.splitlines() if line]
+        assert len(lines) == 4
+        rows = [json.loads(line) for line in lines]
+        assert all(row["length"] == 1 and row["labels"] == ["Knows"] for row in rows)
+        assert all(set(row) == {"source", "target", "length", "nodes", "edges", "labels"} for row in rows)
+
+    def test_jsonl_with_params(self, capsys) -> None:
+        code = main(
+            [
+                "query", "--format", "jsonl", "--param", "name=Moe",
+                "MATCH ANY SHORTEST TRAIL p = (?x {name: $name})-[:Knows]->+(?y)",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        rows = [json.loads(line) for line in captured.out.splitlines() if line]
+        assert len(rows) == 3
+        assert all(row["source"] == "n1" for row in rows)
+
+    def test_jsonl_respects_limit(self, capsys) -> None:
+        code = main(["query", "--format", "jsonl", "--limit", "2", self.QUERY])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert len([line for line in captured.out.splitlines() if line]) == 2
+
+    def test_jsonl_budget_kill_mid_stream(self, capsys) -> None:
+        code = main(
+            [
+                "query", "--format", "jsonl", "--executor", "pipeline",
+                "--max-visited", "10", "--max-length", "6",
+                "MATCH ALL WALK p = (?x)-[Knows]->*(?y)",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "BUDGET EXCEEDED" in captured.err
+
+
 class TestExplainCommand:
     def test_explain_prints_plan(self, capsys) -> None:
         code = main(["explain", "MATCH ANY SHORTEST WALK p = (?x)-[:Knows]->+(?y)"])

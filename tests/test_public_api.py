@@ -1,0 +1,136 @@
+"""Public-API snapshot: accidental surface changes must fail review.
+
+``repro.__all__`` is the package's contract with downstream code.  This test
+pins it to a checked-in list: adding, removing or renaming a public name
+fails here until the snapshot below is updated *deliberately* (which makes
+the change visible in the diff, which is the point).
+
+The suite also asserts every advertised name actually resolves, and that the
+doc-critical entry points keep their shape (``connect`` returning a
+``Database`` whose sessions hand out cursors).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+#: The deliberate public surface.  Keep sorted; update ONLY on purpose.
+PUBLIC_API = [
+    "BindingTable",
+    "BudgetExceeded",
+    "CompileOptions",
+    "Database",
+    "Edge",
+    "EdgesScan",
+    "Evaluator",
+    "ExecutionStatistics",
+    "Executor",
+    "ExplainResult",
+    "Expression",
+    "GraphBuilder",
+    "GraphSnapshot",
+    "GroupBy",
+    "GroupByKey",
+    "Join",
+    "MaterializeExecutor",
+    "Node",
+    "NodesScan",
+    "Optimizer",
+    "OrderBy",
+    "OrderByKey",
+    "ParameterError",
+    "Path",
+    "PathAlgebraError",
+    "PathBinding",
+    "PathQueryEngine",
+    "PathQuerySpec",
+    "PathSet",
+    "PipelineExecutor",
+    "PlanCache",
+    "PreparedQuery",
+    "Projection",
+    "ProjectionSpec",
+    "PropertyGraph",
+    "QueryBudget",
+    "QueryOutcome",
+    "QueryResult",
+    "QueryService",
+    "QueryTicket",
+    "Recursive",
+    "Restrictor",
+    "ResultCursor",
+    "Selection",
+    "Selector",
+    "SelectorKind",
+    "ServiceStatistics",
+    "Session",
+    "SolutionSpace",
+    "StripedLRUCache",
+    "Union",
+    "__version__",
+    "all_selector_restrictor_combinations",
+    "apply_selector",
+    "bind_paths",
+    "compile_regex",
+    "connect",
+    "evaluate",
+    "evaluate_to_paths",
+    "figure1_graph",
+    "group_by",
+    "ldbc_like_graph",
+    "optimize",
+    "order_by",
+    "parse_query",
+    "parse_regex",
+    "plan_query",
+    "plan_text",
+    "project",
+    "recursive_closure",
+    "to_algebra_notation",
+    "to_plan_tree",
+    "translate_path_query",
+    "translate_selector_restrictor",
+]
+
+
+def test_public_api_snapshot() -> None:
+    """The exported surface matches the checked-in list exactly."""
+    assert sorted(repro.__all__) == PUBLIC_API
+
+
+def test_no_duplicate_exports() -> None:
+    assert len(repro.__all__) == len(set(repro.__all__))
+
+
+@pytest.mark.parametrize("name", PUBLIC_API)
+def test_every_export_resolves(name: str) -> None:
+    assert getattr(repro, name, None) is not None, f"repro.{name} does not resolve"
+
+
+def test_client_api_names_are_first_class() -> None:
+    """The quickstart names exist with their documented shapes."""
+    db = repro.connect(repro.figure1_graph())
+    assert isinstance(db, repro.Database)
+    with db.session() as session:
+        assert isinstance(session, repro.Session)
+        prepared = session.prepare(
+            'MATCH ANY SHORTEST TRAIL p = (?x {name: $name})-[:Knows]->+(?y)'
+        )
+        assert isinstance(prepared, repro.PreparedQuery)
+        cursor = prepared.execute(name="Moe")
+        assert isinstance(cursor, repro.ResultCursor)
+        assert cursor.fetchall()
+
+
+def test_binding_table_reachable_without_deep_import() -> None:
+    """PathBinding / BindingTable / bind_paths are top-level (issue satellite)."""
+    table = repro.bind_paths(
+        repro.connect(repro.figure1_graph())
+        .query("MATCH ALL TRAIL p = (?x)-[Knows]->(?y)")
+        .paths
+    )
+    assert isinstance(table, repro.BindingTable)
+    assert len(table) == 4
+    assert isinstance(table.rows[0], repro.PathBinding)

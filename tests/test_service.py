@@ -325,6 +325,90 @@ class TestPlanCacheRegression:
         assert len(cache) == 0
 
 
+class TestParameterizedCacheKeys:
+    """Parameterized submissions: one shared plan, never-shared results.
+
+    The cache-poisoning contract for prepared queries: the plan cache is
+    keyed on the *parameterized* text (distinct bindings share one plan),
+    while the result cache carries the bindings in its key, so two bindings
+    can never serve each other's results — including across graph-version
+    bumps, where both caches must start cold.
+    """
+
+    PARAM_TEXT = "MATCH ALL TRAIL p = (?x {name: $name})-[Knows]->(?y)"
+
+    @staticmethod
+    def _constant(value: str) -> str:
+        return 'MATCH ALL TRAIL p = (?x {name: "%s"})-[Knows]->(?y)' % value
+
+    def test_two_bindings_share_one_plan_but_not_results(self) -> None:
+        graph = figure1_graph()
+        with QueryService(graph, workers=0) as service:
+            moe = service.submit(self.PARAM_TEXT, params={"name": "Moe"}).result()
+            lisa = service.submit(self.PARAM_TEXT, params={"name": "Lisa"}).result()
+            moe_again = service.submit(self.PARAM_TEXT, params={"name": "Moe"}).result()
+            stats = service.statistics()
+        assert moe.ok and lisa.ok
+        # One parse/plan/optimize total: the second binding hit the plan cache.
+        assert stats.plan_cache["misses"] == 1
+        assert not moe.plan_cache_hit and lisa.plan_cache_hit
+        # Results are binding-specific and correct.
+        assert moe.path_strings() == _serial_result(graph, self._constant("Moe"))
+        assert lisa.path_strings() == _serial_result(graph, self._constant("Lisa"))
+        assert moe.path_strings() != lisa.path_strings()
+        # The repeat of Moe's binding is served from the result cache — with
+        # Moe's result, not Lisa's (the binding is part of the key).
+        assert moe_again.result_cache_hit
+        assert moe_again.rendered() == moe.rendered()
+        assert moe.params == (("name", "Moe"),)
+
+    def test_bindings_never_cross_a_version_bump(self) -> None:
+        graph = figure1_graph()
+        with QueryService(graph, workers=0) as service:
+            before_moe = service.submit(self.PARAM_TEXT, params={"name": "Moe"}).result()
+            before_lisa = service.submit(self.PARAM_TEXT, params={"name": "Lisa"}).result()
+            graph.add_node("moe2", "Person", {"name": "Moe"})
+            graph.add_edge("emoe2", "moe2", "n3", "Knows")
+            after_moe = service.submit(self.PARAM_TEXT, params={"name": "Moe"}).result()
+            after_lisa = service.submit(self.PARAM_TEXT, params={"name": "Lisa"}).result()
+            stats = service.statistics()
+        # The bump invalidates the shared plan exactly once (two versions,
+        # one parameterized text → two plan-cache misses in total).
+        assert stats.plan_cache["misses"] == 2
+        # Neither binding was served a pre-bump result.
+        assert not after_moe.result_cache_hit and not after_lisa.result_cache_hit
+        assert after_moe.version > before_moe.version
+        assert len(after_moe) == len(before_moe) + 1  # the new Moe edge
+        assert after_lisa.rendered() == before_lisa.rendered()  # unaffected binding
+        assert after_moe.rendered() != before_moe.rendered()
+
+    def test_binding_order_does_not_split_result_cache_entries(self) -> None:
+        text = (
+            "MATCH ALL TRAIL p = (?x {name: $a})-[Knows]->(?y {name: $b})"
+        )
+        with QueryService(figure1_graph(), workers=0) as service:
+            first = service.submit(text, params={"a": "Moe", "b": "Lisa"}).result()
+            swapped = service.submit(text, params={"b": "Lisa", "a": "Moe"}).result()
+        assert first.ok and swapped.ok
+        assert swapped.result_cache_hit  # canonicalized key: same bindings, same entry
+        assert swapped.rendered() == first.rendered()
+
+    def test_unhashable_binding_bypasses_result_cache(self) -> None:
+        with QueryService(figure1_graph(), workers=0) as service:
+            first = service.submit(self.PARAM_TEXT, params={"name": ["not", "hashable"]}).result()
+            repeat = service.submit(self.PARAM_TEXT, params={"name": ["not", "hashable"]}).result()
+        assert first.ok and repeat.ok  # executed, empty result, no crash
+        assert not first.result_cache_hit and not repeat.result_cache_hit
+        assert repeat.params == ()
+
+    def test_missing_binding_is_a_failure_not_a_crash(self) -> None:
+        with QueryService(figure1_graph(), workers=0) as service:
+            outcome = service.submit(self.PARAM_TEXT).result()
+        assert not outcome.ok
+        assert outcome.error is not None
+        assert "ParameterError" in outcome.error
+
+
 class TestServiceAPI:
     TEXT = "MATCH ALL TRAIL p = (?x)-[Knows]->(?y)"
 
