@@ -65,9 +65,19 @@ from repro.engine import (
     ResultCursor,
     bind_paths,
 )
-from repro.errors import BudgetExceeded, ParameterError, PathAlgebraError
+from repro.errors import BudgetExceeded, ParameterError, PathAlgebraError, WalCorruptError
 from repro.execution import QueryBudget
-from repro.graph import Edge, GraphBuilder, GraphSnapshot, Node, PropertyGraph
+from repro.graph import (
+    DurableStore,
+    Edge,
+    GraphBuilder,
+    GraphDelta,
+    GraphSnapshot,
+    Node,
+    PropertyGraph,
+    QueryFootprint,
+    WriteAheadLog,
+)
 from repro.gql import parse_query, plan_query, plan_text
 from repro.optimizer import Optimizer, optimize
 from repro.paths import Path, PathSet
@@ -106,12 +116,18 @@ __all__ = [
     "BudgetExceeded",
     "ParameterError",
     "PathAlgebraError",
+    "WalCorruptError",
     # graph
     "PropertyGraph",
     "GraphSnapshot",
     "Node",
     "Edge",
     "GraphBuilder",
+    # durability and delta-aware invalidation
+    "DurableStore",
+    "WriteAheadLog",
+    "GraphDelta",
+    "QueryFootprint",
     # paths
     "Path",
     "PathSet",

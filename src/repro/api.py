@@ -51,6 +51,7 @@ from repro.errors import ServiceError
 from repro.execution import QueryBudget
 from repro.graph.model import PropertyGraph
 from repro.graph.snapshot import GraphSnapshot
+from repro.graph.wal import DurableStore
 from repro.service.cache import StripedLRUCache
 from repro.service.service import QueryService
 
@@ -138,7 +139,70 @@ class Database:
         self._optimize = optimize
         self._default_max_length = default_max_length
         self._service: QueryService | None = None
+        self._store: DurableStore | None = None
         self._closed = False
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        *,
+        fsync: str = "always",
+        batch_interval: int = 64,
+        name: str = "G",
+        **options,
+    ) -> "Database":
+        """Open a **durable** database backed by a directory on disk.
+
+        Recovers the graph from ``path`` (snapshot + write-ahead-log replay;
+        an empty or missing directory starts a fresh graph) and attaches the
+        WAL so every subsequent mutation through :attr:`graph` is logged
+        *before* it is applied.  :meth:`close` flushes and closes the log;
+        :meth:`checkpoint` folds it into the snapshot.
+
+        Args:
+            path: Directory holding ``snapshot.json`` and ``wal.log``
+                (created when absent).
+            fsync: Durability policy — ``"always"`` (fsync per mutation),
+                ``"batch"`` (every ``batch_interval`` mutations and on
+                close/checkpoint) or ``"off"`` (OS page cache only).
+            batch_interval: Mutations between fsyncs under ``"batch"``.
+            name: Graph name when starting fresh.
+            options: Forwarded to the :class:`Database` constructor
+                (``executor``, ``plan_cache_size``, ...).
+        """
+        store = DurableStore(path, name=name, fsync=fsync, batch_interval=batch_interval)
+        try:
+            database = cls(store.graph, **options)
+        except BaseException:
+            store.close()
+            raise
+        database._store = store
+        return database
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> DurableStore | None:
+        """The backing :class:`~repro.graph.wal.DurableStore` (``None`` when in-memory)."""
+        return self._store
+
+    @property
+    def durable(self) -> bool:
+        """``True`` when this database was opened with :meth:`open`."""
+        return self._store is not None
+
+    def checkpoint(self) -> int:
+        """Fold the write-ahead log into the snapshot; returns the version.
+
+        Bounds recovery time: after a checkpoint, reopening replays an empty
+        log.  Requires a durable database.
+        """
+        self._ensure_open()
+        if self._store is None:
+            raise ServiceError("checkpoint requires a durable database (Database.open)")
+        return self._store.rotate()
 
     # ------------------------------------------------------------------
     # Sessions
@@ -270,12 +334,14 @@ class Database:
             raise ServiceError("database is closed")
 
     def close(self) -> None:
-        """Close the database (drains and joins the service, if started)."""
+        """Close the database (drains the service; flushes and detaches the WAL)."""
         if self._closed:
             return
         self._closed = True
         if self._service is not None:
             self._service.close()
+        if self._store is not None:
+            self._store.close()
 
     def __enter__(self) -> "Database":
         return self

@@ -24,6 +24,7 @@ __all__ = [
     "selectivity_workloads",
     "executor_workloads",
     "service_workloads",
+    "mixed_service_workload",
     "quick_mode",
     "select_sizes",
 ]
@@ -271,6 +272,86 @@ def service_workloads(seed: int = 17) -> list[BatchWorkload]:
             parameters={**shared, "unique_queries": batch_size},
         ),
     ]
+
+
+def mixed_service_workload(seed: int = 23) -> BatchWorkload:
+    """Mixed read/write traffic for the invalidation-policy comparison.
+
+    The schedule (``parameters["steps"]``) interleaves repeat-heavy reads
+    over a small hot query set with writes.  Most writes are *disjoint* from
+    every query footprint (audit-style ``Audit`` nodes and ``Flagged`` edges
+    no query reads); a minority add ``Knows`` edges that genuinely change
+    answers.  Under whole-version invalidation every write turns the next
+    repeat into a miss; delta-aware invalidation only recomputes when the
+    write's labels intersect the query's footprint — which is exactly the
+    hit-rate gap this workload measures.
+
+    Steps are fully materialized tuples (ids and endpoints precomputed) so
+    the same schedule replays identically across invalidation modes and the
+    cache-free reference run.
+    """
+    quick = quick_mode()
+    nodes = 60 if quick else 150
+    edges = 3 * nodes
+    total_steps = 120 if quick else 300
+    hot_unique = 8
+    factory = lambda: random_graph(  # noqa: E731 - rebuilt per measured mode
+        nodes, edges, labels=_SERVICE_LABELS, seed=seed, name="mixed"
+    )
+    hot = _service_query_pool(seed)[:hot_unique]
+    rng = random.Random(seed + 2)
+    audit_nodes = ["audit0", "audit1"]
+    steps: list[tuple] = [("audit-node", "audit0"), ("audit-node", "audit1")]
+    counters = {"audit": 2, "edge": 0, "reads": 0, "writes": 2, "hot_writes": 0}
+    while len(steps) < total_steps:
+        roll = rng.random()
+        if roll < 0.75:
+            steps.append(("query", rng.choice(hot)))
+            counters["reads"] += 1
+        elif roll < 0.90:
+            node_id = f"audit{counters['audit']}"
+            counters["audit"] += 1
+            counters["writes"] += 1
+            audit_nodes.append(node_id)
+            steps.append(("audit-node", node_id))
+        elif roll < 0.95:
+            counters["edge"] += 1
+            counters["writes"] += 1
+            steps.append(
+                (
+                    "audit-edge",
+                    f"flag{counters['edge']}",
+                    rng.choice(audit_nodes),
+                    rng.choice(audit_nodes),
+                )
+            )
+        else:
+            counters["edge"] += 1
+            counters["writes"] += 1
+            counters["hot_writes"] += 1
+            steps.append(
+                (
+                    "hot-edge",
+                    f"hot{counters['edge']}",
+                    rng.choice(audit_nodes),
+                    rng.choice(audit_nodes),
+                )
+            )
+    return BatchWorkload(
+        name="mixed-read-write",
+        graph_factory=factory,
+        queries=hot,
+        description="hot reads racing mostly-disjoint writes; invalidation-policy A/B",
+        parameters={
+            "nodes": nodes,
+            "edges": edges,
+            "steps": steps,
+            "unique_queries": hot_unique,
+            "reads": counters["reads"],
+            "writes": counters["writes"],
+            "hot_writes": counters["hot_writes"],
+        },
+    )
 
 
 def cyclic_workloads(sizes: tuple[int, ...] = (4, 8, 16, 32)) -> list[Workload]:

@@ -15,7 +15,10 @@ Subcommands:
   or stdin;
 * ``generate`` — write a synthetic graph (figure1 / ldbc / random / cycle /
   chain / grid) to a JSON file;
-* ``stats``    — print summary statistics of a graph file.
+* ``stats``    — print summary statistics of a graph file;
+* ``wal``      — inspect (``wal inspect``) or compact (``wal compact``) a
+  durable graph directory (crash-consistent snapshot + write-ahead log, as
+  opened by ``--durable`` or :meth:`repro.Database.open`).
 
 Examples::
 
@@ -34,7 +37,7 @@ import sys
 import time
 from pathlib import Path as FilePath
 
-from repro.api import connect
+from repro.api import Database, connect
 from repro.datasets.figure1 import figure1_graph
 from repro.datasets.generators import chain_graph, cycle_graph, grid_graph, random_graph
 from repro.datasets.ldbc import LDBCParameters, ldbc_like_graph
@@ -43,6 +46,7 @@ from repro.errors import BudgetExceeded, PathAlgebraError
 from repro.graph.io import load_csv, load_json, save_json
 from repro.graph.model import PropertyGraph
 from repro.graph.stats import compute_statistics
+from repro.graph.wal import FSYNC_POLICIES, DurableStore, read_wal
 
 __all__ = ["main", "build_parser"]
 
@@ -189,6 +193,27 @@ def build_parser() -> argparse.ArgumentParser:
     stats = subparsers.add_parser("stats", help="print graph statistics")
     _add_graph_arguments(stats)
 
+    wal = subparsers.add_parser(
+        "wal", help="inspect or compact a durable graph directory"
+    )
+    wal_sub = wal.add_subparsers(dest="wal_command", required=True)
+    wal_inspect = wal_sub.add_parser(
+        "inspect",
+        help="print snapshot and write-ahead-log state without modifying anything",
+    )
+    wal_inspect.add_argument("path", help="durable graph directory")
+    wal_compact = wal_sub.add_parser(
+        "compact",
+        help="recover the graph and fold the write-ahead log into the snapshot",
+    )
+    wal_compact.add_argument("path", help="durable graph directory")
+    wal_compact.add_argument(
+        "--fsync",
+        choices=list(FSYNC_POLICIES),
+        default="always",
+        help="durability policy while compacting (default: always)",
+    )
+
     return parser
 
 
@@ -198,8 +223,23 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
     group.add_argument(
         "--dataset",
         choices=["figure1", "ldbc"],
-        default="figure1",
+        default=None,
         help="built-in data set to use when no --graph is given (default: figure1)",
+    )
+    parser.add_argument(
+        "--durable",
+        metavar="DIR",
+        default=None,
+        help="open the graph durably from this directory (snapshot + "
+        "write-ahead log, created when absent); a brand-new directory is "
+        "seeded from --graph/--dataset when one is given explicitly",
+    )
+    parser.add_argument(
+        "--fsync",
+        choices=list(FSYNC_POLICIES),
+        default="always",
+        help="durability policy for --durable: fsync per mutation, every "
+        "batch, or never (default: always)",
     )
 
 
@@ -209,9 +249,32 @@ def _load_graph(args: argparse.Namespace) -> PropertyGraph:
         if path.suffix == ".json":
             return load_json(path)
         return load_csv(path)
-    if args.dataset == "ldbc":
+    if getattr(args, "dataset", None) == "ldbc":
         return ldbc_like_graph()
     return figure1_graph()
+
+
+def _open_database(args: argparse.Namespace, **options) -> "Database":
+    """Open the database a command should run against.
+
+    Without ``--durable`` this is :func:`connect` over the loaded graph.
+    With it, the durable directory is recovered (snapshot + WAL replay); a
+    brand-new store is seeded from ``--graph``/``--dataset`` when the user
+    named one explicitly, so ``repro query --durable dir --dataset ldbc ...``
+    bootstraps a durable copy of the data set on first use.
+    """
+    durable = getattr(args, "durable", None)
+    if not durable:
+        return connect(_load_graph(args), **options)
+    db = Database.open(durable, fsync=getattr(args, "fsync", "always"), **options)
+    explicit_source = getattr(args, "graph", None) or getattr(args, "dataset", None)
+    if db.graph.version == 0 and explicit_source:
+        seed = _load_graph(args)
+        for node in seed.nodes():
+            db.graph.add_node(node.id, node.label, node.properties)
+        for edge in seed.edges():
+            db.graph.add_edge(edge.id, edge.source, edge.target, edge.label, edge.properties)
+    return db
 
 
 def _parse_param_value(raw: str):
@@ -254,59 +317,61 @@ def _budget_exceeded_note(exceeded: BudgetExceeded) -> None:
 
 
 def _command_query(args: argparse.Namespace) -> int:
-    graph = _load_graph(args)
-    db = connect(
-        graph,
+    db = _open_database(
+        args,
         optimize=not args.no_optimize,
         default_max_length=args.max_length,
         executor=args.executor,
     )
     params = _parse_params(args.param)
-    with db.session(
-        timeout=args.timeout,
-        max_visited=args.max_visited,
-        max_length=args.max_length,
-        limit=args.limit,
-    ) as session:
-        if args.format == "jsonl":
-            # Stream one binding row per line straight off the cursor: under
-            # the pipeline executor nothing is materialized beyond the rows
-            # printed, so huge results flow in bounded memory.
-            cursor = session.execute(args.text, params)
+    try:
+        with db.session(
+            timeout=args.timeout,
+            max_visited=args.max_visited,
+            max_length=args.max_length,
+            limit=args.limit,
+        ) as session:
+            if args.format == "jsonl":
+                # Stream one binding row per line straight off the cursor: under
+                # the pipeline executor nothing is materialized beyond the rows
+                # printed, so huge results flow in bounded memory.
+                cursor = session.execute(args.text, params)
+                try:
+                    for row in cursor.bindings():
+                        print(json.dumps(row.to_dict(), sort_keys=True))
+                except BudgetExceeded as exceeded:
+                    _budget_exceeded_note(exceeded)
+                    return 2
+                return 0
             try:
-                for row in cursor.bindings():
-                    print(json.dumps(row.to_dict(), sort_keys=True))
+                cursor = session.execute(args.text, params)
+                paths = cursor.fetchall()
             except BudgetExceeded as exceeded:
                 _budget_exceeded_note(exceeded)
                 return 2
-            return 0
-        try:
-            cursor = session.execute(args.text, params)
-            paths = cursor.fetchall()
-        except BudgetExceeded as exceeded:
-            _budget_exceeded_note(exceeded)
-            return 2
-        count = cursor.rows_returned
-        print(
-            f"# {count} paths  ({cursor.elapsed_seconds * 1e3:.2f} ms)"
-            f"  [{cursor.executor} executor]"
-        )
-        if args.phases:
-            timings = ", ".join(
-                f"{phase} {seconds * 1e3:.2f} ms"
-                for phase, seconds in cursor.phase_seconds.items()
+            count = cursor.rows_returned
+            print(
+                f"# {count} paths  ({cursor.elapsed_seconds * 1e3:.2f} ms)"
+                f"  [{cursor.executor} executor]"
             )
-            print(f"# phases: {timings}")
-        if cursor.applied_rules:
-            print(f"# optimizer rewrites: {', '.join(cursor.applied_rules)}")
-        for path in sorted(paths, key=lambda path: (path.len(), path.interleaved())):
-            print(path)
-        if cursor.truncated:
-            if cursor.total_paths is not None:
-                print(f"# ... and {cursor.total_paths - count} more")
-            else:
-                print(f"# ... stopped after {count} paths (limit pushed into the pipeline)")
-    return 0
+            if args.phases:
+                timings = ", ".join(
+                    f"{phase} {seconds * 1e3:.2f} ms"
+                    for phase, seconds in cursor.phase_seconds.items()
+                )
+                print(f"# phases: {timings}")
+            if cursor.applied_rules:
+                print(f"# optimizer rewrites: {', '.join(cursor.applied_rules)}")
+            for path in sorted(paths, key=lambda path: (path.len(), path.interleaved())):
+                print(path)
+            if cursor.truncated:
+                if cursor.total_paths is not None:
+                    print(f"# ... and {cursor.total_paths - count} more")
+                else:
+                    print(f"# ... stopped after {count} paths (limit pushed into the pipeline)")
+        return 0
+    finally:
+        db.close()
 
 
 def _read_batch(args: argparse.Namespace) -> list[str]:
@@ -323,14 +388,13 @@ def _read_batch(args: argparse.Namespace) -> list[str]:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
-    graph = _load_graph(args)
     queries = _read_batch(args)
     if not queries:
         print("error: no queries to serve", file=sys.stderr)
         return 1
     started = time.perf_counter()
-    with connect(
-        graph,
+    with _open_database(
+        args,
         optimize=not args.no_optimize,
         default_max_length=args.max_length,
         executor=args.executor,
@@ -450,12 +514,59 @@ def _command_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_wal(args: argparse.Namespace) -> int:
+    directory = FilePath(args.path)
+    if args.wal_command == "inspect":
+        snapshot_path = directory / DurableStore.SNAPSHOT_NAME
+        wal_path = directory / DurableStore.WAL_NAME
+        print(f"directory: {directory}")
+        if snapshot_path.exists():
+            graph = load_json(snapshot_path)
+            print(
+                f"snapshot: version {graph.version}, "
+                f"{graph.num_nodes()} nodes / {graph.num_edges()} edges"
+            )
+            recoverable = graph.version
+        else:
+            print("snapshot: absent (fresh directory)")
+            recoverable = 0
+        if wal_path.exists():
+            scan = read_wal(wal_path)
+            versions = scan.versions
+            span = f", versions {versions[0]}..{versions[1]}" if versions else ""
+            print(
+                f"wal: {len(scan.records)} records{span}, "
+                f"{scan.valid_bytes} valid bytes, torn tail: "
+                f"{'yes (dropped on recovery)' if scan.torn_tail else 'no'}"
+            )
+            ops: dict[str, int] = {}
+            for op in scan.records:
+                ops[op["op"]] = ops.get(op["op"], 0) + 1
+            if ops:
+                print("ops: " + "  ".join(f"{name}={count}" for name, count in sorted(ops.items())))
+                recoverable = max(recoverable, max(op["v"] for op in scan.records))
+        else:
+            print("wal: absent")
+        print(f"recoverable version: {recoverable}")
+        return 0
+    # compact: recover, fold the log into the snapshot, report.
+    with DurableStore(directory, fsync=args.fsync) as store:
+        replayed = store.replayed_records
+        version = store.rotate()
+    print(
+        f"compacted {directory}: replayed {replayed} records, "
+        f"snapshot now at version {version}, wal empty"
+    )
+    return 0
+
+
 _COMMANDS = {
     "query": _command_query,
     "serve": _command_serve,
     "explain": _command_explain,
     "generate": _command_generate,
     "stats": _command_stats,
+    "wal": _command_wal,
 }
 
 

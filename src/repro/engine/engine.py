@@ -35,10 +35,12 @@ from repro.engine.executor import (
     choose_executor,
     resolve_executor,
 )
+from repro.engine.footprint import plan_footprint
 from repro.engine.physical import build_pipeline
 from repro.engine.results import ResultCursor
 from repro.errors import ParameterError
 from repro.execution import ExecutionStatistics, QueryBudget
+from repro.graph.delta import QueryFootprint
 from repro.graph.model import PropertyGraph
 from repro.gql.params import bind_parameters, collect_parameters
 from repro.gql.parser import parse_query
@@ -50,6 +52,12 @@ from repro.rpq.compile import CompileOptions, compile_regex
 from repro.semantics.restrictors import Restrictor
 
 __all__ = ["QueryResult", "ExplainResult", "PlanCache", "CachedPlan", "PathQueryEngine"]
+
+#: Cache-invalidation policies: ``"delta"`` keys plans by text/options only
+#: and revalidates version-sensitive memos against a
+#: :class:`~repro.graph.delta.GraphDelta`; ``"version"`` is the legacy
+#: whole-version keying (any mutation misses every entry).
+INVALIDATION_MODES = ("delta", "version")
 
 #: The execution phases reported in :attr:`QueryResult.phase_seconds`.
 PHASES = ("parse", "plan", "optimize", "execute")
@@ -121,10 +129,25 @@ class CachedPlan:
     optimized: Expression
     applied_rules: list[str]
     #: Memoized ``"auto"`` choice: a pure function of the optimized plan and
-    #: the graph version, both already part of the cache key, so cache hits
-    #: skip the cost-model walk as well.  Parameter bindings never change the
-    #: plan *shape*, so one choice serves every binding of a prepared query.
+    #: the graph version.  Parameter bindings never change the plan *shape*,
+    #: so one choice serves every binding of a prepared query.  Under
+    #: ``"version"`` invalidation the version is part of the cache key; under
+    #: ``"delta"`` invalidation the choice is revalidated against the graph
+    #: delta since ``auto_version`` (the cost model only shifts when the data
+    #: the plan touches changes).
     auto_executor: str | None = None
+    #: Graph version :attr:`auto_executor` was chosen at (delta mode only).
+    auto_version: int | None = None
+    #: Lazily computed static footprint of the optimized plan, shared by the
+    #: auto-executor revalidation and by anything keying caches on what the
+    #: plan reads.
+    footprint: QueryFootprint | None = None
+
+    def compute_footprint(self) -> QueryFootprint:
+        """The optimized plan's footprint, computed once per cached plan."""
+        if self.footprint is None:
+            self.footprint = plan_footprint(self.optimized)
+        return self.footprint
     #: ``$name`` placeholders the query declares — the parse-level set when
     #: the plan came from GQL text (the surface contract, even if a rewrite
     #: were to eliminate a parameterized selection), the plan-derived set for
@@ -137,13 +160,15 @@ class CachedPlan:
 class PlanCache:
     """A bounded LRU cache of :class:`CachedPlan` entries.
 
-    Keys are opaque tuples built by the engine from the query text, the
-    planning options, and the graph's mutation counter
-    (:attr:`~repro.graph.model.PropertyGraph.version`) — mutating the graph
-    therefore never serves a stale plan, without any explicit invalidation.
-    When queries execute against :class:`~repro.graph.snapshot.GraphSnapshot`
-    views, the key carries the snapshot's pinned version, so entries from
-    different snapshots of one graph coexist without interference.
+    Keys are opaque tuples built by the engine from the query text and the
+    planning options.  Under the default ``"delta"`` invalidation policy the
+    key is version-free — parse/plan/optimize is a pure function of text and
+    options, so one entry serves every graph version, and the one
+    version-sensitive memo (the ``auto`` executor choice) is revalidated
+    against the graph delta on access.  Under the legacy ``"version"`` policy
+    the key additionally carries the graph's mutation counter
+    (:attr:`~repro.graph.model.PropertyGraph.version`), so any mutation
+    misses every entry.
 
     A single instance is *not* thread-safe; concurrent workers share plans
     through the lock-striped :class:`~repro.service.StripedLRUCache`, which
@@ -182,6 +207,10 @@ class PlanCache:
         """Drop every entry (the hit/miss counters are kept)."""
         self._entries.clear()
 
+    def remove(self, key: tuple) -> None:
+        """Drop one entry if present (no-op otherwise, no counter changes)."""
+        self._entries.pop(key, None)
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -204,6 +233,7 @@ class PathQueryEngine:
         executor: str = "auto",
         plan_cache_size: int = 128,
         plan_cache: "PlanCache | None" = None,
+        invalidation: str = "delta",
     ) -> None:
         """Create an engine.
 
@@ -225,12 +255,23 @@ class PathQueryEngine:
                 one lock-striped cache across its worker engines.  Anything
                 with the :class:`PlanCache` surface works;
                 ``plan_cache_size`` is ignored when this is given.
+            invalidation: ``"delta"`` (default) keys cached plans by text and
+                options only — sound because planning never reads the graph —
+                and revalidates the memoized ``auto`` executor choice against
+                the graph delta; ``"version"`` restores the legacy behavior
+                where any mutation misses every plan-cache entry.
         """
         if executor not in EXECUTOR_NAMES:
             raise ValueError(
                 f"unknown executor {executor!r}; expected one of {', '.join(EXECUTOR_NAMES)}"
             )
+        if invalidation not in INVALIDATION_MODES:
+            raise ValueError(
+                f"unknown invalidation {invalidation!r}; expected one of "
+                f"{', '.join(INVALIDATION_MODES)}"
+            )
         self.graph = graph
+        self.invalidation = invalidation
         self.optimize_plans = optimize
         self.default_max_length = default_max_length
         self.default_executor = executor
@@ -370,6 +411,7 @@ class PathQueryEngine:
             )
             statistics = pipeline.statistics
             statistics.executor = name
+            statistics.footprint = cached.compute_footprint()
             source = pipeline.stream()
         else:
             execution = resolve_executor(name).execute(
@@ -378,6 +420,7 @@ class PathQueryEngine:
                 default_max_length=self.default_max_length,
                 limit=limit,
                 budget=budget,
+                footprint=cached.compute_footprint(),
             )
             statistics = execution.statistics
             source = iter(execution.paths)
@@ -414,7 +457,7 @@ class PathQueryEngine:
         phase_seconds: dict[str, float],
     ) -> tuple[CachedPlan, bool]:
         """Serve the parsed-and-optimized plan for ``text`` from the plan cache."""
-        key = ("gql", text, max_length, self.optimize_plans, target.version)
+        key = ("gql", text, max_length, self.optimize_plans) + self._key_suffix(target)
         cached = self.plan_cache.get(key)
         cache_hit = cached is not None
         if cached is None:
@@ -477,7 +520,9 @@ class PathQueryEngine:
         started = time.perf_counter()
         target = self._target_graph(graph)
         phase_seconds = dict.fromkeys(PHASES, 0.0)
-        key = ("rpq", regex, restrictor, max_length, self.optimize_plans, target.version)
+        key = ("rpq", regex, restrictor, max_length, self.optimize_plans) + self._key_suffix(
+            target
+        )
         cached = self.plan_cache.get(key)
         cache_hit = cached is not None
         if cached is None:
@@ -491,6 +536,18 @@ class PathQueryEngine:
         return self._finish(
             cached, executor, limit, cache_hit, started, phase_seconds, target, budget
         ).paths
+
+    def _key_suffix(self, target: PropertyGraph) -> tuple:
+        """Version component of plan-cache keys (empty under delta invalidation).
+
+        Plans are a pure function of query text and planning options — the
+        graph is never consulted during parse/plan/optimize — so the delta
+        policy shares one entry across every version.  The legacy policy
+        keys on the version, reproducing miss-on-every-mutation behavior.
+        """
+        if self.invalidation == "delta":
+            return ()
+        return (target.version,)
 
     def _target_graph(self, graph: PropertyGraph | None) -> PropertyGraph:
         """Resolve a per-call ``graph`` override, rejecting foreign graphs.
@@ -550,9 +607,32 @@ class PathQueryEngine:
             )
         if name != "auto":
             return name
+        target = graph if graph is not None else self.graph
+        version = target.version
         if cached.auto_executor is None:
             cached.auto_executor = self.select_executor(cached.optimized, graph)
+            cached.auto_version = version
+        elif self.invalidation == "delta" and cached.auto_version != version:
+            # Under delta keying one CachedPlan serves many versions; the
+            # executor choice is a cost-model decision, so revalidate it when
+            # the data the plan touches changed.  A stale choice is a
+            # performance (never a correctness) matter, so the unlocked
+            # read-modify-write here is a benign race — concurrent workers
+            # converge on a valid recent choice.
+            delta = self._lineage_delta(target, cached.auto_version, version)
+            if delta is None or delta.affects(cached.compute_footprint()):
+                cached.auto_executor = self.select_executor(cached.optimized, graph)
+            cached.auto_version = version
         return cached.auto_executor
+
+    def _lineage_delta(self, target: PropertyGraph, from_version: int, to_version: int):
+        """Delta between two versions of the target's graph lineage (or ``None``)."""
+        root = getattr(target, "parent", target)
+        delta_between = getattr(root, "delta_between", None)
+        if delta_between is None:
+            return None
+        low, high = sorted((from_version, to_version))
+        return delta_between(low, high)
 
     def _resolve(
         self, executor: str | None, cached: CachedPlan, graph: PropertyGraph | None = None
@@ -610,6 +690,7 @@ class PathQueryEngine:
             default_max_length=self.default_max_length,
             limit=limit,
             budget=budget,
+            footprint=cached.compute_footprint(),
         )
         phase_seconds["execute"] = time.perf_counter() - phase_started
         cache = self.plan_cache

@@ -29,8 +29,10 @@ from typing import Protocol, runtime_checkable
 
 from repro.algebra.evaluator import Evaluator
 from repro.algebra.expressions import Expression
+from repro.engine.footprint import plan_footprint
 from repro.engine.physical import build_pipeline
 from repro.execution import ExecutionStatistics, QueryBudget
+from repro.graph.delta import QueryFootprint
 from repro.graph.model import PropertyGraph
 from repro.optimizer.cost import CostModel
 from repro.paths.pathset import PathSet
@@ -87,8 +89,14 @@ class Executor(Protocol):
         default_max_length: int | None = None,
         limit: int | None = None,
         budget: QueryBudget | None = None,
+        footprint: QueryFootprint | None = None,
     ) -> ExecutionResult:
         """Run ``plan`` over ``graph`` and return paths plus statistics.
+
+        ``footprint`` is the plan's precomputed static footprint; the engine
+        passes the once-per-cached-plan value so repeat executions (prepared
+        bindings, plan-cache hits) skip the per-call plan walk.  When absent
+        the executor computes it from ``plan``.
 
         ``budget`` is a cooperative cancellation token; executors thread it
         into every loop that can run long and raise
@@ -117,11 +125,13 @@ class MaterializeExecutor:
         default_max_length: int | None = None,
         limit: int | None = None,
         budget: QueryBudget | None = None,
+        footprint: QueryFootprint | None = None,
     ) -> ExecutionResult:
         evaluator = Evaluator(graph, default_max_length=default_max_length, budget=budget)
         paths = evaluator.evaluate_paths(plan)
         statistics = evaluator.statistics
         statistics.executor = self.name
+        statistics.footprint = footprint if footprint is not None else plan_footprint(plan)
         total = len(paths)
         truncated = False
         if limit is not None and total > limit:
@@ -156,10 +166,12 @@ class PipelineExecutor:
         default_max_length: int | None = None,
         limit: int | None = None,
         budget: QueryBudget | None = None,
+        footprint: QueryFootprint | None = None,
     ) -> ExecutionResult:
         pipeline = build_pipeline(plan, graph, default_max_length, budget=budget)
         statistics = pipeline.statistics
         statistics.executor = self.name
+        statistics.footprint = footprint if footprint is not None else plan_footprint(plan)
         if limit is None:
             paths = pipeline.execute()
             if budget is not None:

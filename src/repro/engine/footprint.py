@@ -1,0 +1,186 @@
+"""Static footprint analysis of logical plans (delta-aware cache maintenance).
+
+:func:`plan_footprint` computes a sound
+:class:`~repro.graph.delta.QueryFootprint` for a logical plan: which
+node/edge label classes the plan's results can depend on, and whether it
+reads property values.  The service's result cache and the engine's plan
+memos intersect that footprint with a
+:class:`~repro.graph.delta.GraphDelta` to decide whether a graph mutation
+can change a cached result, replacing blanket whole-version invalidation.
+
+The analysis exploits the shape the planner and optimizer produce: label
+restrictions are pushed down as ``σ[label(edge(1)) = ℓ]`` directly over atom
+scans, so the only narrowing rule needed is "Selection chain over
+``Edges(G)`` / ``Nodes(G)``".  Everything the analysis cannot prove degrades
+to the universal footprint — over-approximation is always safe because a
+universal footprint intersects every delta (exactly the old behavior).
+
+Soundness of the narrowing rules:
+
+* ``σ[label(edge(1)) = ℓ](Edges(G))`` only gains paths when an edge labelled
+  ``ℓ`` is inserted.  Equality against a concrete string can never match an
+  unlabeled edge (label ``None``), so unlabeled insertions are excluded too.
+* ``And`` intersects restrictions (both conjuncts must hold), ``Or`` unions
+  them and is only a restriction when *both* branches restrict, ``Not`` and
+  every other condition restrict nothing.
+* A Selection over a non-atom child filters but does not create paths, so
+  its footprint is the child's footprint plus whatever the condition itself
+  reads (property values — labels of existing objects are immutable).
+* Node insertions never change ``Edges(G)`` (a brand-new node has no
+  incident edges; wiring it up takes a separate edge insertion that carries
+  its own delta entry), so edge scans contribute no node-label dependency.
+* The solution-space keys (:class:`GroupByKey`, :class:`OrderByKey`) rank by
+  source/target/length only — property-free — so ``γ``/``τ``/``π`` nodes
+  contribute nothing beyond their child.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.conditions import (
+    And,
+    Comparator,
+    Condition,
+    LabelCondition,
+    Not,
+    Or,
+    PropertyCondition,
+    Target,
+)
+from repro.algebra.expressions import EdgesScan, Expression, NodesScan, Selection
+from repro.graph.delta import QueryFootprint
+
+__all__ = ["plan_footprint"]
+
+_EMPTY = QueryFootprint()
+
+
+def plan_footprint(plan: Expression) -> QueryFootprint:
+    """Return a sound over-approximation of what ``plan``'s result depends on."""
+    footprint = _expression_footprint(plan)
+    return footprint
+
+
+def _expression_footprint(expr: Expression) -> QueryFootprint:
+    if isinstance(expr, Selection):
+        # Collapse a chain of stacked selections (the optimizer may split a
+        # conjunction) so every condition narrows the same atom.
+        conditions: list[Condition] = []
+        inner: Expression = expr
+        while isinstance(inner, Selection):
+            conditions.append(inner.condition)
+            inner = inner.child
+        reads = _condition_reads(conditions)
+        if isinstance(inner, EdgesScan):
+            labels = _combined_restriction(conditions, _edge_restriction)
+            return reads.union(
+                QueryFootprint(edge_labels=labels or frozenset(), edge_universal=labels is None)
+            )
+        if isinstance(inner, NodesScan):
+            labels = _combined_restriction(conditions, _node_restriction)
+            return reads.union(
+                QueryFootprint(node_labels=labels or frozenset(), node_universal=labels is None)
+            )
+        return reads.union(_expression_footprint(inner))
+    if isinstance(expr, EdgesScan):
+        return QueryFootprint(edge_universal=True)
+    if isinstance(expr, NodesScan):
+        return QueryFootprint(node_universal=True)
+    footprint = _EMPTY
+    for child in expr.children():
+        footprint = footprint.union(_expression_footprint(child))
+    return footprint
+
+
+def _combined_restriction(
+    conditions: list[Condition], restriction_of
+) -> frozenset[str] | None:
+    """Intersect the label restrictions of stacked (conjoined) conditions.
+
+    Returns ``None`` when no condition proves a restriction (universal).
+    """
+    combined: frozenset[str] | None = None
+    for condition in conditions:
+        labels = restriction_of(condition)
+        if labels is None:
+            continue
+        combined = labels if combined is None else combined & labels
+    return combined
+
+
+def _edge_restriction(condition: Condition) -> frozenset[str] | None:
+    """Labels an edge of a single-edge path may carry under ``condition``."""
+    if isinstance(condition, LabelCondition):
+        if (
+            condition.target is Target.EDGE
+            and condition.position == 1
+            and condition.comparator is Comparator.EQ
+            and isinstance(condition.value, str)
+        ):
+            return frozenset((condition.value,))
+        return None
+    return _combine_boolean(condition, _edge_restriction)
+
+
+def _node_restriction(condition: Condition) -> frozenset[str] | None:
+    """Labels the node of a length-zero path may carry under ``condition``.
+
+    On ``Nodes(G)`` output, ``node(1)``, ``first`` and ``last`` all denote
+    the path's single node.
+    """
+    if isinstance(condition, LabelCondition):
+        is_single_node = (
+            condition.target in (Target.FIRST, Target.LAST)
+            or (condition.target is Target.NODE and condition.position == 1)
+        )
+        if (
+            is_single_node
+            and condition.comparator is Comparator.EQ
+            and isinstance(condition.value, str)
+        ):
+            return frozenset((condition.value,))
+        return None
+    return _combine_boolean(condition, _node_restriction)
+
+
+def _combine_boolean(condition: Condition, restriction_of) -> frozenset[str] | None:
+    if isinstance(condition, And):
+        left = restriction_of(condition.left)
+        right = restriction_of(condition.right)
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return left & right
+    if isinstance(condition, Or):
+        left = restriction_of(condition.left)
+        right = restriction_of(condition.right)
+        if left is None or right is None:
+            return None
+        return left | right
+    # Not (and every other condition form) proves nothing: ¬(label = ℓ)
+    # matches every other label including None.
+    return None
+
+
+def _condition_reads(conditions: list[Condition]) -> QueryFootprint:
+    """Property-read flags for the given conditions (labels are immutable)."""
+    reads_node = False
+    reads_edge = False
+    stack: list[Condition] = list(conditions)
+    while stack:
+        condition = stack.pop()
+        if isinstance(condition, (And, Or)):
+            stack.append(condition.left)
+            stack.append(condition.right)
+        elif isinstance(condition, Not):
+            stack.append(condition.operand)
+        elif isinstance(condition, PropertyCondition):
+            if condition.target is Target.EDGE:
+                reads_edge = True
+            else:
+                reads_node = True
+    if not (reads_node or reads_edge):
+        return _EMPTY
+    return QueryFootprint(
+        reads_node_properties=reads_node, reads_edge_properties=reads_edge
+    )

@@ -31,6 +31,30 @@ class FrozenGraphError(GraphError):
     """A mutation was attempted on a frozen graph or an immutable snapshot."""
 
 
+class WalCorruptError(GraphError):
+    """A write-ahead log contains a corrupt record that cannot be skipped.
+
+    A truncated or checksum-failing *final* record is the expected signature
+    of a crash mid-append (a "torn tail") and is silently dropped during
+    recovery.  Corruption anywhere *earlier* means the log was damaged after
+    it was written — recovery refuses to guess and raises this error instead.
+
+    Attributes:
+        path: Filesystem path of the offending log, if known.
+        offset: Byte offset of the record that failed to decode.
+    """
+
+    def __init__(self, message: str, path: str | None = None, offset: int | None = None) -> None:
+        self.path = path
+        self.offset = offset
+        where = ""
+        if path is not None:
+            where = f" in {path}"
+        if offset is not None:
+            where += f" at byte {offset}"
+        super().__init__(f"{message}{where}")
+
+
 class ServiceError(PathAlgebraError):
     """The concurrent query service was misused (closed, stale, or misconfigured)."""
 

@@ -28,8 +28,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import BudgetExceeded
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (keeps the module leaf-level)
+    from repro.graph.delta import QueryFootprint
 
 __all__ = ["ExecutionStatistics", "QueryBudget"]
 
@@ -230,6 +234,11 @@ class ExecutionStatistics:
             budgeted execution reached.
         budget_stopped_at: Operator or loop that observed the kill (empty
             when the query completed within budget).
+        footprint: The :class:`~repro.graph.delta.QueryFootprint` of the
+            executed plan — which label classes and property reads the result
+            depends on, recorded by the executors and consumed by the
+            delta-aware caches.  ``None`` when the plan was run outside the
+            executor layer (treated as universal by consumers).
     """
 
     executor: str = ""
@@ -243,6 +252,7 @@ class ExecutionStatistics:
     budget_paths_visited: int = 0
     budget_depth_reached: int = 0
     budget_stopped_at: str = ""
+    footprint: "QueryFootprint | None" = None
 
     def capture_budget(self, budget: "QueryBudget | None") -> None:
         """Copy a budget's partial-progress counters into these statistics."""

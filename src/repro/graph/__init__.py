@@ -1,6 +1,7 @@
 """Property-graph data model (paper Section 2.1) and supporting utilities."""
 
 from repro.graph.builder import GraphBuilder
+from repro.graph.delta import GraphDelta, QueryFootprint
 from repro.graph.io import (
     graph_from_dict,
     graph_to_dict,
@@ -18,6 +19,13 @@ from repro.graph.stats import (
     label_selectivity,
 )
 from repro.graph.validation import ValidationReport, validate_graph
+from repro.graph.wal import (
+    CrashPoint,
+    DurableStore,
+    SimulatedCrash,
+    WriteAheadLog,
+    read_wal,
+)
 
 __all__ = [
     "Node",
@@ -25,6 +33,13 @@ __all__ = [
     "PropertyGraph",
     "GraphSnapshot",
     "GraphBuilder",
+    "GraphDelta",
+    "QueryFootprint",
+    "WriteAheadLog",
+    "DurableStore",
+    "CrashPoint",
+    "SimulatedCrash",
+    "read_wal",
     "GraphStatistics",
     "compute_statistics",
     "has_directed_cycle",

@@ -33,9 +33,15 @@ _RESERVED_EDGE_FIELDS = ("id", "source", "target", "label")
 
 
 def graph_to_dict(graph: PropertyGraph) -> dict[str, Any]:
-    """Return a JSON-serializable dictionary representation of ``graph``."""
+    """Return a JSON-serializable dictionary representation of ``graph``.
+
+    The mutation counter is included so a restored graph resumes versioning
+    where the original left off — required by the WAL, whose records are
+    keyed by version, and by anything that persists version-tagged state.
+    """
     return {
         "name": graph.name,
+        "version": graph.version,
         "nodes": [
             {"id": node.id, "label": node.label, "properties": dict(node.properties)}
             for node in graph.iter_nodes()
@@ -54,20 +60,36 @@ def graph_to_dict(graph: PropertyGraph) -> dict[str, Any]:
 
 
 def graph_from_dict(data: dict[str, Any]) -> PropertyGraph:
-    """Reconstruct a :class:`PropertyGraph` from :func:`graph_to_dict` output."""
+    """Reconstruct a :class:`PropertyGraph` from :func:`graph_to_dict` output.
+
+    A ``"version"`` entry (written since the durability work) fast-forwards
+    the rebuilt graph's mutation counter, so versioning resumes where the
+    serialized graph left off instead of restarting at the object count.
+    """
     if "nodes" not in data or "edges" not in data:
         raise GraphError("graph dictionary must contain 'nodes' and 'edges' keys")
     graph = PropertyGraph(name=data.get("name", "G"))
-    for node in data["nodes"]:
-        graph.add_node(node["id"], node.get("label"), node.get("properties") or {})
-    for edge in data["edges"]:
-        graph.add_edge(
-            edge["id"],
-            edge["source"],
-            edge["target"],
-            edge.get("label"),
-            edge.get("properties") or {},
-        )
+    try:
+        for node in data["nodes"]:
+            graph.add_node(node["id"], node.get("label"), node.get("properties") or {})
+        for edge in data["edges"]:
+            graph.add_edge(
+                edge["id"],
+                edge["source"],
+                edge["target"],
+                edge.get("label"),
+                edge.get("properties") or {},
+            )
+    except (KeyError, TypeError) as exc:
+        raise GraphError(f"malformed graph dictionary: {exc!r}") from exc
+    version = data.get("version")
+    if version is not None:
+        if not isinstance(version, int) or version < graph.version:
+            raise GraphError(
+                f"malformed graph dictionary: version {version!r} is below the "
+                f"object count ({graph.version} mutations were replayed)"
+            )
+        graph._fast_forward_version(version)
     return graph
 
 
@@ -79,10 +101,25 @@ def save_json(graph: PropertyGraph, path: str | Path) -> None:
 
 
 def load_json(path: str | Path) -> PropertyGraph:
-    """Read a graph previously written by :func:`save_json`."""
+    """Read a graph previously written by :func:`save_json`.
+
+    Raises:
+        GraphError: if the file is not valid JSON (with line/column context)
+            or does not describe a graph.
+    """
     with open(path, "r", encoding="utf-8") as handle:
-        payload = json.load(handle)
-    return graph_from_dict(payload)
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise GraphError(
+                f"invalid JSON in {path} (line {exc.lineno}, column {exc.colno}): {exc.msg}"
+            ) from exc
+    if not isinstance(payload, dict):
+        raise GraphError(f"invalid graph document in {path}: expected a JSON object")
+    try:
+        return graph_from_dict(payload)
+    except GraphError as exc:
+        raise GraphError(f"{path}: {exc}") from exc
 
 
 def save_csv(graph: PropertyGraph, prefix: str | Path) -> tuple[Path, Path]:
@@ -127,21 +164,35 @@ def load_csv(prefix: str | Path, name: str = "G") -> PropertyGraph:
 
     graph = PropertyGraph(name=name)
     with open(nodes_path, "r", newline="", encoding="utf-8") as handle:
-        for row in csv.DictReader(handle):
+        reader = csv.DictReader(handle)
+        for row in reader:
             properties = {
                 key: value
                 for key, value in row.items()
                 if key not in _RESERVED_NODE_FIELDS and value != ""
             }
-            graph.add_node(row["id"], row["label"] or None, properties)
+            try:
+                graph.add_node(row["id"], row["label"] or None, properties)
+            except (KeyError, TypeError) as exc:
+                raise GraphError(
+                    f"malformed node row in {nodes_path} (line {reader.line_num}): "
+                    f"missing column {exc}"
+                ) from exc
     with open(edges_path, "r", newline="", encoding="utf-8") as handle:
-        for row in csv.DictReader(handle):
+        reader = csv.DictReader(handle)
+        for row in reader:
             properties = {
                 key: value
                 for key, value in row.items()
                 if key not in _RESERVED_EDGE_FIELDS and value != ""
             }
-            graph.add_edge(
-                row["id"], row["source"], row["target"], row["label"] or None, properties
-            )
+            try:
+                graph.add_edge(
+                    row["id"], row["source"], row["target"], row["label"] or None, properties
+                )
+            except (KeyError, TypeError) as exc:
+                raise GraphError(
+                    f"malformed edge row in {edges_path} (line {reader.line_num}): "
+                    f"missing column {exc}"
+                ) from exc
     return graph

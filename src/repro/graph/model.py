@@ -14,8 +14,9 @@ strings; values are arbitrary Python objects (typically strings and numbers).
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping
 
 from repro.errors import (
     DuplicateObjectError,
@@ -23,11 +24,18 @@ from repro.errors import (
     InvalidEdgeError,
     UnknownObjectError,
 )
+from repro.graph.delta import GraphDelta, _MutationRecord, build_delta
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.graph.snapshot import GraphSnapshot
 
 __all__ = ["Node", "Edge", "PropertyGraph", "materialize"]
+
+#: Journal entries retained for :meth:`PropertyGraph.delta_between`.  Once a
+#: version falls out of this window the method returns ``None`` and callers
+#: fall back to whole-version invalidation, so the bound trades memory for
+#: how far behind a cache entry may lag and still be revalidated precisely.
+JOURNAL_CAPACITY = 4096
 
 
 @dataclass(frozen=True)
@@ -113,13 +121,25 @@ class PropertyGraph:
         self._edge_version: dict[str, int] = {}
         self._node_list: list[Node] = []
         self._edge_list: list[Edge] = []
+        self._node_slot: dict[str, int] = {}
+        self._edge_slot: dict[str, int] = {}
         self._frozen = False
         self._lock = threading.RLock()
         self._last_snapshot: "GraphSnapshot | None" = None
+        # Delta tracking: a bounded journal of recent mutations, consumed by
+        # delta_between().  _journal_floor is the highest version the journal
+        # can no longer describe (records at or below it were trimmed).
+        self._journal: deque[_MutationRecord] = deque()
+        self._journal_floor = 0
+        # Write-ahead listeners: called with the op record *before* a
+        # validated mutation is applied; raising aborts the mutation.  This
+        # is the WAL's commit hook (write-ahead: log, then apply).
+        self._write_listeners: list[Callable[[dict[str, Any]], None]] = []
 
     @property
     def version(self) -> int:
-        """Mutation counter: incremented by every successful ``add_node``/``add_edge``.
+        """Mutation counter: incremented by every successful mutation
+        (``add_node`` / ``add_edge`` / ``set_node_property`` / ``set_edge_property``).
 
         Consumers that cache anything derived from the graph (the engine's
         plan cache, memoized statistics) key their entries on this counter so
@@ -149,6 +169,13 @@ class PropertyGraph:
             if node_id in self._nodes or node_id in self._edges:
                 raise DuplicateObjectError(f"object identifier already in use: {node_id!r}")
             node = Node(id=node_id, label=label, properties=dict(properties or {}))
+            self._pre_commit(
+                {
+                    "op": "add_node",
+                    "v": self._version + 1,
+                    "a": {"id": node_id, "label": label, "properties": dict(node.properties)},
+                }
+            )
             # Publish order matters for lock-free snapshot readers: the object
             # and its version must be visible before any index references it.
             self._nodes[node_id] = node
@@ -157,8 +184,12 @@ class PropertyGraph:
             self._in.setdefault(node_id, [])
             if label is not None:
                 self._nodes_by_label.setdefault(label, []).append(node_id)
+            self._node_slot[node_id] = len(self._node_list)
             self._node_list.append(node)
             self._version += 1
+            self._journal_append(
+                _MutationRecord(self._version, "node", label, node_id)
+            )
             return node
 
     def add_edge(
@@ -192,6 +223,19 @@ class PropertyGraph:
                 label=label,
                 properties=dict(properties or {}),
             )
+            self._pre_commit(
+                {
+                    "op": "add_edge",
+                    "v": self._version + 1,
+                    "a": {
+                        "id": edge_id,
+                        "source": source,
+                        "target": target,
+                        "label": label,
+                        "properties": dict(edge.properties),
+                    },
+                }
+            )
             # Publish the edge and its version before linking it into the
             # adjacency lists, so a lock-free snapshot reader walking an
             # adjacency list never sees an edge id it cannot resolve.
@@ -201,8 +245,84 @@ class PropertyGraph:
             self._in[target].append(edge_id)
             if label is not None:
                 self._edges_by_label.setdefault(label, []).append(edge_id)
+            self._edge_slot[edge_id] = len(self._edge_list)
             self._edge_list.append(edge)
             self._version += 1
+            self._journal_append(
+                _MutationRecord(self._version, "edge", label, edge_id, (source, target))
+            )
+            return edge
+
+    def set_node_property(self, node_id: str, name: str, value: Any) -> Node:
+        """Set property ``name`` of node ``node_id`` to ``value`` and return the new node.
+
+        The update replaces the (immutable) :class:`Node` object in place and
+        bumps the graph version, so version-keyed consumers observe it.
+
+        .. note:: Snapshot isolation covers object *existence*, not property
+           values: a snapshot taken before this call resolves the node id to
+           the updated object.  Queries that read properties and need
+           repeatable reads should evaluate against a frozen copy.
+
+        Raises:
+            UnknownObjectError: if no such node exists.
+            FrozenGraphError: if the graph has been frozen.
+        """
+        with self._lock:
+            if self._frozen:
+                raise FrozenGraphError(f"graph {self.name!r} is frozen; mutations are disabled")
+            if node_id not in self._nodes:
+                raise UnknownObjectError(f"unknown node: {node_id!r}")
+            old = self._nodes[node_id]
+            self._pre_commit(
+                {
+                    "op": "set_node_property",
+                    "v": self._version + 1,
+                    "a": {"id": node_id, "name": name, "value": value},
+                }
+            )
+            properties = dict(old.properties)
+            properties[name] = value
+            node = replace(old, properties=properties)
+            self._nodes[node_id] = node
+            self._node_list[self._node_slot[node_id]] = node
+            self._version += 1
+            self._journal_append(
+                _MutationRecord(self._version, "node-prop", old.label, node_id)
+            )
+            return node
+
+    def set_edge_property(self, edge_id: str, name: str, value: Any) -> Edge:
+        """Set property ``name`` of edge ``edge_id`` to ``value`` and return the new edge.
+
+        Same semantics and caveats as :meth:`set_node_property`.
+
+        Raises:
+            UnknownObjectError: if no such edge exists.
+            FrozenGraphError: if the graph has been frozen.
+        """
+        with self._lock:
+            if self._frozen:
+                raise FrozenGraphError(f"graph {self.name!r} is frozen; mutations are disabled")
+            if edge_id not in self._edges:
+                raise UnknownObjectError(f"unknown edge: {edge_id!r}")
+            old = self._edges[edge_id]
+            self._pre_commit(
+                {
+                    "op": "set_edge_property",
+                    "v": self._version + 1,
+                    "a": {"id": edge_id, "name": name, "value": value},
+                }
+            )
+            properties = dict(old.properties)
+            properties[name] = value
+            edge = replace(old, properties=properties)
+            self._edges[edge_id] = edge
+            self._edge_list[self._edge_slot[edge_id]] = edge
+            self._version += 1
+            self._journal_append(
+                _MutationRecord(self._version, "edge-prop", old.label, edge_id)
+            )
             return edge
 
     # ------------------------------------------------------------------
@@ -407,12 +527,84 @@ class PropertyGraph:
             return snap
 
     # ------------------------------------------------------------------
-    # Pickling (the lock is process-local state)
+    # Write listeners and delta tracking
+    # ------------------------------------------------------------------
+    def add_write_listener(self, listener: Callable[[dict[str, Any]], None]) -> None:
+        """Register ``listener`` to be called before each mutation commits.
+
+        The listener receives the op record ``{"op", "v", "a"}`` describing
+        the mutation about to be applied at version ``v``.  It runs under the
+        graph lock *after* validation and *before* any state changes; raising
+        aborts the mutation entirely (the version is not bumped).  This is
+        how :class:`~repro.graph.wal.WriteAheadLog` achieves write-ahead
+        semantics: a mutation that could not be logged never happens.
+        """
+        with self._lock:
+            self._write_listeners.append(listener)
+
+    def remove_write_listener(self, listener: Callable[[dict[str, Any]], None]) -> None:
+        """Unregister a listener added by :meth:`add_write_listener` (no-op if absent)."""
+        with self._lock:
+            try:
+                self._write_listeners.remove(listener)
+            except ValueError:
+                pass
+
+    def _pre_commit(self, op: dict[str, Any]) -> None:
+        for listener in self._write_listeners:
+            listener(op)
+
+    def _journal_append(self, record: _MutationRecord) -> None:
+        self._journal.append(record)
+        while len(self._journal) > JOURNAL_CAPACITY:
+            dropped = self._journal.popleft()
+            self._journal_floor = dropped.version
+
+    def delta_between(self, from_version: int, to_version: int | None = None) -> GraphDelta | None:
+        """Return what changed in ``(from_version, to_version]``, or ``None``.
+
+        ``to_version`` defaults to the current version.  Returns ``None``
+        when the journal window no longer covers ``from_version`` (the caller
+        must then assume everything changed — conservative full
+        invalidation).  An empty range yields an empty delta.
+        """
+        with self._lock:
+            if to_version is None:
+                to_version = self._version
+            if from_version >= to_version:
+                return GraphDelta(from_version=from_version, to_version=to_version)
+            if from_version < self._journal_floor:
+                return None
+            records = [r for r in self._journal if from_version < r.version <= to_version]
+            return build_delta(records, from_version, to_version)
+
+    def _fast_forward_version(self, version: int) -> None:
+        """Advance the version counter without a mutation (restore support).
+
+        Used when a graph is rebuilt from a serialized form whose recorded
+        version exceeds the rebuild's mutation count (property updates bump
+        the version without adding objects).  The journal is reset because
+        its records describe rebuild-time version numbers, not the restored
+        timeline.
+        """
+        with self._lock:
+            if version < self._version:
+                raise ValueError(
+                    f"cannot fast-forward version backwards: {self._version} -> {version}"
+                )
+            self._version = version
+            self._journal.clear()
+            self._journal_floor = version
+            self._last_snapshot = None
+
+    # ------------------------------------------------------------------
+    # Pickling (the lock and write listeners are process-local state)
     # ------------------------------------------------------------------
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         del state["_lock"]
         state["_last_snapshot"] = None
+        state["_write_listeners"] = []
         return state
 
     def __setstate__(self, state: dict) -> None:

@@ -45,6 +45,12 @@ class StripedLRUCache:
             PlanCache(base + (1 if index < remainder else 0)) for index in range(num_stripes)
         ]
         self._locks = [threading.Lock() for _ in range(num_stripes)]
+        # clear() is not naturally atomic across independently locked stripes
+        # (a concurrent put into an already-swept stripe would survive the
+        # clear).  The generation counter closes that hole: clear() bumps it
+        # before sweeping, and put() re-checks it after inserting — see put().
+        self._generation = 0
+        self._generation_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Core cache surface (mirrors PlanCache)
@@ -59,13 +65,36 @@ class StripedLRUCache:
             return self._shards[index].get(key)
 
     def put(self, key: Any, entry: Any) -> None:
-        """Insert ``entry``, evicting the stripe's LRU entry when it overflows."""
+        """Insert ``entry``, evicting the stripe's LRU entry when it overflows.
+
+        Linearizes correctly against :meth:`clear`: the generation observed
+        before the insert is re-checked after it, and the entry is removed
+        again if a clear ran in between — so no put that *began before* a
+        clear can survive it.  A put that begins after the generation bump
+        survives by design (it is linearized after the clear).
+        """
         index = self._index(key)
+        generation = self._generation
         with self._locks[index]:
             self._shards[index].put(key, entry)
+            if self._generation != generation:
+                self._shards[index].remove(key)
+
+    def remove(self, key: Any) -> None:
+        """Drop one entry if present (no counter changes)."""
+        index = self._index(key)
+        with self._locks[index]:
+            self._shards[index].remove(key)
 
     def clear(self) -> None:
-        """Drop every entry from every stripe (counters are kept)."""
+        """Atomically drop every entry from every stripe (counters are kept).
+
+        Bumps the generation counter *before* sweeping the stripes so
+        concurrent :meth:`put` calls that started earlier cannot leak an
+        entry past the clear (they detect the bump and undo themselves).
+        """
+        with self._generation_lock:
+            self._generation += 1
         for index, shard in enumerate(self._shards):
             with self._locks[index]:
                 shard.clear()
@@ -101,8 +130,13 @@ class StripedLRUCache:
         """Total LRU evictions across all stripes."""
         return sum(shard.evictions for shard in self._shards)
 
-    def stats(self) -> dict[str, int]:
-        """Return a point-in-time counter summary (entries, hits, misses, evictions)."""
+    def stats(self) -> dict[str, Any]:
+        """Return a point-in-time counter summary (entries, hits, misses, evictions).
+
+        ``per_stripe`` breaks the aggregates down by shard, making hotspots
+        (one stripe absorbing most of the traffic) and delta-invalidation
+        effectiveness observable from :class:`~repro.service.ServiceStatistics`.
+        """
         return {
             "entries": len(self),
             "maxsize": self.maxsize,
@@ -110,6 +144,15 @@ class StripedLRUCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "per_stripe": [
+                {
+                    "entries": len(shard),
+                    "hits": shard.hits,
+                    "misses": shard.misses,
+                    "evictions": shard.evictions,
+                }
+                for shard in self._shards
+            ],
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

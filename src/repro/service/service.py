@@ -45,10 +45,11 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping
 
-from repro.engine.engine import PathQueryEngine
+from repro.engine.engine import INVALIDATION_MODES, PathQueryEngine
 from repro.engine.executor import EXECUTOR_NAMES
 from repro.errors import BudgetExceeded, ServiceError
 from repro.execution import QueryBudget
+from repro.graph.delta import QueryFootprint
 from repro.graph.model import PropertyGraph
 from repro.graph.snapshot import GraphSnapshot
 from repro.paths.pathset import PathSet
@@ -187,6 +188,21 @@ class QueryTicket:
 
 
 @dataclass(frozen=True)
+class _CachedResult:
+    """A result-cache entry: the outcome plus the footprint that validates it.
+
+    Under delta invalidation the cache key carries no version; the entry
+    remembers the version the outcome was computed at (inside the outcome)
+    and the executed plan's footprint, and a lookup at a different version
+    serves the entry only when the graph delta between the two versions is
+    disjoint from the footprint.
+    """
+
+    outcome: QueryOutcome
+    footprint: QueryFootprint | None = None
+
+
+@dataclass(frozen=True)
 class _Request:
     """One enqueued unit of work (internal)."""
 
@@ -213,10 +229,20 @@ class ServiceStatistics:
     queries are distinguishable.  ``queued_seconds_total`` /
     ``queued_seconds_max`` aggregate queue wait across all completed
     requests.
+
+    Delta-invalidation effectiveness is observable through
+    ``result_cache_cross_version_hits`` (entries computed at one version and
+    proven still valid at another — reuse whole-version invalidation would
+    have thrown away) and ``result_cache_delta_rejected`` (entries found but
+    discarded because the delta intersected their footprint, or the delta
+    window had expired).  Both stay zero under ``invalidation="version"``.
+    The per-cache dicts carry a ``per_stripe`` breakdown from
+    :meth:`~repro.service.cache.StripedLRUCache.stats`.
     """
 
     backend: str = "thread"
     workers: int = 0
+    invalidation: str = "delta"
     submitted: int = 0
     completed: int = 0
     failed: int = 0
@@ -225,10 +251,12 @@ class ServiceStatistics:
     timed_out_in_flight: int = 0
     executed: int = 0
     result_cache_served: int = 0
+    result_cache_cross_version_hits: int = 0
+    result_cache_delta_rejected: int = 0
     queued_seconds_total: float = 0.0
     queued_seconds_max: float = 0.0
-    plan_cache: dict[str, int] = field(default_factory=dict)
-    result_cache: dict[str, int] = field(default_factory=dict)
+    plan_cache: dict[str, Any] = field(default_factory=dict)
+    result_cache: dict[str, Any] = field(default_factory=dict)
 
 
 class QueryService:
@@ -265,6 +293,15 @@ class QueryService:
             (``None`` — unlimited); per-call ``max_visited`` overrides it.
         max_pending: Bound of the submission queue; :meth:`submit` blocks
             once this many requests are waiting (back-pressure).
+        invalidation: Cache maintenance policy shared by the plan and result
+            caches.  ``"delta"`` (default) keys entries without the graph
+            version and serves an entry across versions when the
+            :class:`~repro.graph.delta.GraphDelta` between them is disjoint
+            from the entry's recorded query footprint — a write only costs
+            the cache entries it can actually affect.  ``"version"`` restores
+            the legacy whole-version keying where every write misses every
+            entry (kept for comparison benchmarks and for exact hit/miss
+            accounting).
     """
 
     def __init__(
@@ -281,6 +318,7 @@ class QueryService:
         default_max_visited: int | None = None,
         max_pending: int = 1024,
         plan_cache: StripedLRUCache | None = None,
+        invalidation: str = "delta",
     ) -> None:
         if workers < 0:
             raise ServiceError(f"workers must be >= 0, got {workers}")
@@ -288,8 +326,14 @@ class QueryService:
             raise ServiceError(
                 f"unknown executor {executor!r}; expected one of {', '.join(EXECUTOR_NAMES)}"
             )
+        if invalidation not in INVALIDATION_MODES:
+            raise ServiceError(
+                f"unknown invalidation {invalidation!r}; expected one of "
+                f"{', '.join(INVALIDATION_MODES)}"
+            )
         self.graph = graph
         self.workers = workers
+        self.invalidation = invalidation
         self.default_executor = executor
         self.default_deadline = default_deadline
         self.default_max_visited = default_max_visited
@@ -305,6 +349,7 @@ class QueryService:
                 default_max_length=default_max_length,
                 executor=executor,
                 plan_cache=self.plan_cache,
+                invalidation=invalidation,
             )
             for _ in range(max(workers, 1))
         ]
@@ -324,6 +369,8 @@ class QueryService:
         self._timed_out_in_flight = 0
         self._executed = 0
         self._result_cache_served = 0
+        self._cross_version_hits = 0
+        self._delta_rejected = 0
         self._queued_seconds_total = 0.0
         self._queued_seconds_max = 0.0
         self._closed = False
@@ -480,7 +527,9 @@ class QueryService:
         # text, so the *result* key must carry the bindings (sorted, so dict
         # insertion order never splits or aliases entries).  Unhashable
         # binding values (params_tuple is None) bypass the result cache
-        # entirely rather than failing the request.
+        # entirely rather than failing the request.  Under delta invalidation
+        # the key is version-free and the entry is revalidated against the
+        # graph delta; under the legacy policy the version is part of the key.
         key = (
             "outcome",
             request.text,
@@ -488,9 +537,11 @@ class QueryService:
             request.max_length,
             effective_executor,
             request.limit,
-            version,
         )
-        cached = self.result_cache.get(key) if params_tuple is not None else None
+        if self.invalidation == "version":
+            key = key + (version,)
+        entry = self.result_cache.get(key) if params_tuple is not None else None
+        cached = self._validate_entry(entry, version) if entry is not None else None
         if cached is not None:
             # Hand out a fresh PathSet per hit: PathSet is mutable, and a
             # consumer editing its outcome must not poison the cached entry
@@ -500,6 +551,10 @@ class QueryService:
             return replace(
                 cached,
                 paths=PathSet.from_unique(cached.paths),
+                # The entry may have been computed at a different version;
+                # the outcome reports the version *this* request was pinned
+                # to (the delta proved the results identical).
+                version=version,
                 result_cache_hit=True,
                 # This request never consulted the plan cache nor visited
                 # any path; the stored values describe the request that
@@ -574,9 +629,41 @@ class QueryService:
         # submitting caller must not alias the cached entry (see the hit path).
         if params_tuple is not None:
             self.result_cache.put(
-                key, replace(outcome, paths=PathSet.from_unique(result.paths))
+                key,
+                _CachedResult(
+                    outcome=replace(outcome, paths=PathSet.from_unique(result.paths)),
+                    footprint=result.statistics.footprint,
+                ),
             )
         return outcome
+
+    def _validate_entry(
+        self, entry: _CachedResult, version: int
+    ) -> QueryOutcome | None:
+        """Decide whether a result-cache entry may serve a request at ``version``.
+
+        Same version — always.  Different version — only under delta
+        invalidation, and only when the graph delta between the entry's
+        version and the request's version cannot intersect the entry's
+        footprint.  An expired delta window (``delta_between`` returning
+        ``None``) or a missing footprint degrades to rejection, i.e. the
+        legacy behavior.  Stale entries are *not* eagerly evicted: the
+        recompute overwrites them in place (same key).
+        """
+        cached = entry.outcome
+        if cached.version == version:
+            return cached
+        if self.invalidation != "delta":  # pragma: no cover - version keys pin versions
+            return None
+        low, high = sorted((cached.version, version))
+        delta = self.graph.delta_between(low, high)
+        if delta is not None and not delta.affects(entry.footprint):
+            with self._stats_lock:
+                self._cross_version_hits += 1
+            return cached
+        with self._stats_lock:
+            self._delta_rejected += 1
+        return None
 
     # ------------------------------------------------------------------
     # Introspection and lifecycle
@@ -587,6 +674,7 @@ class QueryService:
             return ServiceStatistics(
                 backend="thread",
                 workers=self.workers,
+                invalidation=self.invalidation,
                 submitted=self._submitted,
                 completed=self._completed,
                 failed=self._failed,
@@ -595,6 +683,8 @@ class QueryService:
                 timed_out_in_flight=self._timed_out_in_flight,
                 executed=self._executed,
                 result_cache_served=self._result_cache_served,
+                result_cache_cross_version_hits=self._cross_version_hits,
+                result_cache_delta_rejected=self._delta_rejected,
                 queued_seconds_total=self._queued_seconds_total,
                 queued_seconds_max=self._queued_seconds_max,
                 plan_cache=self.plan_cache.stats(),

@@ -1,0 +1,274 @@
+"""Delta-aware invalidation units: journal, GraphDelta.affects, footprints.
+
+Three layers, bottom to top:
+
+* the graph's bounded mutation journal and ``delta_between`` (coverage
+  window, expiry, fast-forward after snapshot restore);
+* :meth:`GraphDelta.affects` — the single intersection test every cache uses;
+* :func:`repro.engine.footprint.plan_footprint` — the static analysis that
+  narrows a plan to the label classes and property reads it depends on, and
+  its conservative (universal) fallbacks.
+
+Cross-version cache *serving* built on these pieces is exercised in
+``tests/test_service.py``; this file pins the underlying semantics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.conditions import (
+    And,
+    Comparator,
+    LabelCondition,
+    Not,
+    Or,
+    PropertyCondition,
+    Target,
+)
+from repro.algebra.expressions import EdgesScan, Join, NodesScan, Selection, Union
+from repro.datasets.figure1 import figure1_graph
+from repro.engine.engine import PathQueryEngine
+from repro.engine.footprint import plan_footprint
+from repro.graph.delta import UNIVERSAL_FOOTPRINT, UNLABELED, GraphDelta, QueryFootprint
+from repro.graph.model import PropertyGraph
+from repro.service.cache import StripedLRUCache
+
+
+def _graph() -> PropertyGraph:
+    graph = PropertyGraph(name="delta-test")
+    graph.add_node("a", "Person", {"name": "A"})  # v1
+    graph.add_node("b", "Person")  # v2
+    graph.add_node("c")  # v3 (unlabeled)
+    graph.add_edge("ab", "a", "b", "Knows")  # v4
+    graph.add_edge("bc", "b", "c")  # v5 (unlabeled)
+    graph.set_node_property("a", "name", "A'")  # v6
+    graph.set_edge_property("ab", "weight", 2)  # v7
+    return graph
+
+
+class TestJournalAndDeltaBetween:
+    def test_full_window(self) -> None:
+        graph = _graph()
+        delta = graph.delta_between(0, 7)
+        assert delta is not None
+        assert delta.node_labels == {"Person", UNLABELED}
+        assert delta.edge_labels == {"Knows", UNLABELED}
+        assert delta.node_property_labels == {"Person"}
+        assert delta.edge_property_labels == {"Knows"}
+        assert delta.node_ids == {"a", "b", "c"}
+        assert delta.edge_ids == {"ab", "bc"}
+        assert not delta.empty
+
+    def test_partial_window_is_exclusive_inclusive(self) -> None:
+        graph = _graph()
+        delta = graph.delta_between(4, 6)
+        assert delta is not None
+        assert delta.edge_labels == {UNLABELED}  # v5 only: "bc" is unlabeled
+        assert delta.node_labels == frozenset()
+        assert delta.node_property_labels == {"Person"}  # v6
+        assert delta.edge_property_labels == frozenset()  # v7 excluded
+
+    def test_empty_and_degenerate_windows(self) -> None:
+        graph = _graph()
+        assert graph.delta_between(7, 7).empty
+        assert graph.delta_between(9, 3).empty
+        assert graph.delta_between(7).empty  # default to_version = current
+
+    def test_expired_window_returns_none(self, monkeypatch) -> None:
+        monkeypatch.setattr("repro.graph.model.JOURNAL_CAPACITY", 3)
+        graph = _graph()  # 7 mutations through a 3-entry journal
+        assert graph.delta_between(0, graph.version) is None
+        assert graph.delta_between(3, graph.version) is None  # floor is 4
+        recent = graph.delta_between(4, graph.version)
+        assert recent is not None
+        assert recent.node_property_labels == {"Person"}
+
+    def test_fast_forward_clears_coverage(self) -> None:
+        graph = _graph()
+        graph._fast_forward_version(20)
+        assert graph.version == 20
+        assert graph.delta_between(7, 20) is None  # history is gone, say so
+        with pytest.raises(ValueError):
+            graph._fast_forward_version(5)  # versions never go backwards
+        graph.add_node("post", "Person")  # journaling resumes at v21
+        delta = graph.delta_between(20, 21)
+        assert delta is not None and delta.node_labels == {"Person"}
+
+
+class TestAffects:
+    KNOWS_EDGES = QueryFootprint(edge_labels=frozenset(("Knows",)))
+
+    def _delta(self, **kwargs) -> GraphDelta:
+        return GraphDelta(from_version=0, to_version=1, **kwargs)
+
+    def test_disjoint_edge_label_does_not_affect(self) -> None:
+        delta = self._delta(edge_labels=frozenset(("Likes",)))
+        assert not delta.affects(self.KNOWS_EDGES)
+
+    def test_matching_edge_label_affects(self) -> None:
+        delta = self._delta(edge_labels=frozenset(("Knows",)))
+        assert delta.affects(self.KNOWS_EDGES)
+
+    def test_unlabeled_insert_cannot_match_a_concrete_label(self) -> None:
+        delta = self._delta(edge_labels=frozenset((UNLABELED,)))
+        assert not delta.affects(self.KNOWS_EDGES)
+        assert delta.affects(QueryFootprint(edge_universal=True))
+
+    def test_node_insert_does_not_affect_edge_scans(self) -> None:
+        delta = self._delta(node_labels=frozenset(("Person",)))
+        assert not delta.affects(self.KNOWS_EDGES)
+        assert delta.affects(QueryFootprint(node_universal=True))
+        assert delta.affects(QueryFootprint(node_labels=frozenset(("Person",))))
+
+    def test_property_updates_only_affect_property_readers(self) -> None:
+        delta = self._delta(node_property_labels=frozenset(("Person",)))
+        assert not delta.affects(self.KNOWS_EDGES)
+        assert delta.affects(QueryFootprint(reads_node_properties=True))
+        edge_delta = self._delta(edge_property_labels=frozenset(("Knows",)))
+        assert not edge_delta.affects(QueryFootprint(reads_node_properties=True))
+        assert edge_delta.affects(QueryFootprint(reads_edge_properties=True))
+
+    def test_none_footprint_is_universal(self) -> None:
+        assert self._delta(edge_labels=frozenset((UNLABELED,))).affects(None)
+        assert not self._delta().affects(None)  # empty delta affects nothing
+
+    def test_universal_footprint_intersects_any_nonempty_delta(self) -> None:
+        for kwargs in (
+            {"edge_labels": frozenset((UNLABELED,))},
+            {"node_labels": frozenset((UNLABELED,))},
+            {"node_property_labels": frozenset((UNLABELED,))},
+            {"edge_property_labels": frozenset((UNLABELED,))},
+        ):
+            assert self._delta(**kwargs).affects(UNIVERSAL_FOOTPRINT)
+
+    def test_merge_unions_adjacent_windows(self) -> None:
+        first = GraphDelta(1, 3, edge_labels=frozenset(("Knows",)))
+        second = GraphDelta(3, 5, node_labels=frozenset(("Person",)))
+        merged = first.merge(second)
+        assert (merged.from_version, merged.to_version) == (1, 5)
+        assert merged.edge_labels == {"Knows"}
+        assert merged.node_labels == {"Person"}
+
+
+class TestPlanFootprints:
+    def _knows(self, position: int = 1) -> LabelCondition:
+        return LabelCondition(target=Target.EDGE, value="Knows", position=position)
+
+    def test_label_restricted_edge_scan(self) -> None:
+        plan = Selection(self._knows(), EdgesScan())
+        footprint = plan_footprint(plan)
+        assert footprint.edge_labels == {"Knows"}
+        assert not footprint.edge_universal
+        assert not footprint.reads_node_properties
+
+    def test_bare_scans_are_universal(self) -> None:
+        assert plan_footprint(EdgesScan()).edge_universal
+        assert plan_footprint(NodesScan()).node_universal
+
+    def test_and_intersects_or_unions_not_proves_nothing(self) -> None:
+        likes = LabelCondition(target=Target.EDGE, value="Likes", position=1)
+        both = Selection(And(self._knows(), likes), EdgesScan())
+        assert plan_footprint(both).edge_labels == frozenset()  # Knows ∩ Likes
+        either = Selection(Or(self._knows(), likes), EdgesScan())
+        assert plan_footprint(either).edge_labels == {"Knows", "Likes"}
+        negated = Selection(Not(self._knows()), EdgesScan())
+        assert plan_footprint(negated).edge_universal
+        half_or = Selection(Or(self._knows(), Not(likes)), EdgesScan())
+        assert plan_footprint(half_or).edge_universal
+
+    def test_stacked_selections_intersect(self) -> None:
+        plan = Selection(self._knows(), Selection(self._knows(), EdgesScan()))
+        assert plan_footprint(plan).edge_labels == {"Knows"}
+
+    def test_property_condition_sets_read_flags(self) -> None:
+        node_prop = PropertyCondition(
+            target=Target.FIRST, property_name="name", value="Moe"
+        )
+        plan = Selection(node_prop, Selection(self._knows(), EdgesScan()))
+        footprint = plan_footprint(plan)
+        assert footprint.reads_node_properties
+        assert not footprint.reads_edge_properties
+        assert footprint.edge_labels == {"Knows"}
+
+    def test_non_string_label_value_is_universal(self) -> None:
+        # An unbound $param (or any non-string) cannot prove a restriction.
+        bogus = LabelCondition(target=Target.EDGE, value=42, position=1)
+        assert plan_footprint(Selection(bogus, EdgesScan())).edge_universal
+
+    def test_composite_plans_union_children(self) -> None:
+        knows = Selection(self._knows(), EdgesScan())
+        nodes = Selection(
+            LabelCondition(target=Target.FIRST, value="Person"), NodesScan()
+        )
+        footprint = plan_footprint(Union(Join(nodes, knows), knows))
+        assert footprint.edge_labels == {"Knows"}
+        assert footprint.node_labels == {"Person"}
+        assert not footprint.edge_universal and not footprint.node_universal
+
+    def test_union_and_describe(self) -> None:
+        left = QueryFootprint(edge_labels=frozenset(("Knows",)))
+        right = QueryFootprint(node_universal=True, reads_edge_properties=True)
+        merged = left.union(right)
+        assert merged.edge_labels == {"Knows"}
+        assert merged.node_universal and merged.reads_edge_properties
+        assert "edges:{Knows}" in merged.describe()
+        assert "nodes:*" in merged.describe()
+
+    def test_engine_records_footprints_on_results(self) -> None:
+        engine = PathQueryEngine(figure1_graph())
+        for executor in ("materialize", "pipeline"):
+            result = engine.query(
+                "MATCH ALL TRAIL p = (?x {name: 'Moe'})-[Knows]->(?y)",
+                executor=executor,
+            )
+            footprint = result.statistics.footprint
+            assert footprint is not None, executor
+            assert footprint.edge_labels == {"Knows"}, executor
+            assert footprint.reads_node_properties, executor
+
+
+class TestStripedCacheClearAtomicity:
+    def test_clear_then_put_survives(self) -> None:
+        cache = StripedLRUCache(maxsize=8, stripes=2)
+        cache.put("key", "value")
+        cache.clear()
+        assert len(cache) == 0
+        cache.put("key", "after")  # began after the clear: must survive
+        assert cache.get("key") == "after"
+
+    def test_put_that_began_before_a_clear_undoes_itself(self, monkeypatch) -> None:
+        cache = StripedLRUCache(maxsize=8, stripes=2)
+        index = cache._index("key")
+        shard = cache._shards[index]
+        real_put = shard.put
+
+        def racing_put(key, entry):
+            # A clear() sweeps this stripe and bumps the generation while the
+            # put holds the stripe lock — exactly the interleaving that leaked
+            # entries before the generation counter.
+            real_put(key, entry)
+            shard.clear()
+            with cache._generation_lock:
+                cache._generation += 1
+            monkeypatch.undo()
+
+        monkeypatch.setattr(shard, "put", racing_put)
+        cache.put("key", "stale")
+        assert cache.get("key") is None
+        assert len(cache) == 0
+
+    def test_remove_and_per_stripe_stats(self) -> None:
+        cache = StripedLRUCache(maxsize=32, stripes=4)
+        for value in range(6):
+            cache.put(f"k{value}", value)
+        cache.get("k0")
+        cache.get("missing")
+        cache.remove("k1")
+        assert "k1" not in cache
+        stats = cache.stats()
+        per_stripe = stats["per_stripe"]
+        assert len(per_stripe) == 4
+        assert sum(stripe["entries"] for stripe in per_stripe) == len(cache) == 5
+        assert sum(stripe["hits"] for stripe in per_stripe) == stats["hits"] == 1
+        assert sum(stripe["misses"] for stripe in per_stripe) == stats["misses"] == 1

@@ -217,13 +217,28 @@ class TestPlanCache:
         assert second.cache_hit
         assert second.executor == first.executor
 
-    def test_mutation_invalidates_cache(self, figure1) -> None:
-        engine = PathQueryEngine(figure1)
+    def test_mutation_invalidates_cache_in_version_mode(self, figure1) -> None:
+        engine = PathQueryEngine(figure1, invalidation="version")
         first = engine.query(self.TEXT)
         figure1.add_node("n99", "Person")
         second = engine.query(self.TEXT)
         assert not second.cache_hit
         assert second.paths == first.paths
+
+    def test_mutation_reuses_plan_under_delta_invalidation(self, figure1) -> None:
+        # Plans are pure functions of text + options, so the default delta
+        # mode keeps serving the cached plan across version bumps — the
+        # results must still reflect the mutated graph.
+        engine = PathQueryEngine(figure1)
+        first = engine.query(self.TEXT)
+        figure1.add_node("n99", "Person")
+        second = engine.query(self.TEXT)
+        assert second.cache_hit
+        assert second.paths == first.paths
+        figure1.add_edge("e99", "n99", "n1", "Knows")
+        third = engine.query(self.TEXT)
+        assert third.cache_hit
+        assert third.paths != first.paths
 
     def test_distinct_options_get_distinct_entries(self, figure1) -> None:
         engine = PathQueryEngine(figure1, default_max_length=6)

@@ -93,6 +93,58 @@ class TestGraphIO:
         with pytest.raises(GraphError):
             load_csv(tmp_path / "missing")
 
+    def test_dict_round_trips_version_counter(self) -> None:
+        graph = figure1_graph()
+        graph.set_node_property("n1", "name", "Moe Sr.")
+        restored = graph_from_dict(graph_to_dict(graph))
+        assert restored.version == graph.version
+        assert restored.node("n1").property("name") == "Moe Sr."
+        # The restored graph keeps counting from the restored version.
+        restored.add_node("extra")
+        assert restored.version == graph.version + 1
+
+    def test_dict_rejects_bogus_version(self) -> None:
+        payload = graph_to_dict(figure1_graph())
+        payload["version"] = "not-a-number"
+        with pytest.raises(GraphError, match="version"):
+            graph_from_dict(payload)
+        payload["version"] = 1  # fewer than the object count: impossible
+        with pytest.raises(GraphError, match="version"):
+            graph_from_dict(payload)
+
+    def test_json_syntax_error_reports_file_and_line(self, tmp_path) -> None:
+        path = tmp_path / "broken.json"
+        path.write_text('{"nodes": [\n  {"id": "a",},\n]}', encoding="utf-8")
+        with pytest.raises(GraphError) as excinfo:
+            load_json(path)
+        message = str(excinfo.value)
+        assert "broken.json" in message
+        assert "line" in message
+
+    def test_json_non_dict_payload_is_a_graph_error(self, tmp_path) -> None:
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]", encoding="utf-8")
+        with pytest.raises(GraphError, match="expected a JSON object"):
+            load_json(path)
+
+    def test_json_malformed_graph_reports_path(self, tmp_path) -> None:
+        path = tmp_path / "malformed.json"
+        path.write_text('{"nodes": [{"label": "Person"}], "edges": []}', encoding="utf-8")
+        with pytest.raises(GraphError) as excinfo:
+            load_json(path)
+        assert "malformed.json" in str(excinfo.value)
+
+    def test_csv_malformed_row_reports_file_and_line(self, tmp_path) -> None:
+        (tmp_path / "bad_nodes.csv").write_text("wrong,headers\na,b\n", encoding="utf-8")
+        (tmp_path / "bad_edges.csv").write_text(
+            "id,source,target,label\n", encoding="utf-8"
+        )
+        with pytest.raises(GraphError) as excinfo:
+            load_csv(tmp_path / "bad")
+        message = str(excinfo.value)
+        assert "bad_nodes.csv" in message
+        assert "line" in message
+
 
 class TestStatistics:
     def test_figure1_statistics(self) -> None:

@@ -22,6 +22,7 @@ PUBLIC_API = [
     "BudgetExceeded",
     "CompileOptions",
     "Database",
+    "DurableStore",
     "Edge",
     "EdgesScan",
     "Evaluator",
@@ -30,6 +31,7 @@ PUBLIC_API = [
     "ExplainResult",
     "Expression",
     "GraphBuilder",
+    "GraphDelta",
     "GraphSnapshot",
     "GroupBy",
     "GroupByKey",
@@ -54,6 +56,7 @@ PUBLIC_API = [
     "ProjectionSpec",
     "PropertyGraph",
     "QueryBudget",
+    "QueryFootprint",
     "QueryOutcome",
     "QueryResult",
     "QueryService",
@@ -69,6 +72,8 @@ PUBLIC_API = [
     "SolutionSpace",
     "StripedLRUCache",
     "Union",
+    "WalCorruptError",
+    "WriteAheadLog",
     "__version__",
     "all_selector_restrictor_combinations",
     "apply_selector",

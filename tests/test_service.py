@@ -106,15 +106,18 @@ class TestSnapshotIsolation:
         """Each result equals a serial evaluation at the version it was pinned to.
 
         The result cache is disabled so every submission reaches the engine,
-        which makes the plan-cache accounting at the end exact: with the
-        version inside the cache key, hits can never exceed
-        ``lookups - distinct keys`` — a single plan served across a version
-        bump would break that bound.
+        which makes the plan-cache accounting at the end exact: the service
+        runs in legacy ``invalidation="version"`` mode, so with the version
+        inside the cache key, hits can never exceed ``lookups - distinct
+        keys`` — a single plan served across a version bump would break that
+        bound.
         """
         graph = figure1_graph()
         log = _MutationLog(graph)
         submitted: list[tuple[str, object]] = []
-        with QueryService(graph, workers=2, result_cache_size=0) as service:
+        with QueryService(
+            graph, workers=2, result_cache_size=0, invalidation="version"
+        ) as service:
             for step in schedule:
                 if step[0] == "query":
                     text = QUERIES[step[1]]
@@ -142,10 +145,16 @@ class TestSnapshotIsolation:
         assert stats.plan_cache["hits"] <= lookups - len(distinct_keys)
 
     def test_single_worker_plan_cache_accounting_is_exact(self) -> None:
-        """With one worker the miss-per-distinct-key accounting is an equality."""
+        """With one worker the miss-per-distinct-key accounting is an equality.
+
+        Legacy ``invalidation="version"`` mode: version-stamped keys make the
+        arithmetic exact (delta mode deliberately reuses plans across bumps).
+        """
         graph = figure1_graph()
         log = _MutationLog(graph)
-        with QueryService(graph, workers=1, result_cache_size=0) as service:
+        with QueryService(
+            graph, workers=1, result_cache_size=0, invalidation="version"
+        ) as service:
             tickets = []
             for round_index in range(3):
                 tickets.extend(service.submit(text) for text in QUERIES)
@@ -230,9 +239,12 @@ class TestPlanCacheRegression:
             stats = service.statistics()
         assert len(after) == len(before) + 1
         assert not after.result_cache_hit
-        assert not after.plan_cache_hit
-        assert stats.plan_cache["hits"] == 0
-        assert stats.plan_cache["misses"] == 2
+        # Plans are version-independent, so delta invalidation reuses the
+        # cached plan across the bump — staleness is prevented at the result
+        # layer (the new Knows edge intersects the cached footprint).
+        assert after.plan_cache_hit
+        assert stats.plan_cache["hits"] == 1
+        assert stats.plan_cache["misses"] == 1
 
     def test_result_cache_never_crosses_a_version_bump(self) -> None:
         graph = figure1_graph()
@@ -372,9 +384,10 @@ class TestParameterizedCacheKeys:
             after_moe = service.submit(self.PARAM_TEXT, params={"name": "Moe"}).result()
             after_lisa = service.submit(self.PARAM_TEXT, params={"name": "Lisa"}).result()
             stats = service.statistics()
-        # The bump invalidates the shared plan exactly once (two versions,
-        # one parameterized text → two plan-cache misses in total).
-        assert stats.plan_cache["misses"] == 2
+        # Delta invalidation keeps the shared parameterized plan across the
+        # bump: one text → one plan-cache miss in total, every later lookup
+        # (either binding, either version) is a hit.
+        assert stats.plan_cache["misses"] == 1
         # Neither binding was served a pre-bump result.
         assert not after_moe.result_cache_hit and not after_lisa.result_cache_hit
         assert after_moe.version > before_moe.version
@@ -585,3 +598,101 @@ class TestDeadlineKillPath:
         ) as service:
             outcome = service.submit(self.HEAVY, max_length=4).result(timeout=30)
         assert outcome.timed_out and outcome.budget_reason == "max_visited"
+
+
+class TestDeltaAwareResultCache:
+    """Cross-version result serving: writes only evict what they can change."""
+
+    TEXT = "MATCH ALL TRAIL p = (?x)-[Knows]->(?y)"
+
+    def test_disjoint_mutation_serves_across_the_bump(self) -> None:
+        graph = figure1_graph()
+        with QueryService(graph, workers=0) as service:
+            first = service.submit(self.TEXT).result()
+            graph.add_edge("elikes", "n1", "n3", "Likes")  # disjoint label
+            graph.add_node("fresh", "Person")  # node inserts don't touch edge scans
+            served = service.submit(self.TEXT).result()
+            stats = service.statistics()
+        assert served.result_cache_hit
+        assert served.version == graph.version  # re-stamped at the serving version
+        assert served.version > first.version
+        assert served.rendered() == first.rendered()
+        assert stats.result_cache_cross_version_hits == 1
+        assert stats.result_cache_delta_rejected == 0
+        assert stats.invalidation == "delta"
+
+    def test_affecting_mutation_recomputes(self) -> None:
+        graph = figure1_graph()
+        with QueryService(graph, workers=0) as service:
+            first = service.submit(self.TEXT).result()
+            graph.add_edge("eknows", "n1", "n3", "Knows")  # intersects the footprint
+            recomputed = service.submit(self.TEXT).result()
+            stats = service.statistics()
+        assert not recomputed.result_cache_hit
+        assert len(recomputed) == len(first) + 1
+        assert stats.result_cache_delta_rejected == 1
+        assert stats.result_cache_cross_version_hits == 0
+
+    def test_property_update_only_evicts_property_readers(self) -> None:
+        graph = figure1_graph()
+        reader = "MATCH ALL TRAIL p = (?x {name: 'Moe'})-[Knows]->(?y)"
+        with QueryService(graph, workers=0) as service:
+            plain_before = service.submit(self.TEXT).result()
+            reader_before = service.submit(reader).result()
+            graph.set_node_property("n2", "name", "Renamed")
+            plain_after = service.submit(self.TEXT).result()
+            reader_after = service.submit(reader).result()
+            stats = service.statistics()
+        assert plain_after.result_cache_hit  # label-only query: unaffected
+        assert plain_after.rendered() == plain_before.rendered()
+        assert not reader_after.result_cache_hit  # reads node properties
+        assert reader_after.ok and reader_before.ok
+        assert stats.result_cache_cross_version_hits == 1
+        assert stats.result_cache_delta_rejected == 1
+
+    def test_expired_journal_falls_back_to_recompute(self, monkeypatch) -> None:
+        monkeypatch.setattr("repro.graph.model.JOURNAL_CAPACITY", 2)
+        graph = figure1_graph()
+        with QueryService(graph, workers=0) as service:
+            service.submit(self.TEXT).result()
+            for index in range(3):  # push the window past the journal capacity
+                graph.add_node(f"filler{index}", "Filler")
+            repeat = service.submit(self.TEXT).result()
+            stats = service.statistics()
+        # The delta window expired, so the service must recompute even though
+        # none of the mutations could have changed the result.
+        assert not repeat.result_cache_hit
+        assert stats.result_cache_delta_rejected == 1
+
+    def test_version_mode_keeps_legacy_semantics(self) -> None:
+        graph = figure1_graph()
+        with QueryService(graph, workers=0, invalidation="version") as service:
+            first = service.submit(self.TEXT).result()
+            graph.add_edge("elikes", "n1", "n3", "Likes")
+            second = service.submit(self.TEXT).result()
+            stats = service.statistics()
+        assert not second.result_cache_hit  # any write evicts everything
+        assert second.rendered() == first.rendered()
+        assert stats.invalidation == "version"
+        assert stats.result_cache_cross_version_hits == 0
+        assert stats.result_cache_delta_rejected == 0
+
+    def test_invalid_invalidation_mode_is_rejected(self) -> None:
+        with pytest.raises(ServiceError, match="invalidation"):
+            QueryService(figure1_graph(), workers=0, invalidation="sometimes")
+        with pytest.raises(ValueError, match="invalidation"):
+            PathQueryEngine(figure1_graph(), invalidation="sometimes")
+
+    def test_cross_version_hit_still_isolated_from_mutation(self) -> None:
+        """A served cross-version outcome must not alias the cached PathSet."""
+        graph = figure1_graph()
+        with QueryService(graph, workers=0) as service:
+            first = service.submit(self.TEXT).result()
+            baseline = first.rendered()
+            graph.add_node("bystander", "Person")
+            served = service.submit(self.TEXT).result()
+            assert served.result_cache_hit
+            likes = service.submit("MATCH ALL TRAIL p = (?x)-[Likes]->(?y)").result()
+            served.paths.update(likes.paths)  # vandalize the served copy
+            again = service.submit(self.TEXT).result()
+        assert again.rendered() == baseline
