@@ -17,9 +17,18 @@ pair:
 
 Each workload runs through a bare :class:`PathQueryEngine` loop (the
 "serial" baseline: no serving layer, plan cache enabled) and through
-:class:`QueryService` instances with 0, 2, 4 and 8 workers.  Every service
-run is checked path-for-path against the serial results before its timing
-counts.
+:class:`QueryService` instances with 0, 2, 4 and 8 thread workers.  Every
+service run is checked path-for-path against the serial results before its
+timing counts.
+
+Since the process pool landed, the same workloads also run under
+``execution_mode="processes"`` with 2 and 4 forked workers (``process-N``
+rows) and under ``execution_mode="race"`` (``race-N`` rows, with per-query
+winner attribution).  Process workers sidestep the GIL entirely, so the
+cache-cold ``speedup_vs_serial`` of the ``process-N`` rows is the number
+this benchmark exists to demonstrate — on a multi-core host.  On a 1-CPU
+container the fork/IPC overhead makes those same rows honest losses; the
+host block in the JSON header records which situation applies.
 
 Two durability-era measurements ride along (PERFORMANCE.md, "Durability and
 delta-aware invalidation"):
@@ -57,6 +66,8 @@ _REPO_ROOT = FilePath(__file__).resolve().parent.parent
 WORKLOADS = service_workloads()
 MIXED = mixed_service_workload()
 WORKER_COUNTS = (0, 2, 4, 8)
+#: (execution_mode, workers) pairs for the process-backed rows.
+PROCESS_CONFIGS = (("processes", 2), ("processes", 4), ("race", 2))
 REPETITIONS = 1 if quick_mode() else 2
 INVALIDATION_MODES = ("version", "delta")
 WAL_WRITES = 100 if quick_mode() else 400
@@ -77,10 +88,13 @@ def _serial_run(workload) -> tuple[float, list[tuple[str, ...]]]:
     return best, rendered
 
 
-def _service_run(workload, workers: int) -> tuple[float, list[tuple[str, ...]], dict]:
+def _service_run(
+    workload, workers: int, execution_mode: str = "threads"
+) -> tuple[float, list[tuple[str, ...]], dict]:
     """Best-of timing of QueryService.run_batch with a fresh service per repetition.
 
-    Service construction is excluded from the timing (a long-lived service
+    Service construction — including forking the worker processes under the
+    process modes — is excluded from the timing (a long-lived service
     amortizes it); the result cache starts cold on every repetition, so the
     measurement covers the first-touch evaluations too.
     """
@@ -89,7 +103,9 @@ def _service_run(workload, workers: int) -> tuple[float, list[tuple[str, ...]], 
     stats: dict = {}
     for _ in range(REPETITIONS):
         graph = workload.build_graph()
-        with QueryService(graph, workers=workers) as service:
+        with QueryService(
+            graph, workers=workers, execution_mode=execution_mode
+        ) as service:
             started = time.perf_counter()
             outcomes = service.run_batch(workload.queries)
             elapsed = time.perf_counter() - started
@@ -103,6 +119,17 @@ def _service_run(workload, workers: int) -> tuple[float, list[tuple[str, ...]], 
                 "result_cache_served": snapshot.result_cache_served,
                 "plan_cache_hits": snapshot.plan_cache["hits"],
             }
+            if execution_mode == "race":
+                # Per-query winner attribution: which executor answered each
+                # raced query (cache-served repeats never reach the pool).
+                stats["race_wins"] = dict(snapshot.race_wins)
+                stats["winner_by_query"] = [
+                    outcome.executor
+                    if outcome.route == "race" and not outcome.result_cache_hit
+                    else "cache"
+                    for outcome in outcomes
+                ]
+                stats["losers_cancelled"] = snapshot.pool.get("losers_cancelled", 0)
     return best, rendered, stats
 
 
@@ -128,6 +155,28 @@ def _measure_workload(workload) -> list[dict]:
             {
                 "workload": workload.name,
                 "mode": f"service-{workers}",
+                "queries": len(workload.queries),
+                "unique_queries": workload.parameters["unique_queries"],
+                "seconds": round(service_s, 6),
+                "qps": round(len(workload.queries) / service_s, 1),
+                "speedup_vs_serial": round(serial_s / service_s, 2),
+                **stats,
+            }
+        )
+    for execution_mode, workers in PROCESS_CONFIGS:
+        service_s, service_rendered, stats = _service_run(
+            workload, workers, execution_mode
+        )
+        assert service_rendered == serial_rendered, (
+            workload.name,
+            execution_mode,
+            workers,
+        )
+        prefix = "race" if execution_mode == "race" else "process"
+        entries.append(
+            {
+                "workload": workload.name,
+                "mode": f"{prefix}-{workers}",
                 "queries": len(workload.queries),
                 "unique_queries": workload.parameters["unique_queries"],
                 "seconds": round(service_s, 6),
@@ -244,7 +293,42 @@ def test_service_results_match_serial(measured, workload) -> None:
     assert {entry["mode"] for entry in entries} == {
         "serial-engine",
         *(f"service-{workers}" for workers in WORKER_COUNTS),
+        *(
+            f"{'race' if mode == 'race' else 'process'}-{workers}"
+            for mode, workers in PROCESS_CONFIGS
+        ),
     }
+
+
+def test_race_rows_attribute_every_query(measured) -> None:
+    """Every raced query carries a winner; wins sum to the raced count."""
+    for workload in WORKLOADS:
+        row = next(e for e in measured[workload.name] if e["mode"] == "race-2")
+        winners = row["winner_by_query"]
+        assert len(winners) == row["queries"]
+        raced = [winner for winner in winners if winner != "cache"]
+        assert raced, row["mode"]
+        assert set(raced) <= {"materialize", "pipeline"}
+        assert sum(row["race_wins"].values()) == len(raced)
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="process parallelism needs at least two cores to beat serial",
+)
+def test_cache_cold_process_pool_beats_serial(measured) -> None:
+    """The PR 7 acceptance measurement: real parallelism on cold traffic.
+
+    Thread workers *lose* cache-cold (GIL: same CPU budget plus serving
+    overhead).  Forked workers execute on separate cores, so with 4 of them
+    the cold batch must finish faster than the bare serial loop.  Gated on
+    the core count: on a 1-CPU host the row is still recorded, as an honest
+    loss, but the assertion would only measure fork/IPC overhead.
+    """
+    four = next(
+        entry for entry in measured["cache-cold"] if entry["mode"] == "process-4"
+    )
+    assert four["speedup_vs_serial"] > 1.0, four
 
 
 @pytest.mark.quick
@@ -351,7 +435,12 @@ def write_report(measured, mixed_measured, fsync_measured) -> None:
             "note": (
                 "thread workers provide isolation/overlap under the GIL, not CPU "
                 "parallelism; the cache-hot speedup comes from the result cache "
-                "collapsing duplicate queries. mixed-read-write replays one "
+                "collapsing duplicate queries. process-N rows fork the workers "
+                "(execution_mode='processes') for real CPU parallelism; their "
+                "cache-cold speedup is only meaningful on the multi-core hosts "
+                "identified by metadata.host.cpus. race-N rows run materialize "
+                "vs pipeline in two processes, first result wins, with "
+                "per-query winner attribution. mixed-read-write replays one "
                 "deterministic schedule under both invalidation policies; "
                 "wal-fsync reports the per-write durability cost alongside"
             ),

@@ -46,6 +46,7 @@ from typing import Any, Mapping
 
 from repro.engine.engine import CachedPlan, ExplainResult, PathQueryEngine, QueryResult
 from repro.engine.executor import EXECUTOR_NAMES
+from repro.engine.router import EXECUTION_MODES
 from repro.engine.results import ResultCursor
 from repro.errors import ServiceError
 from repro.execution import QueryBudget
@@ -70,6 +71,8 @@ def connect(
     default_max_length: int | None = None,
     plan_cache_size: int = 256,
     cache_stripes: int = 8,
+    workers: int = 4,
+    execution_mode: str = "threads",
 ) -> "Database":
     """Open a :class:`Database` over ``graph`` (a fresh empty graph when omitted).
 
@@ -85,6 +88,12 @@ def connect(
         cache_stripes: Lock stripes of the plan cache (it is shared with the
             concurrent service, so it is striped and thread-safe from the
             start).
+        workers: Default worker count of the lazily created concurrent
+            service (:meth:`Database.service`).
+        execution_mode: Default execution backend of that service —
+            ``"threads"`` (GIL-bound worker threads), ``"processes"``
+            (forked worker processes, true multi-core parallelism) or
+            ``"race"`` (processes racing both executors per ``auto`` query).
     """
     return Database(
         graph,
@@ -93,6 +102,8 @@ def connect(
         default_max_length=default_max_length,
         plan_cache_size=plan_cache_size,
         cache_stripes=cache_stripes,
+        workers=workers,
+        execution_mode=execution_mode,
     )
 
 
@@ -121,10 +132,17 @@ class Database:
         default_max_length: int | None = None,
         plan_cache_size: int = 256,
         cache_stripes: int = 8,
+        workers: int = 4,
+        execution_mode: str = "threads",
     ) -> None:
         if executor not in EXECUTOR_NAMES:
             raise ValueError(
                 f"unknown executor {executor!r}; expected one of {', '.join(EXECUTOR_NAMES)}"
+            )
+        if execution_mode not in EXECUTION_MODES:
+            raise ValueError(
+                f"unknown execution_mode {execution_mode!r}; expected one of "
+                f"{', '.join(EXECUTION_MODES)}"
             )
         self.graph = graph if graph is not None else PropertyGraph()
         self.plan_cache = StripedLRUCache(plan_cache_size, cache_stripes)
@@ -136,6 +154,8 @@ class Database:
             plan_cache=self.plan_cache,
         )
         self.default_executor = executor
+        self.default_workers = workers
+        self.default_execution_mode = execution_mode
         self._optimize = optimize
         self._default_max_length = default_max_length
         self._service: QueryService | None = None
@@ -289,24 +309,27 @@ class Database:
     # ------------------------------------------------------------------
     # Concurrent service
     # ------------------------------------------------------------------
-    def service(self, workers: int = 4, **options) -> QueryService:
+    def service(self, workers: int | None = None, **options) -> QueryService:
         """The database's concurrent :class:`~repro.service.QueryService`.
 
         Created on first call (with these arguments) and reused afterwards —
         one worker pool per database.  The service shares the database's plan
         cache, so plans prepared through sessions serve service submissions
-        and vice versa.  ``options`` are forwarded to
-        :class:`~repro.service.QueryService` (``result_cache_size``,
-        ``default_deadline``, ``max_pending``, ...).
+        and vice versa.  ``workers`` and ``execution_mode`` default to the
+        values given to :func:`connect`; the remaining ``options`` are
+        forwarded to :class:`~repro.service.QueryService`
+        (``result_cache_size``, ``default_deadline``, ``max_pending``,
+        ``race_band``, ``pool_options``, ...).
         """
         self._ensure_open()
         if self._service is None:
             options.setdefault("executor", self.default_executor)
             options.setdefault("optimize", self._optimize)
             options.setdefault("default_max_length", self._default_max_length)
+            options.setdefault("execution_mode", self.default_execution_mode)
             self._service = QueryService(
                 self.graph,
-                workers=workers,
+                workers=workers if workers is not None else self.default_workers,
                 plan_cache=self.plan_cache,
                 **options,
             )

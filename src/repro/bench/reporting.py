@@ -9,9 +9,35 @@ they can also be used from the examples.
 from __future__ import annotations
 
 import json
+import os
+import platform
 from typing import Iterable, Mapping, Sequence
 
-__all__ = ["format_table", "format_check", "print_table", "write_bench_json"]
+__all__ = [
+    "format_table",
+    "format_check",
+    "print_table",
+    "host_metadata",
+    "write_bench_json",
+]
+
+
+def host_metadata() -> dict:
+    """Describe the machine a benchmark ran on.
+
+    Benchmark numbers — especially the parallel-speedup ratios of the
+    service benchmark — are meaningless without knowing the core count and
+    platform behind them, so every ``BENCH_*.json`` header carries this
+    block.  A ``speedup_vs_serial`` below 1.0 for the process pool on a
+    1-CPU container is expected; the same row on a multi-core host is the
+    number the benchmark exists to demonstrate.
+    """
+    return {
+        "cpus": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+    }
 
 
 def format_table(
@@ -66,11 +92,13 @@ def write_bench_json(
     ``entries`` is a sequence of flat dictionaries, one per measured workload
     (name, timings, sizes, derived ratios).  The file is deterministic
     (sorted keys, trailing newline) so successive PRs produce meaningful
-    diffs.  Returns the payload that was written.
+    diffs.  A ``metadata["host"]`` block (:func:`host_metadata`) is added
+    automatically unless the caller supplied its own.  Returns the payload
+    that was written.
     """
     payload: dict = {"benchmark": benchmark, "entries": [dict(entry) for entry in entries]}
-    if metadata:
-        payload["metadata"] = dict(metadata)
+    payload["metadata"] = dict(metadata) if metadata else {}
+    payload["metadata"].setdefault("host", host_metadata())
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

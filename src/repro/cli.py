@@ -42,6 +42,7 @@ from repro.datasets.figure1 import figure1_graph
 from repro.datasets.generators import chain_graph, cycle_graph, grid_graph, random_graph
 from repro.datasets.ldbc import LDBCParameters, ldbc_like_graph
 from repro.engine.executor import EXECUTOR_NAMES
+from repro.engine.router import EXECUTION_MODES
 from repro.errors import BudgetExceeded, PathAlgebraError
 from repro.graph.io import load_csv, load_json, save_json
 from repro.graph.model import PropertyGraph
@@ -130,6 +131,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4,
         help="worker threads (0 executes inline on the submitting thread; default: 4)",
+    )
+    serve.add_argument(
+        "--execution-mode",
+        choices=list(EXECUTION_MODES),
+        default="threads",
+        help="where queries execute: worker threads (GIL-bound; default), "
+        "forked worker processes (true multi-core parallelism), or processes "
+        "racing both executors per query, first result wins",
     )
     serve.add_argument("--max-length", type=int, default=None, help="bound for WALK recursion")
     serve.add_argument(
@@ -402,6 +411,7 @@ def _command_serve(args: argparse.Namespace) -> int:
     ) as db:
         service = db.service(
             workers=args.workers,
+            execution_mode=args.execution_mode,
             result_cache_size=args.result_cache_size,
             default_deadline=args.deadline,
             default_max_visited=args.max_visited,
@@ -450,7 +460,8 @@ def _command_serve(args: argparse.Namespace) -> int:
     succeeded = len(outcomes) - timed_out - failed
     print(
         f"# served {len(outcomes)} queries in {elapsed * 1e3:.1f} ms "
-        f"({throughput:.1f} q/s) with {args.workers} workers"
+        f"({throughput:.1f} q/s) with {args.workers} workers "
+        f"({args.execution_mode})"
     )
     print(
         f"# summary: {succeeded} executed, {timed_out} timed out "

@@ -14,8 +14,10 @@ from repro.engine.executor import (
     MaterializeExecutor,
     PipelineExecutor,
     choose_executor,
+    choose_executor_with_fraction,
     resolve_executor,
 )
+from repro.engine.router import EXECUTION_MODES, PortfolioRouter, RouteDecision
 from repro.engine.physical import (
     PhysicalPlan,
     PipelineStatistics,
@@ -38,7 +40,11 @@ __all__ = [
     "MaterializeExecutor",
     "PipelineExecutor",
     "choose_executor",
+    "choose_executor_with_fraction",
     "resolve_executor",
+    "EXECUTION_MODES",
+    "PortfolioRouter",
+    "RouteDecision",
     "PhysicalPlan",
     "PipelineStatistics",
     "build_pipeline",

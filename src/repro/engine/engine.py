@@ -577,6 +577,33 @@ class PathQueryEngine:
         """Return the executor name the ``"auto"`` policy picks for ``plan``."""
         return choose_executor(plan, self.cost_model(graph))
 
+    def route(
+        self,
+        text: str,
+        max_length: int | None = None,
+        graph: PropertyGraph | None = None,
+        execution_mode: str = "processes",
+        executor: str | None = None,
+        race_band: float | None = None,
+    ) -> "RouteDecision":
+        """Prepare ``text`` and return the portfolio router's dispatch decision.
+
+        Convenience inspection hook for the serving layer and its tests:
+        one call answers "would this query run a single executor or a race,
+        and why?" without executing anything.  The plan lands in the plan
+        cache exactly as :meth:`prepare` leaves it.
+        """
+        from repro.engine.router import PortfolioRouter
+
+        target = self._target_graph(graph)
+        cached = self.prepare(text, max_length=max_length, graph=target)
+        return PortfolioRouter(race_band=race_band).decide(
+            cached.optimized,
+            self.cost_model(target),
+            execution_mode=execution_mode,
+            requested=executor if executor is not None else self.default_executor,
+        )
+
     def cost_model(self, graph: PropertyGraph | None = None) -> CostModel:
         """The cost model for ``graph`` (default: the engine's graph), memoized per version.
 

@@ -44,6 +44,7 @@ __all__ = [
     "MaterializeExecutor",
     "PipelineExecutor",
     "choose_executor",
+    "choose_executor_with_fraction",
     "resolve_executor",
 ]
 
@@ -206,10 +207,23 @@ def choose_executor(plan: Expression, cost_model: CostModel) -> str:
     the materializing evaluator: the fix point is blocking either way, and
     materializing avoids the pipeline's per-path iterator overhead.
     """
+    return choose_executor_with_fraction(plan, cost_model)[0]
+
+
+def choose_executor_with_fraction(
+    plan: Expression, cost_model: CostModel
+) -> tuple[str, float]:
+    """Like :func:`choose_executor`, also returning the recursive cost fraction.
+
+    The fraction is the decision's input signal; the portfolio router
+    (:mod:`repro.engine.router`) uses it to judge how *confident* the choice
+    is — fractions near :data:`RECURSIVE_COST_THRESHOLD` are coin flips worth
+    racing, fractions near 0 or 1 are not.
+    """
     fraction = cost_model.recursive_cost_fraction(plan)
     if fraction > RECURSIVE_COST_THRESHOLD:
-        return MaterializeExecutor.name
-    return PipelineExecutor.name
+        return MaterializeExecutor.name, fraction
+    return PipelineExecutor.name, fraction
 
 
 def resolve_executor(name: str) -> Executor:

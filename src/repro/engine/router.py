@@ -1,0 +1,150 @@
+"""Portfolio routing: decide *how* a query is dispatched, not just *where*.
+
+The executor layer answers "which physical realization should run this
+plan?" with a point estimate (:func:`~repro.engine.executor.choose_executor`
+thresholds the cost model's recursive-cost fraction).  The serving layer has
+a second degree of freedom the engine facade does not: with a process pool
+behind it, it can afford to run *both* executors on two cores and keep the
+first answer — the classical solver-portfolio pattern.  The
+:class:`PortfolioRouter` encodes that policy as data:
+
+* ``"threads"`` / ``"processes"`` — cost-model-guided **single** dispatch:
+  one executor per query, chosen exactly as ``"auto"`` would (or forced by
+  an explicit ``executor=``).
+* ``"race"`` — **race** dispatch for ``auto`` queries: materialize vs
+  pipeline in two workers, first complete result wins, the loser is
+  cancelled through its :class:`~repro.execution.QueryBudget` (reason
+  ``"cancelled"``).  An explicit executor request is honored with single
+  dispatch even in race mode — the caller already made the choice.
+
+Racing everything would waste half the pool on queries where the cost model
+is confident, so the router only races when the recursive-cost fraction
+falls inside ``race_band`` of the decision threshold (the cost model's
+"coin flip" zone).  ``race_band=None`` races every ``auto`` query —
+useful for benchmarks that want per-query winner attribution everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.expressions import Expression
+from repro.engine.executor import (
+    EXECUTOR_NAMES,
+    RECURSIVE_COST_THRESHOLD,
+    MaterializeExecutor,
+    PipelineExecutor,
+    choose_executor_with_fraction,
+)
+from repro.optimizer.cost import CostModel
+
+__all__ = ["EXECUTION_MODES", "RouteDecision", "PortfolioRouter"]
+
+#: The values accepted by every ``execution_mode=`` knob: thread workers
+#: (GIL-bound, the legacy default), process workers (one executor per query),
+#: or process workers racing both executors on ``auto`` queries.
+EXECUTION_MODES = ("threads", "processes", "race")
+
+
+@dataclass(frozen=True)
+class RouteDecision:
+    """How one query should be dispatched.
+
+    Attributes:
+        mode: ``"single"`` (run ``executors[0]``) or ``"race"`` (run every
+            entry of ``executors`` concurrently, first result wins).
+        executors: Concrete executor names, never ``"auto"``.
+        fraction: The cost model's recursive-cost fraction for the plan —
+            the signal behind the decision (``0.0`` when an explicit
+            executor request bypassed the cost model).
+        reason: Human-readable one-liner for explain output and tests.
+    """
+
+    mode: str
+    executors: tuple[str, ...]
+    fraction: float = 0.0
+    reason: str = ""
+
+    @property
+    def racing(self) -> bool:
+        """``True`` when the decision dispatches more than one executor."""
+        return self.mode == "race"
+
+
+class PortfolioRouter:
+    """Map (plan, cost model, execution mode) to a :class:`RouteDecision`.
+
+    Args:
+        race_band: Half-width of the fraction window around
+            :data:`~repro.engine.executor.RECURSIVE_COST_THRESHOLD` inside
+            which ``"race"`` mode actually races.  Outside the window the
+            cost model's pick is confident enough that burning a second
+            worker buys nothing.  ``None`` races every ``auto`` query.
+    """
+
+    def __init__(self, race_band: float | None = None) -> None:
+        if race_band is not None and race_band < 0:
+            raise ValueError(f"race_band must be >= 0, got {race_band}")
+        self.race_band = race_band
+
+    def decide(
+        self,
+        plan: Expression,
+        cost_model: CostModel,
+        execution_mode: str = "processes",
+        requested: str | None = None,
+    ) -> RouteDecision:
+        """Route one optimized plan.
+
+        ``requested`` is the caller's executor knob (``None`` or ``"auto"``
+        lets the router choose; a concrete name forces single dispatch of
+        that executor, in every mode).
+        """
+        if execution_mode not in EXECUTION_MODES:
+            raise ValueError(
+                f"unknown execution_mode {execution_mode!r}; expected one of "
+                f"{', '.join(EXECUTION_MODES)}"
+            )
+        if requested is not None and requested not in EXECUTOR_NAMES:
+            raise ValueError(
+                f"unknown executor {requested!r}; expected one of {', '.join(EXECUTOR_NAMES)}"
+            )
+        if requested is not None and requested != "auto":
+            return RouteDecision(
+                mode="single",
+                executors=(requested,),
+                reason=f"explicit executor={requested!r}",
+            )
+        name, fraction = choose_executor_with_fraction(plan, cost_model)
+        if execution_mode == "race":
+            if self.race_band is None or (
+                abs(fraction - RECURSIVE_COST_THRESHOLD) <= self.race_band
+            ):
+                # The cost-model favorite goes first: if only one process
+                # slot frees up at a time, the likely winner starts sooner.
+                second = (
+                    PipelineExecutor.name
+                    if name == MaterializeExecutor.name
+                    else MaterializeExecutor.name
+                )
+                return RouteDecision(
+                    mode="race",
+                    executors=(name, second),
+                    fraction=fraction,
+                    reason=f"racing both executors (fraction={fraction:.3f})",
+                )
+            return RouteDecision(
+                mode="single",
+                executors=(name,),
+                fraction=fraction,
+                reason=(
+                    f"cost model confident (fraction={fraction:.3f} outside "
+                    f"±{self.race_band} of {RECURSIVE_COST_THRESHOLD})"
+                ),
+            )
+        return RouteDecision(
+            mode="single",
+            executors=(name,),
+            fraction=fraction,
+            reason=f"cost-model choice (fraction={fraction:.3f})",
+        )

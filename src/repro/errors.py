@@ -70,7 +70,8 @@ class BudgetExceeded(PathAlgebraError):
 
     Attributes:
         reason: Which budget dimension was exhausted — ``"deadline"``,
-            ``"max_visited"`` or ``"max_results"``.
+            ``"max_visited"``, ``"max_results"`` or ``"cancelled"`` (an
+            external kill switch, e.g. the loser of a portfolio race).
         paths_visited: Paths constructed/visited before the kill.
         depth_reached: Deepest fix-point round (or traversal depth) reached.
         stopped_at: Name of the operator or loop that observed the kill.
@@ -91,6 +92,16 @@ class BudgetExceeded(PathAlgebraError):
         super().__init__(
             f"query budget exceeded ({reason}){where} after visiting "
             f"{paths_visited} paths (depth {depth_reached})"
+        )
+
+    def __reduce__(self):
+        # Default exception pickling replays ``cls(*self.args)``, which would
+        # feed the formatted message back as ``reason`` and drop the partial
+        # progress.  This exception crosses the process boundary (worker →
+        # parent result queue), so reconstruct from the typed fields instead.
+        return (
+            type(self),
+            (self.reason, self.paths_visited, self.depth_reached, self.stopped_at),
         )
 
 

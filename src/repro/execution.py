@@ -33,6 +33,8 @@ from typing import TYPE_CHECKING
 from repro.errors import BudgetExceeded
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (keeps the module leaf-level)
+    from typing import Callable
+
     from repro.graph.delta import QueryFootprint
 
 __all__ = ["ExecutionStatistics", "QueryBudget"]
@@ -64,6 +66,12 @@ class QueryBudget:
             checked after any ``limit`` truncation (``None`` — unlimited).
         check_interval: How many visited paths may pass between two clock
             reads.  Caps are enforced to within one :meth:`charge` batch.
+        cancel: Optional zero-argument callable polled wherever the deadline
+            is — :meth:`checkpoint` and the amortized clock branch of
+            :meth:`charge`.  Returning ``True`` kills the query with reason
+            ``"cancelled"``; the process pool's race mode uses this to stop
+            the losing executor from the parent process via a shared-memory
+            flag.
     """
 
     #: How many paths/pops a hot loop may process between two budget calls.
@@ -77,6 +85,7 @@ class QueryBudget:
         "max_visited",
         "max_results",
         "check_interval",
+        "cancel",
         "paths_visited",
         "depth_reached",
         "stopped_at",
@@ -89,6 +98,7 @@ class QueryBudget:
         max_visited: int | None = None,
         max_results: int | None = None,
         check_interval: int = 1024,
+        cancel: "Callable[[], bool] | None" = None,
     ) -> None:
         if max_visited is not None and max_visited < 0:
             raise ValueError(f"max_visited must be >= 0, got {max_visited}")
@@ -100,6 +110,12 @@ class QueryBudget:
         self.max_visited = max_visited
         self.max_results = max_results
         self.check_interval = check_interval
+        #: External kill switch, polled at the same amortized boundaries as
+        #: the deadline.  Returning ``True`` raises ``BudgetExceeded`` with
+        #: reason ``"cancelled"`` — how the process pool's race mode stops a
+        #: losing executor from another process (the callable typically reads
+        #: a shared-memory flag, so it must be cheap and must never raise).
+        self.cancel = cancel
         #: Partial-progress counters, readable after a kill (they are also
         #: copied into :class:`ExecutionStatistics` on successful completion).
         self.paths_visited = 0
@@ -126,7 +142,12 @@ class QueryBudget:
     @property
     def unlimited(self) -> bool:
         """``True`` when no dimension of the budget can ever trip."""
-        return self.deadline is None and self.max_visited is None and self.max_results is None
+        return (
+            self.deadline is None
+            and self.max_visited is None
+            and self.max_results is None
+            and self.cancel is None
+        )
 
     def remaining_seconds(self) -> float | None:
         """Seconds until the deadline (negative once past); ``None`` without one."""
@@ -156,6 +177,8 @@ class QueryBudget:
             self._uncounted = 0
             if self.deadline is not None and time.monotonic() >= self.deadline:
                 self._exceed("deadline", where)
+            if self.cancel is not None and self.cancel():
+                self._exceed("cancelled", where)
 
     def checkpoint(self, where: str = "", depth: int | None = None) -> None:
         """Frontier-expansion boundary: always consult the clock.
@@ -167,6 +190,8 @@ class QueryBudget:
             self.depth_reached = depth
         if self.deadline is not None and time.monotonic() >= self.deadline:
             self._exceed("deadline", where)
+        if self.cancel is not None and self.cancel():
+            self._exceed("cancelled", where)
 
     def note_depth(self, depth: int) -> None:
         """Record reaching ``depth`` without a clock check (hot-loop safe)."""

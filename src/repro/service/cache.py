@@ -8,6 +8,16 @@ lock-striping pattern.  The class exposes the exact ``get``/``put``/counter
 surface of :class:`PlanCache`, so a :class:`~repro.engine.engine.PathQueryEngine`
 accepts either interchangeably, and the same structure caches both plans and
 materialized query outcomes in :class:`~repro.service.service.QueryService`.
+
+Process-mode caveat: under ``execution_mode="processes"`` / ``"race"`` the
+striped caches are **parent-only**.  A forked worker inherits a copy of this
+object whose stripe locks may have been *held by some other parent thread*
+at the fork instant — acquiring one in the child would deadlock forever, so
+worker processes must never touch an inherited striped cache (they run
+private, unshared per-process :class:`PlanCache` instances instead, and the
+parent dispatchers install worker results into the shared result cache on
+their behalf).  This keeps every striped-cache access on the parent side of
+the fork, where the locks' owners are live threads.
 """
 
 from __future__ import annotations

@@ -25,10 +25,13 @@ serving workloads where queries and graph mutations interleave:
   evaluation per graph version.
 
 A note on parallelism: CPython's GIL serializes the pure-Python evaluation
-work, so the worker pool provides *isolation and overlap* (queries keep
-draining while a producer thread mutates or blocks), not CPU parallelism.
-The measured throughput wins on cache-hot workloads (``BENCH_service.json``)
-come from version-keyed result reuse; see PERFORMANCE.md.
+work, so the default *thread* worker pool provides isolation and overlap
+(queries keep draining while a producer thread mutates or blocks), not CPU
+parallelism — its throughput wins on cache-hot workloads
+(``BENCH_service.json``) come from version-keyed result reuse.  For real
+multi-core evaluation, ``execution_mode="processes"`` (or ``"race"``) backs
+the dispatchers with a :class:`~repro.service.procpool.ProcessWorkerPool`
+of forked worker processes; see that module and PERFORMANCE.md.
 
 A note on clocks: every timestamp in this module — enqueue stamps, absolute
 deadlines, elapsed measurements — comes from ``time.monotonic()``.  Deadline
@@ -47,6 +50,7 @@ from typing import Any, Mapping
 
 from repro.engine.engine import INVALIDATION_MODES, PathQueryEngine
 from repro.engine.executor import EXECUTOR_NAMES
+from repro.engine.router import EXECUTION_MODES, PortfolioRouter, RouteDecision
 from repro.errors import BudgetExceeded, ServiceError
 from repro.execution import QueryBudget
 from repro.graph.delta import QueryFootprint
@@ -54,6 +58,12 @@ from repro.graph.model import PropertyGraph
 from repro.graph.snapshot import GraphSnapshot
 from repro.paths.pathset import PathSet
 from repro.service.cache import StripedLRUCache
+from repro.service.procpool import (
+    CRASH_QUERY,
+    ProcessWorkerPool,
+    WorkerDied,
+    decode_paths,
+)
 
 __all__ = ["QueryOutcome", "QueryTicket", "ServiceStatistics", "QueryService"]
 
@@ -113,7 +123,17 @@ class QueryOutcome:
             zero on a result-cache hit; excludes queue wait).
         queued_seconds: Time the request spent waiting in the submission
             queue before a worker picked it up.
-        worker: Name of the worker that served the request.
+        worker: Name of the worker that served the request (a worker
+            *process* name like ``proc-3`` under the process-backed modes).
+        route: How the request was dispatched under a process-backed
+            execution mode: ``"single"`` (one executor, chosen by the cost
+            model or forced by the caller) or ``"race"`` (both executors ran
+            in separate processes and this outcome is the winner — its
+            ``executor`` field is the per-query winner attribution).  Empty
+            in thread mode and on cache hits.
+        worker_died: Typed attribution when the worker process executing the
+            query died and the task could not be salvaged by a requeue
+            (``None`` otherwise).  Such outcomes also carry ``error``.
     """
 
     text: str
@@ -132,6 +152,8 @@ class QueryOutcome:
     elapsed_seconds: float = 0.0
     queued_seconds: float = 0.0
     worker: str = ""
+    route: str = ""
+    worker_died: WorkerDied | None = None
 
     @property
     def ok(self) -> bool:
@@ -238,11 +260,22 @@ class ServiceStatistics:
     window had expired).  Both stay zero under ``invalidation="version"``.
     The per-cache dicts carry a ``per_stripe`` breakdown from
     :meth:`~repro.service.cache.StripedLRUCache.stats`.
+
+    Process-backed execution adds its own attribution: ``worker_died``
+    counts queries lost to a worker-process death (deliberately *not* folded
+    into ``failed`` or ``timed_out`` — a dead worker is a serving-infrastructure
+    fault, not a query fault), ``requeued`` counts tasks salvaged onto
+    another worker after a death, ``reforks`` counts version-drift worker
+    regenerations, and ``races`` / ``race_wins`` attribute portfolio racing
+    (wins keyed by executor name).  ``pool`` carries the raw
+    :meth:`~repro.service.procpool.ProcessWorkerPool.statistics` dict.  All
+    stay zero / empty in thread mode.
     """
 
     backend: str = "thread"
     workers: int = 0
     invalidation: str = "delta"
+    execution_mode: str = "threads"
     submitted: int = 0
     completed: int = 0
     failed: int = 0
@@ -255,8 +288,73 @@ class ServiceStatistics:
     result_cache_delta_rejected: int = 0
     queued_seconds_total: float = 0.0
     queued_seconds_max: float = 0.0
+    worker_died: int = 0
+    requeued: int = 0
+    reforks: int = 0
+    races: int = 0
+    race_wins: dict[str, int] = field(default_factory=dict)
     plan_cache: dict[str, Any] = field(default_factory=dict)
     result_cache: dict[str, Any] = field(default_factory=dict)
+    pool: dict[str, Any] = field(default_factory=dict)
+
+    def merge(self, other: "ServiceStatistics") -> "ServiceStatistics":
+        """Aggregate two statistics snapshots into one (cross-process safe).
+
+        Built for fleets: a coordinator collecting ``statistics()`` from
+        several service instances (possibly pickled across process
+        boundaries) folds them pairwise.  Counters add, maxima take the max,
+        nested cache/pool dicts merge numerically key-by-key, and identity
+        strings that differ are joined with ``+`` so a heterogeneous merge
+        is visible instead of silently mislabeled.
+        """
+
+        def tag(mine: str, theirs: str) -> str:
+            return mine if mine == theirs else f"{mine}+{theirs}"
+
+        def merge_dicts(mine: dict, theirs: dict) -> dict:
+            merged = dict(mine)
+            for key, value in theirs.items():
+                current = merged.get(key)
+                if isinstance(value, bool) or isinstance(current, bool):
+                    merged[key] = value
+                elif isinstance(value, (int, float)) and isinstance(current, (int, float)):
+                    merged[key] = current + value
+                elif isinstance(value, dict) and isinstance(current, dict):
+                    merged[key] = merge_dicts(current, value)
+                elif key not in merged:
+                    merged[key] = value
+            return merged
+
+        return ServiceStatistics(
+            backend=tag(self.backend, other.backend),
+            workers=self.workers + other.workers,
+            invalidation=tag(self.invalidation, other.invalidation),
+            execution_mode=tag(self.execution_mode, other.execution_mode),
+            submitted=self.submitted + other.submitted,
+            completed=self.completed + other.completed,
+            failed=self.failed + other.failed,
+            timed_out=self.timed_out + other.timed_out,
+            timed_out_at_dequeue=self.timed_out_at_dequeue + other.timed_out_at_dequeue,
+            timed_out_in_flight=self.timed_out_in_flight + other.timed_out_in_flight,
+            executed=self.executed + other.executed,
+            result_cache_served=self.result_cache_served + other.result_cache_served,
+            result_cache_cross_version_hits=(
+                self.result_cache_cross_version_hits + other.result_cache_cross_version_hits
+            ),
+            result_cache_delta_rejected=(
+                self.result_cache_delta_rejected + other.result_cache_delta_rejected
+            ),
+            queued_seconds_total=self.queued_seconds_total + other.queued_seconds_total,
+            queued_seconds_max=max(self.queued_seconds_max, other.queued_seconds_max),
+            worker_died=self.worker_died + other.worker_died,
+            requeued=self.requeued + other.requeued,
+            reforks=self.reforks + other.reforks,
+            races=self.races + other.races,
+            race_wins=merge_dicts(self.race_wins, other.race_wins),
+            plan_cache=merge_dicts(self.plan_cache, other.plan_cache),
+            result_cache=merge_dicts(self.result_cache, other.result_cache),
+            pool=merge_dicts(self.pool, other.pool),
+        )
 
 
 class QueryService:
@@ -302,6 +400,28 @@ class QueryService:
             the legacy whole-version keying where every write misses every
             entry (kept for comparison benchmarks and for exact hit/miss
             accounting).
+        execution_mode: Where query evaluation happens.  ``"threads"``
+            (default) keeps the legacy in-process worker threads —
+            GIL-bound, isolation without CPU parallelism.  ``"processes"``
+            backs the same dispatcher threads with a
+            :class:`~repro.service.procpool.ProcessWorkerPool`: each query
+            runs in a forked worker process with a cost-model-guided single
+            executor, so evaluation runs truly in parallel on a multi-core
+            host.  ``"race"`` additionally races materialize vs pipeline in
+            two processes for ``auto`` queries, keeps the first result and
+            cancels the loser through its budget.  The shared plan and
+            result caches stay in the parent in every mode: dispatchers warm
+            the plan cache via ``prepare`` and install worker results into
+            the result cache, so delta/footprint invalidation semantics are
+            identical across modes.  Process modes require ``workers >= 1``.
+        race_band: Only race when the cost model's recursive-cost fraction
+            falls within this half-width of the decision threshold (the
+            cost model's "coin flip" zone); ``None`` races every ``auto``
+            query.  Ignored outside ``"race"`` mode.
+        pool_options: Advanced/testing knobs forwarded verbatim to
+            :class:`~repro.service.procpool.ProcessWorkerPool`
+            (``start_method``, ``max_requeues``, ``crash_hook``,
+            ``plan_cache_size`` for the workers' private plan caches).
     """
 
     def __init__(
@@ -319,6 +439,9 @@ class QueryService:
         max_pending: int = 1024,
         plan_cache: StripedLRUCache | None = None,
         invalidation: str = "delta",
+        execution_mode: str = "threads",
+        race_band: float | None = None,
+        pool_options: dict[str, Any] | None = None,
     ) -> None:
         if workers < 0:
             raise ServiceError(f"workers must be >= 0, got {workers}")
@@ -331,8 +454,19 @@ class QueryService:
                 f"unknown invalidation {invalidation!r}; expected one of "
                 f"{', '.join(INVALIDATION_MODES)}"
             )
+        if execution_mode not in EXECUTION_MODES:
+            raise ServiceError(
+                f"unknown execution_mode {execution_mode!r}; expected one of "
+                f"{', '.join(EXECUTION_MODES)}"
+            )
+        if execution_mode != "threads" and workers < 1:
+            raise ServiceError(
+                f"execution_mode={execution_mode!r} needs workers >= 1 "
+                "(inline mode has no processes to dispatch to)"
+            )
         self.graph = graph
         self.workers = workers
+        self.execution_mode = execution_mode
         self.invalidation = invalidation
         self.default_executor = executor
         self.default_deadline = default_deadline
@@ -353,6 +487,23 @@ class QueryService:
             )
             for _ in range(max(workers, 1))
         ]
+        self._pool: ProcessWorkerPool | None = None
+        self._router: PortfolioRouter | None = None
+        if execution_mode != "threads":
+            self._router = PortfolioRouter(race_band=race_band)
+            options = dict(pool_options or {})
+            options.setdefault("plan_cache_size", plan_cache_size)
+            # A race needs two processes; otherwise pool capacity == the
+            # dispatcher thread count, so every dispatcher can keep exactly
+            # one worker process busy.
+            pool_workers = max(workers, 2) if execution_mode == "race" else workers
+            self._pool = ProcessWorkerPool(
+                graph,
+                pool_workers,
+                optimize=optimize,
+                default_max_length=default_max_length,
+                **options,
+            )
         self._stats_lock = threading.Lock()
         # Serializes the closed-check + enqueue in submit() against close():
         # without it a submission could land behind the shutdown sentinels
@@ -367,6 +518,7 @@ class QueryService:
         self._timed_out = 0
         self._timed_out_at_dequeue = 0
         self._timed_out_in_flight = 0
+        self._worker_died = 0
         self._executed = 0
         self._result_cache_served = 0
         self._cross_version_hits = 0
@@ -489,6 +641,10 @@ class QueryService:
                     self._timed_out_at_dequeue += 1
                 else:
                     self._timed_out_in_flight += 1
+            elif outcome.worker_died is not None:
+                # A dead worker process is a serving-infrastructure fault,
+                # attributed separately from query failures and timeouts.
+                self._worker_died += 1
             elif outcome.error is not None:
                 self._failed += 1
             if outcome.result_cache_hit:
@@ -566,6 +722,10 @@ class QueryService:
                 elapsed_seconds=time.monotonic() - started,
                 queued_seconds=queued,
             )
+        if self._pool is not None:
+            return self._execute_process(
+                request, engine, worker, version, params_tuple, key, started, queued
+            )
         # The budget carries the request's *absolute* deadline, so time spent
         # queued (and in parse/plan) counts against it — an in-flight query
         # dies within one budget-check interval of the deadline.
@@ -637,6 +797,128 @@ class QueryService:
             )
         return outcome
 
+    def _execute_process(
+        self,
+        request: _Request,
+        engine: PathQueryEngine,
+        worker: str,
+        version: int,
+        params_tuple: tuple | None,
+        key: tuple,
+        started: float,
+        queued: float,
+    ) -> QueryOutcome:
+        """Serve one result-cache-missing request through the process pool.
+
+        The split of work across the boundary is deliberate: the *parent*
+        parses/optimizes (warming the shared plan cache for every future
+        request and for the router's cost inspection), routes, and installs
+        the result into the shared result cache; the *worker process* only
+        evaluates.  The worker re-parses against its private per-process plan
+        cache — plan objects never cross the pipe, result paths do (as id
+        tuples), and the cached entry's footprint comes from the parent's
+        plan, so PR 6's delta invalidation behaves identically to thread
+        mode.
+        """
+        params = params_tuple if params_tuple is not None else ()
+        requested = (
+            request.executor if request.executor is not None else self.default_executor
+        )
+        try:
+            if self._pool.crash_hook and request.text == CRASH_QUERY:
+                # Fault injection (tests only): the sentinel is not valid GQL,
+                # so skip parent-side parsing and ship it straight to a
+                # worker, which os._exit()s on it.
+                cached_plan = None
+                decision = RouteDecision(
+                    mode="single", executors=("pipeline",), reason="crash hook"
+                )
+            else:
+                cached_plan = engine.prepare(
+                    request.text, max_length=request.max_length, graph=request.snapshot
+                )
+                assert self._router is not None
+                decision = self._router.decide(
+                    cached_plan.optimized,
+                    engine.cost_model(request.snapshot),
+                    execution_mode=self.execution_mode,
+                    requested=requested,
+                )
+            # Workers forked before this request's version can't see its
+            # data; drift forks a fresh generation (no-op on the read path).
+            self._pool.ensure_version(version)
+            reply = self._pool.execute(
+                text=request.text,
+                params=request.params,
+                max_length=request.max_length,
+                executors=decision.executors,
+                limit=request.limit,
+                deadline=request.deadline,
+                max_visited=request.max_visited,
+                version=version,
+                num_nodes=request.snapshot.num_nodes(),
+                num_edges=request.snapshot.num_edges(),
+                race=decision.racing,
+            )
+        except Exception as error:  # parse/route/dispatch failure
+            return QueryOutcome(
+                text=request.text,
+                version=version,
+                params=params,
+                error=f"{type(error).__name__}: {error}",
+                worker=worker,
+                elapsed_seconds=time.monotonic() - started,
+                queued_seconds=queued,
+            )
+        route = "race" if reply.raced else "single"
+        common = dict(
+            text=request.text,
+            version=version,
+            params=params,
+            worker=reply.worker or worker,
+            route=route,
+            elapsed_seconds=time.monotonic() - started,
+            queued_seconds=queued,
+        )
+        if reply.kind == "worker-died":
+            return QueryOutcome(
+                **common,
+                error=reply.error or "worker process died",
+                worker_died=reply.worker_died,
+            )
+        if reply.kind == "budget":
+            return QueryOutcome(
+                **common,
+                timed_out=True,
+                budget_reason=reply.budget_reason,
+                paths_visited=reply.paths_visited,
+                depth_reached=reply.depth_reached,
+                stopped_at=reply.stopped_at,
+            )
+        if reply.kind == "error":
+            return QueryOutcome(**common, error=reply.error)
+        # Rehydrate the wire-encoded paths against the request's snapshot so
+        # process-mode outcomes reference the same pinned graph view as
+        # thread-mode ones.
+        paths = decode_paths(request.snapshot, reply.paths)
+        outcome = QueryOutcome(
+            **common,
+            paths=paths,
+            executor=reply.executor,
+            plan_cache_hit=reply.plan_cache_hit,
+            paths_visited=reply.paths_visited,
+            depth_reached=reply.depth_reached,
+        )
+        if params_tuple is not None and cached_plan is not None:
+            self.result_cache.put(
+                key,
+                _CachedResult(
+                    outcome=replace(outcome, paths=PathSet.from_unique(paths)),
+                    footprint=cached_plan.compute_footprint(),
+                ),
+            )
+        return outcome
+
     def _validate_entry(
         self, entry: _CachedResult, version: int
     ) -> QueryOutcome | None:
@@ -670,11 +952,13 @@ class QueryService:
     # ------------------------------------------------------------------
     def statistics(self) -> ServiceStatistics:
         """Return a point-in-time snapshot of the service counters."""
+        pool_stats = self._pool.statistics() if self._pool is not None else {}
         with self._stats_lock:
             return ServiceStatistics(
-                backend="thread",
+                backend="process" if self._pool is not None else "thread",
                 workers=self.workers,
                 invalidation=self.invalidation,
+                execution_mode=self.execution_mode,
                 submitted=self._submitted,
                 completed=self._completed,
                 failed=self._failed,
@@ -687,15 +971,23 @@ class QueryService:
                 result_cache_delta_rejected=self._delta_rejected,
                 queued_seconds_total=self._queued_seconds_total,
                 queued_seconds_max=self._queued_seconds_max,
+                worker_died=self._worker_died,
+                requeued=pool_stats.get("requeued", 0),
+                reforks=pool_stats.get("reforks", 0),
+                races=pool_stats.get("races", 0),
+                race_wins=pool_stats.get("race_wins", {}),
                 plan_cache=self.plan_cache.stats(),
                 result_cache=self.result_cache.stats(),
+                pool=pool_stats,
             )
 
-    def close(self) -> None:
+    def close(self, pool_deadline: float = 5.0) -> None:
         """Stop accepting submissions, drain the queue, and join the workers.
 
-        Already-submitted queries are served before the workers exit.
-        Idempotent; the service cannot be reopened.
+        Already-submitted queries are served before the workers exit; the
+        worker-process pool (if any) is then shut down within
+        ``pool_deadline`` seconds — poison pills first, ``terminate()`` for
+        whoever overstays.  Idempotent; the service cannot be reopened.
         """
         with self._stats_lock:
             already_closed = self._closed
@@ -712,6 +1004,10 @@ class QueryService:
                 self._queue.put(_SHUTDOWN)
             for thread in self._threads:
                 thread.join()
+        if self._pool is not None:
+            # After the dispatcher threads joined, no query is in flight —
+            # the pool drains instantly unless a worker is wedged.
+            self._pool.close(deadline=pool_deadline)
 
     def __enter__(self) -> "QueryService":
         return self
