@@ -65,7 +65,13 @@ from repro.engine import (
     ResultCursor,
     bind_paths,
 )
-from repro.errors import BudgetExceeded, ParameterError, PathAlgebraError, WalCorruptError
+from repro.errors import (
+    BudgetExceeded,
+    ParameterError,
+    PathAlgebraError,
+    ServiceOverloadedError,
+    WalCorruptError,
+)
 from repro.execution import QueryBudget
 from repro.graph import (
     DurableStore,
@@ -82,7 +88,9 @@ from repro.gql import parse_query, plan_query, plan_text
 from repro.optimizer import Optimizer, optimize
 from repro.paths import Path, PathSet
 from repro.rpq import CompileOptions, compile_regex, parse_regex
+from repro.server import ReproClient, ReproServer
 from repro.service import (
+    LatencyHistogram,
     QueryOutcome,
     QueryService,
     QueryTicket,
@@ -116,6 +124,7 @@ __all__ = [
     "BudgetExceeded",
     "ParameterError",
     "PathAlgebraError",
+    "ServiceOverloadedError",
     "WalCorruptError",
     # graph
     "PropertyGraph",
@@ -187,6 +196,10 @@ __all__ = [
     "QueryTicket",
     "ServiceStatistics",
     "StripedLRUCache",
+    "LatencyHistogram",
+    # network front-end
+    "ReproServer",
+    "ReproClient",
     # datasets
     "figure1_graph",
     "ldbc_like_graph",

@@ -12,7 +12,14 @@ Subcommands:
 * ``serve``    — run a batch of queries through the concurrent
   :class:`~repro.service.QueryService` (worker pool, snapshot isolation,
   shared plan/result caches), reading one query per line from ``--batch-file``
-  or stdin;
+  or stdin; with ``--listen HOST:PORT`` it instead serves the database over
+  TCP (JSONL protocol + HTTP/1.1) until interrupted, draining in-flight
+  queries on shutdown;
+* ``replay``   — record (``replay record``), synthesize (``replay
+  generate``) and replay (``replay run``) query traces: ``run`` replays one
+  trace against several service configurations and reports byte-level
+  result diffs plus throughput/tail-latency per configuration — the
+  differential regression gate behind ``BENCH_replay.json``;
 * ``generate`` — write a synthetic graph (figure1 / ldbc / random / cycle /
   chain / grid) to a JSON file;
 * ``stats``    — print summary statistics of a graph file;
@@ -38,6 +45,14 @@ import time
 from pathlib import Path as FilePath
 
 from repro.api import Database, connect
+from repro.bench.replay import (
+    ReplayConfig,
+    Trace,
+    TraceRecorder,
+    build_trace_graph,
+    generate_ldbc_trace,
+    run_replay,
+)
 from repro.datasets.figure1 import figure1_graph
 from repro.datasets.generators import chain_graph, cycle_graph, grid_graph, random_graph
 from repro.datasets.ldbc import LDBCParameters, ldbc_like_graph
@@ -179,6 +194,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print every result path (default: print per-query counts only)",
     )
+    serve.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        default=None,
+        help="serve the database over TCP instead of running a batch: JSONL "
+        "protocol for sessions/streaming, HTTP/1.1 for GET /health, "
+        "GET /stats and POST /query (PORT 0 picks an ephemeral port); runs "
+        "until interrupted, then drains in-flight queries",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="with --listen: reject queries beyond this many concurrently "
+        "executing ones with a typed 429-shaped error (default: unlimited "
+        "at the server; the service submission queue still bounds admission)",
+    )
+    serve.add_argument(
+        "--fetch-size",
+        type=int,
+        default=64,
+        help="with --listen: rows per streaming page frame (default: 64)",
+    )
 
     explain = subparsers.add_parser("explain", help="show the plan without executing")
     _add_graph_arguments(explain)
@@ -198,6 +236,85 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--rows", type=int, default=5, help="grid: rows")
     generate.add_argument("--cols", type=int, default=5, help="grid: columns")
     generate.add_argument("--seed", type=int, default=42, help="random seed")
+
+    replay = subparsers.add_parser(
+        "replay", help="record, synthesize and differentially replay query traces"
+    )
+    replay_sub = replay.add_subparsers(dest="replay_command", required=True)
+
+    replay_generate = replay_sub.add_parser(
+        "generate",
+        help="synthesize a deterministic LDBC-interactive-style trace",
+    )
+    replay_generate.add_argument("--output", required=True, help="trace JSONL path")
+    replay_generate.add_argument(
+        "--events", type=int, default=50, help="number of queries in the trace"
+    )
+    replay_generate.add_argument("--seed", type=int, default=7, help="workload seed")
+    replay_generate.add_argument(
+        "--persons", type=int, default=50, help="ldbc graph: number of persons"
+    )
+    replay_generate.add_argument(
+        "--messages", type=int, default=100, help="ldbc graph: number of messages"
+    )
+    replay_generate.add_argument(
+        "--graph-seed", type=int, default=42, help="ldbc graph seed"
+    )
+    replay_generate.add_argument(
+        "--mean-gap",
+        type=float,
+        default=0.0,
+        help="mean inter-arrival gap in seconds (exponential; 0 = back-to-back)",
+    )
+
+    replay_record = replay_sub.add_parser(
+        "record",
+        help="execute a query batch and record it (text, params, version, "
+        "timestamps) into a replayable trace",
+    )
+    _add_graph_arguments(replay_record)
+    replay_record.add_argument("--output", required=True, help="trace JSONL path")
+    replay_record.add_argument(
+        "--batch-file",
+        default=None,
+        help="file with one query per line ('#' comments; default: stdin)",
+    )
+    replay_record.add_argument(
+        "--limit", type=int, default=None, help="per-query result limit"
+    )
+    replay_record.add_argument(
+        "--max-length", type=int, default=None, help="bound for WALK recursion"
+    )
+
+    replay_run = replay_sub.add_parser(
+        "run",
+        help="replay a trace against two or more configurations and diff the results",
+    )
+    replay_run.add_argument("trace", help="trace JSONL path (from generate/record)")
+    replay_run.add_argument(
+        "--config",
+        action="append",
+        default=None,
+        metavar="NAME=MODE:WORKERS[:INVALIDATION]",
+        help="a configuration to replay under, repeatable (e.g. "
+        "threads=threads:2, procs=processes:2:version); the first is the "
+        "baseline every other config is diffed against "
+        "(default: threads=threads:2 and serial=threads:0)",
+    )
+    replay_run.add_argument(
+        "--graph",
+        default=None,
+        help="graph JSON file to replay against (default: rebuild the "
+        "trace's recorded graph spec)",
+    )
+    replay_run.add_argument(
+        "--json", default=None, help="also write the report as BENCH-style JSON here"
+    )
+    replay_run.add_argument(
+        "--honor-pacing",
+        action="store_true",
+        help="sleep out the recorded inter-arrival gaps (open-loop replay)",
+    )
 
     stats = subparsers.add_parser("stats", help="print graph statistics")
     _add_graph_arguments(stats)
@@ -396,7 +513,61 @@ def _read_batch(args: argparse.Namespace) -> list[str]:
     return queries
 
 
+def _parse_listen(listen: str) -> tuple[str, int]:
+    host, separator, port = listen.rpartition(":")
+    if not separator or not host:
+        raise SystemExit(f"error: --listen expects HOST:PORT, got {listen!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise SystemExit(f"error: --listen port must be an integer, got {port!r}") from None
+
+
+def _command_listen(args: argparse.Namespace) -> int:
+    from repro.server import ReproServer
+
+    host, port = _parse_listen(args.listen)
+    with _open_database(
+        args,
+        optimize=not args.no_optimize,
+        default_max_length=args.max_length,
+        executor=args.executor,
+        plan_cache_size=args.plan_cache_size,
+        workers=args.workers,
+        execution_mode=args.execution_mode,
+    ) as db:
+        # Materialize the service now (with the serve-specific knobs) so the
+        # first query over the wire does not pay pool construction.
+        db.service(
+            workers=args.workers,
+            execution_mode=args.execution_mode,
+            result_cache_size=args.result_cache_size,
+            default_deadline=args.deadline,
+            default_max_visited=args.max_visited,
+        )
+        server = ReproServer(
+            db,
+            host=host,
+            port=port,
+            fetch_size=args.fetch_size,
+            max_inflight=args.max_inflight,
+        )
+        server.start()
+        # The parseable contract line tests and scripts wait for.
+        print(f"listening on {server.host}:{server.port}", flush=True)
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            print("# draining ...", file=sys.stderr)
+        finally:
+            server.stop(drain=True)
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
+    if args.listen is not None:
+        return _command_listen(args)
     queries = _read_batch(args)
     if not queries:
         print("error: no queries to serve", file=sys.stderr)
@@ -510,6 +681,143 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_replay_config(spec: str) -> ReplayConfig:
+    """Parse ``NAME=MODE:WORKERS[:INVALIDATION]`` into a :class:`ReplayConfig`."""
+    name, separator, rest = spec.partition("=")
+    if not separator or not name or not rest:
+        raise SystemExit(
+            f"error: --config expects NAME=MODE:WORKERS[:INVALIDATION], got {spec!r}"
+        )
+    pieces = rest.split(":")
+    if len(pieces) not in (2, 3):
+        raise SystemExit(
+            f"error: --config expects NAME=MODE:WORKERS[:INVALIDATION], got {spec!r}"
+        )
+    mode = pieces[0]
+    if mode not in EXECUTION_MODES:
+        raise SystemExit(
+            f"error: unknown execution mode {mode!r}; expected one of "
+            f"{', '.join(EXECUTION_MODES)}"
+        )
+    try:
+        workers = int(pieces[1])
+    except ValueError:
+        raise SystemExit(f"error: --config worker count must be an integer in {spec!r}") from None
+    invalidation = pieces[2] if len(pieces) == 3 else "delta"
+    return ReplayConfig(
+        name=name, execution_mode=mode, workers=workers, invalidation=invalidation
+    )
+
+
+def _command_replay(args: argparse.Namespace) -> int:
+    if args.replay_command == "generate":
+        trace = generate_ldbc_trace(
+            num_events=args.events,
+            seed=args.seed,
+            parameters=LDBCParameters(
+                num_persons=args.persons,
+                num_messages=args.messages,
+                seed=args.graph_seed,
+            ),
+            mean_gap_seconds=args.mean_gap,
+        )
+        trace.save(args.output)
+        print(
+            f"wrote {len(trace.events)} events (seed {args.seed}, "
+            f"{args.persons}p/{args.messages}m ldbc graph) to {args.output}"
+        )
+        return 0
+
+    if args.replay_command == "record":
+        queries = _read_batch(args)
+        if not queries:
+            print("error: no queries to record", file=sys.stderr)
+            return 1
+        spec: dict = {}
+        if not getattr(args, "graph", None) and getattr(args, "dataset", None) == "ldbc":
+            defaults = LDBCParameters()
+            spec = {
+                "kind": "ldbc",
+                "num_persons": defaults.num_persons,
+                "num_messages": defaults.num_messages,
+                "num_forums": defaults.num_forums,
+                "avg_knows_degree": defaults.avg_knows_degree,
+                "avg_likes_per_person": defaults.avg_likes_per_person,
+                "knows_reciprocity": defaults.knows_reciprocity,
+                "seed": defaults.seed,
+            }
+        recorder = TraceRecorder(FilePath(args.output).stem, graph_spec=spec)
+        db = _open_database(args, default_max_length=args.max_length)
+        try:
+            with db.session(limit=args.limit, max_length=args.max_length) as session:
+                recording = recorder.wrap(session)
+                for text in queries:
+                    cursor = recording.execute(text, limit=args.limit)
+                    cursor.fetchall()
+                    cursor.close()
+        finally:
+            db.close()
+        recorder.trace.save(args.output)
+        note = "" if spec else " (no graph spec recorded: pass --graph at run time)"
+        print(f"recorded {len(recorder.trace.events)} events to {args.output}{note}")
+        return 0
+
+    # replay run
+    trace = Trace.load(args.trace)
+    configs = [
+        _parse_replay_config(spec)
+        for spec in (args.config or ["threads=threads:2", "serial=threads:0"])
+    ]
+    if len({config.name for config in configs}) != len(configs):
+        raise SystemExit("error: --config names must be unique")
+    if args.honor_pacing:
+        configs = [
+            ReplayConfig(
+                name=config.name,
+                execution_mode=config.execution_mode,
+                workers=config.workers,
+                invalidation=config.invalidation,
+                honor_pacing=True,
+            )
+            for config in configs
+        ]
+    if args.graph:
+        path = FilePath(args.graph)
+        graph = load_json(path) if path.suffix == ".json" else load_csv(path)
+    else:
+        graph = build_trace_graph(trace)
+    report = run_replay(trace, configs, json_path=args.json, graph=graph)
+    for entry in report["entries"]:
+        print(
+            f"# {entry['config']:12s} {entry['execution_mode']}:{entry['workers']}"
+            f" ({entry['invalidation']})  {entry['throughput_qps']:8.1f} q/s"
+            f"  p50 {entry['latency_p50_ms']:7.2f} ms"
+            f"  p95 {entry['latency_p95_ms']:7.2f} ms"
+            f"  p99 {entry['latency_p99_ms']:7.2f} ms"
+            f"  failures {entry['failures']}"
+        )
+    total_mismatches = 0
+    for name, mismatches in report["diffs"].items():
+        for mismatch in mismatches:
+            total_mismatches += 1
+            print(
+                f"# DIFF [{report['baseline']} vs {name}] event {mismatch['index']}: "
+                f"{mismatch['text']}"
+            )
+    if total_mismatches:
+        print(
+            f"# RESULT MISMATCH: {total_mismatches} event(s) diverged from "
+            f"baseline {report['baseline']!r}",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        f"# replayed {len(trace.events)} events under {len(configs)} configuration(s): "
+        "results byte-identical"
+    )
+    return 0
+
+
 def _command_stats(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     stats = compute_statistics(graph)
@@ -574,6 +882,7 @@ def _command_wal(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "query": _command_query,
     "serve": _command_serve,
+    "replay": _command_replay,
     "explain": _command_explain,
     "generate": _command_generate,
     "stats": _command_stats,

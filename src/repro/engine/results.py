@@ -11,6 +11,7 @@ path-query answers as ordinary tuples.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Sequence
@@ -179,6 +180,17 @@ class ResultCursor:
     A :class:`~repro.errors.BudgetExceeded` raised mid-stream (deadline or
     resource cap) closes the cursor, finalizes the partial-progress counters
     into :attr:`statistics`, and propagates to the consumer.
+
+    Thread-safety: iteration is single-consumer, but :meth:`close` may be
+    called from *any* thread, any number of times — the contract the network
+    front-end's teardown path relies on (the event loop closes a cursor while
+    an executor thread is suspended inside :meth:`fetchmany`).  One lock
+    serializes each single-path pull against ``close``: a concurrent close
+    waits for the in-flight pull to hand its path over, then closes the
+    underlying generator exactly once (never while it is executing, which
+    would raise ``ValueError``), and the interrupted ``fetchmany`` returns
+    the partial batch it had.  Statistics finalize exactly once however many
+    closers race.
     """
 
     def __init__(
@@ -218,6 +230,10 @@ class ResultCursor:
         self._returned = 0
         self._closed = False
         self._exhausted = False
+        self._finalized = False
+        # Serializes pulls against cross-thread close(); reentrant because a
+        # pull that finishes the stream finalizes while already holding it.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Iteration
@@ -226,42 +242,43 @@ class ResultCursor:
         return self
 
     def __next__(self) -> Path:
-        if self._closed or self._exhausted:
-            raise StopIteration
-        if self._limit is not None and self._returned >= self._limit:
-            # The limit cut the stream; one probe pull decides whether it
-            # actually mattered (mirrors PipelineExecutor's probe).
-            if self.truncated is None:
-                self.truncated = next(self._source, None) is not None
-                if not self.truncated:
-                    self.total_paths = self._returned
-            self._finish_stream()
-            raise StopIteration
-        try:
-            path = next(self._source)
-        except StopIteration:
-            if self.truncated is None:
-                self.truncated = False
-                self.total_paths = self._returned
-            self._finish_stream()
-            raise
-        except BudgetExceeded:
-            self._closed = True
-            self._release_source()
-            self._finalize()
-            raise
-        self._returned += 1
-        if self._budget is not None:
-            # The result-size cap applies to what the caller receives; a
-            # streaming consumer trips it on the offending fetch.
+        with self._lock:
+            if self._closed or self._exhausted:
+                raise StopIteration
+            if self._limit is not None and self._returned >= self._limit:
+                # The limit cut the stream; one probe pull decides whether it
+                # actually mattered (mirrors PipelineExecutor's probe).
+                if self.truncated is None:
+                    self.truncated = next(self._source, None) is not None
+                    if not self.truncated:
+                        self.total_paths = self._returned
+                self._finish_stream()
+                raise StopIteration
             try:
-                self._budget.check_result_size(self._returned, "result")
+                path = next(self._source)
+            except StopIteration:
+                if self.truncated is None:
+                    self.truncated = False
+                    self.total_paths = self._returned
+                self._finish_stream()
+                raise
             except BudgetExceeded:
                 self._closed = True
                 self._release_source()
                 self._finalize()
                 raise
-        return path
+            self._returned += 1
+            if self._budget is not None:
+                # The result-size cap applies to what the caller receives; a
+                # streaming consumer trips it on the offending fetch.
+                try:
+                    self._budget.check_result_size(self._returned, "result")
+                except BudgetExceeded:
+                    self._closed = True
+                    self._release_source()
+                    self._finalize()
+                    raise
+            return path
 
     def _finish_stream(self) -> None:
         self._exhausted = True
@@ -333,20 +350,28 @@ class ResultCursor:
         return self._returned
 
     def close(self) -> None:
-        """Stop the stream and finalize statistics; idempotent.
+        """Stop the stream and finalize statistics; idempotent and thread-safe.
 
         Abandoned upstream work is released (the pipeline's suspended
         generators are closed), and the budget's partial-progress counters
         are captured into :attr:`statistics` even when the stream was not
-        consumed to the end.
+        consumed to the end.  Safe to call from any thread, any number of
+        times, including while another thread is mid-``fetchmany``: the call
+        waits for the in-flight pull to complete, so the generator is never
+        closed while executing and the fetching thread sees a clean
+        end-of-stream on its next pull.
         """
-        if self.closed:
-            return
-        self._closed = True
-        self._release_source()
-        self._finalize()
+        with self._lock:
+            if self.closed:
+                return
+            self._closed = True
+            self._release_source()
+            self._finalize()
 
     def _finalize(self) -> None:
+        if self._finalized:
+            return
+        self._finalized = True
         self.statistics.capture_budget(self._budget)
         now = time.perf_counter()
         self.phase_seconds["execute"] = (

@@ -59,6 +59,37 @@ class ServiceError(PathAlgebraError):
     """The concurrent query service was misused (closed, stale, or misconfigured)."""
 
 
+class ServiceOverloadedError(ServiceError):
+    """A submission was *rejected* because the service is at capacity.
+
+    Raised by :meth:`~repro.service.QueryService.try_submit` when the bounded
+    submission queue is full (where :meth:`submit` would block instead), and
+    by the network front-end when its in-flight cap is reached — the typed,
+    HTTP-429-shaped admission-control signal: the request was never enqueued
+    and made no progress, so the caller may safely retry after backing off.
+
+    Attributes:
+        pending: Requests waiting or executing when the rejection happened
+            (``None`` when the rejecting layer does not track it).
+        capacity: The admission limit that was hit.
+    """
+
+    #: The HTTP status the network front-end maps this rejection to.
+    status = 429
+
+    def __init__(
+        self,
+        message: str = "service is at capacity; submission rejected",
+        pending: int | None = None,
+        capacity: int | None = None,
+    ) -> None:
+        self.pending = pending
+        self.capacity = capacity
+        if pending is not None or capacity is not None:
+            message = f"{message} ({pending}/{capacity} pending)"
+        super().__init__(message)
+
+
 class BudgetExceeded(PathAlgebraError):
     """A query exceeded its :class:`~repro.execution.QueryBudget` and was cancelled.
 

@@ -1,0 +1,26 @@
+"""Network serving: JSONL/HTTP front-end over the concurrent query service.
+
+* :class:`ReproServer` — asyncio TCP server (own event-loop thread) with
+  per-connection snapshot-pinned sessions, streaming cursor pages,
+  admission control and graceful drain;
+* :class:`ReproClient` — the blocking JSONL client with typed-error parity
+  (wire failures raise the same exceptions as the in-process API);
+* :mod:`repro.server.protocol` — the frame vocabulary both sides share.
+"""
+
+from repro.server.client import RemoteRows, ReproClient
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    RemoteQueryError,
+)
+from repro.server.server import ReproServer
+
+__all__ = [
+    "ReproServer",
+    "ReproClient",
+    "RemoteRows",
+    "RemoteQueryError",
+    "ProtocolError",
+    "PROTOCOL_VERSION",
+]

@@ -1,0 +1,309 @@
+"""A blocking client for :class:`~repro.server.ReproServer`'s JSONL protocol.
+
+:class:`ReproClient` is deliberately synchronous — plain sockets, no event
+loop — so tests can drive many concurrent clients from ordinary threads and
+the replay harness can pace requests without async plumbing.  One client is
+one server-side session: every query it runs sees the graph version pinned
+when the connection was accepted (:attr:`ReproClient.version`), until
+:meth:`refresh` re-pins.
+
+Error frames come back as the same typed exceptions the in-process API
+raises (:class:`~repro.errors.ServiceOverloadedError` on admission
+rejection, :class:`~repro.errors.BudgetExceeded` — partial progress
+included — on a budget kill), so calling code cannot tell the wire from the
+library.  That symmetry is the point: the server test suite runs identical
+assertions against both.
+
+Not thread-safe: one client per thread (the protocol is strictly
+request-response per connection).
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Iterator, Mapping
+
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    raise_for_frame,
+)
+
+__all__ = ["ReproClient", "RemoteRows"]
+
+
+class RemoteRows:
+    """The materialized result of one remote query.
+
+    Attributes:
+        rows: The JSON binding records, one per path, in canonical order.
+        count: ``len(rows)`` as reported by the server's ``done`` frame.
+        version: Graph version the query executed at.
+        executor: Executor attribution (empty for streamed queries).
+        elapsed_seconds: Server-side execution time (0.0 for streamed).
+        result_cache_hit: Whether the server served the result from cache.
+    """
+
+    __slots__ = (
+        "rows",
+        "count",
+        "version",
+        "executor",
+        "elapsed_seconds",
+        "result_cache_hit",
+    )
+
+    def __init__(self, rows: list[dict], done: Mapping[str, Any]) -> None:
+        self.rows = rows
+        self.count = int(done.get("count", len(rows)))
+        self.version = int(done.get("version", -1))
+        self.executor = str(done.get("executor", ""))
+        self.elapsed_seconds = float(done.get("elapsed_seconds", 0.0))
+        self.result_cache_hit = bool(done.get("result_cache_hit", False))
+
+    def paths(self) -> list[str]:
+        """The canonical path renderings, one per row."""
+        return [row["path"] for row in self.rows]
+
+    def rendered(self) -> str:
+        """One-path-per-line canonical rendering.
+
+        Byte-identical to :meth:`repro.service.QueryOutcome.rendered` for
+        the same query at the same version — the wire-parity contract.
+        """
+        return "\n".join(self.paths())
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+
+class ReproClient:
+    """Blocking JSONL client; context-manager friendly.
+
+    Args:
+        host: Server host.
+        port: Server port.
+        timeout: Socket timeout in seconds applied to every receive —
+            a guard so protocol bugs fail tests instead of hanging them.
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float | None = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        self._next_id = 0
+        self._closed = False
+        self.version = -1
+        self.protocol = 0
+        hello = self._roundtrip({"op": "hello"})
+        if hello.get("type") == "hello":
+            self.version = int(hello.get("version", -1))
+            self.protocol = int(hello.get("protocol", 0))
+            if self.protocol != PROTOCOL_VERSION:
+                raise ProtocolError(
+                    f"server speaks protocol {self.protocol}, client expects {PROTOCOL_VERSION}"
+                )
+
+    # ------------------------------------------------------------------
+    # Wire primitives
+    # ------------------------------------------------------------------
+    def _request_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def _send(self, frame: Mapping[str, Any]) -> None:
+        self._sock.sendall(encode_frame(frame))
+
+    def _recv(self) -> dict:
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        frame = decode_frame(line)
+        raise_for_frame(frame)
+        return frame
+
+    def _roundtrip(self, frame: dict) -> dict:
+        frame.setdefault("id", self._request_id())
+        self._send(frame)
+        return self._recv()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        text: str,
+        params: Mapping[str, Any] | None = None,
+        **options: Any,
+    ) -> RemoteRows:
+        """Run a query and materialize all rows.
+
+        ``options`` are the wire knobs: ``limit``, ``max_length``,
+        ``deadline`` (seconds), ``max_visited``, ``executor``,
+        ``stream`` (force the streaming path), ``fetch_size``.
+
+        Raises the typed exception the server reported on failure.
+        """
+        rows: list[dict] = []
+        done: Mapping[str, Any] = {}
+        for frame in self._query_frames(text, params, options):
+            if frame["type"] == "page":
+                rows.extend(frame.get("rows", ()))
+            elif frame["type"] == "done":
+                done = frame
+        return RemoteRows(rows, done)
+
+    def query_iter(
+        self,
+        text: str,
+        params: Mapping[str, Any] | None = None,
+        **options: Any,
+    ) -> Iterator[dict]:
+        """Stream a query's rows one at a time (forces the streaming path).
+
+        The generator pulls pages lazily: an unbounded walk can be sipped
+        and abandoned — closing the client (or :meth:`abort`) tears the
+        stream down server-side.
+        """
+        options.setdefault("stream", True)
+        for frame in self._query_frames(text, params, options):
+            if frame["type"] == "page":
+                yield from frame.get("rows", ())
+
+    def _query_frames(
+        self,
+        text: str,
+        params: Mapping[str, Any] | None,
+        options: Mapping[str, Any],
+    ) -> Iterator[dict]:
+        frame: dict = {"op": "query", "id": self._request_id(), "text": text}
+        if params:
+            frame["params"] = dict(params)
+        for knob in (
+            "stream",
+            "fetch_size",
+            "limit",
+            "max_length",
+            "deadline",
+            "max_visited",
+            "max_results",
+            "executor",
+        ):
+            if options.get(knob) is not None:
+                frame[knob] = options[knob]
+        self._send(frame)
+        while True:
+            received = self._recv()
+            yield received
+            if received["type"] == "done":
+                return
+
+    # ------------------------------------------------------------------
+    # Prepared statements
+    # ------------------------------------------------------------------
+    def prepare(
+        self, name: str, text: str, max_length: int | None = None
+    ) -> list[str]:
+        """Prepare ``text`` under ``name`` server-side; returns its parameters."""
+        frame: dict = {"op": "prepare", "name": name, "text": text}
+        if max_length is not None:
+            frame["max_length"] = max_length
+        reply = self._roundtrip(frame)
+        return list(reply.get("parameters", ()))
+
+    def execute(
+        self,
+        name: str,
+        params: Mapping[str, Any] | None = None,
+        **options: Any,
+    ) -> RemoteRows:
+        """Execute a prepared statement with the given bindings."""
+        rows: list[dict] = []
+        done: Mapping[str, Any] = {}
+        frame: dict = {"op": "execute", "id": self._request_id(), "name": name}
+        if params:
+            frame["params"] = dict(params)
+        for knob in ("limit", "deadline", "max_visited", "executor", "stream"):
+            if options.get(knob) is not None:
+                frame[knob] = options[knob]
+        self._send(frame)
+        while True:
+            received = self._recv()
+            if received["type"] == "page":
+                rows.extend(received.get("rows", ()))
+            elif received["type"] == "done":
+                done = received
+                break
+        return RemoteRows(rows, done)
+
+    # ------------------------------------------------------------------
+    # Session control
+    # ------------------------------------------------------------------
+    def refresh(self) -> int:
+        """Re-pin the server-side session to the latest graph version."""
+        reply = self._roundtrip({"op": "refresh"})
+        self.version = int(reply.get("version", self.version))
+        return self.version
+
+    def stats(self) -> dict:
+        """The server's statistics snapshot."""
+        return dict(self._roundtrip({"op": "stats"}).get("statistics", {}))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Polite shutdown: sends ``close``, waits for ``bye``; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._send({"op": "close", "id": self._request_id()})
+            self._file.readline()
+        except OSError:
+            pass
+        finally:
+            self._teardown()
+
+    def abort(self) -> None:
+        """Impolite shutdown: drop the socket with no goodbye.
+
+        Simulates a client crash / network partition — the disconnect-test
+        lever for asserting the server reclaims mid-stream cursors.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            # RST instead of FIN where the platform honors SO_LINGER(0):
+            # the hardest disconnect we can produce from userspace.
+            self._sock.setsockopt(
+                socket.SOL_SOCKET,
+                socket.SO_LINGER,
+                b"\x01\x00\x00\x00\x00\x00\x00\x00",
+            )
+        except OSError:
+            pass
+        self._teardown()
+
+    def _teardown(self) -> None:
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -19,6 +19,7 @@ queries concurrently" and "Process-parallel execution"):
 """
 
 from repro.service.cache import StripedLRUCache
+from repro.service.latency import LatencyHistogram
 from repro.service.procpool import ProcessWorkerPool, WorkerDied
 from repro.service.service import (
     QueryOutcome,
@@ -33,6 +34,7 @@ __all__ = [
     "QueryTicket",
     "ServiceStatistics",
     "StripedLRUCache",
+    "LatencyHistogram",
     "ProcessWorkerPool",
     "WorkerDied",
 ]

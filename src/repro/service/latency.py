@@ -1,0 +1,157 @@
+"""Mergeable log-bucketed latency histograms for serving statistics.
+
+Tail latency is the serving metric that averages hide: one slow query in a
+hundred is invisible in a mean but defines the user experience.  This module
+provides the :class:`LatencyHistogram` behind the ``p50``/``p95``/``p99``
+numbers in :class:`~repro.service.service.ServiceStatistics`, the network
+front-end's wire statistics, and the replay harness's regression reports.
+
+Design constraints, in order:
+
+* **O(1) memory** — a histogram observing millions of requests must not keep
+  them; observations land in geometrically spaced buckets (factor 2 from
+  1 µs to ~4500 s, ~32 buckets), so a percentile is accurate to within one
+  bucket width (a factor-of-two bound — the right resolution for latency,
+  where regressions of interest are multiplicative).
+* **Mergeable** — bucket counts add, so histograms from several workers,
+  processes or service instances fold into one whose percentiles are exact
+  over the union (unlike merging precomputed percentiles, which is
+  meaningless).  :meth:`summary` emits a plain-dict form that survives JSON
+  and pickling; :meth:`from_summary` reconstructs, and
+  :meth:`merge_summaries` folds two summaries without leaving dict-land —
+  that is what :meth:`ServiceStatistics.merge` uses.
+* **No third-party deps** — stdlib ``bisect`` over precomputed bounds.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Mapping
+
+__all__ = ["LatencyHistogram"]
+
+#: Geometric bucket upper bounds in seconds: 1 µs, 2 µs, ... doubling up to
+#: ~4500 s.  Everything above the last bound lands in a final overflow bucket.
+_BOUNDS: tuple[float, ...] = tuple(1e-6 * (2.0**index) for index in range(32))
+
+
+class LatencyHistogram:
+    """A fixed-size log-bucketed histogram of durations in seconds."""
+
+    __slots__ = ("_counts", "count", "total_seconds", "max_seconds", "min_seconds")
+
+    def __init__(self) -> None:
+        self._counts = [0] * (len(_BOUNDS) + 1)
+        self.count = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+        self.min_seconds = float("inf")
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def observe(self, seconds: float) -> None:
+        """Record one duration (negative values clamp to zero)."""
+        if seconds < 0.0:
+            seconds = 0.0
+        self._counts[bisect_left(_BOUNDS, seconds)] += 1
+        self.count += 1
+        self.total_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+        if seconds < self.min_seconds:
+            self.min_seconds = seconds
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def percentile(self, quantile: float) -> float:
+        """The upper bound of the bucket holding the ``quantile`` rank.
+
+        Returns 0.0 on an empty histogram.  The answer overestimates the true
+        percentile by at most one bucket (a factor of two) and is additionally
+        clamped to the exact observed maximum, so ``percentile(1.0)`` is the
+        true max.
+        """
+        if not 0.0 <= quantile <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {quantile}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(quantile * self.count + 0.9999999))
+        seen = 0
+        for index, bucket_count in enumerate(self._counts):
+            seen += bucket_count
+            if seen >= rank:
+                bound = _BOUNDS[index] if index < len(_BOUNDS) else self.max_seconds
+                return min(bound, self.max_seconds)
+        return self.max_seconds  # pragma: no cover - rank <= count by construction
+
+    @property
+    def mean_seconds(self) -> float:
+        """Arithmetic mean of the observed durations (0.0 when empty)."""
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        """A JSON-safe dict: count, total/max/mean, p50/p95/p99, sparse buckets.
+
+        The ``buckets`` mapping (bucket index → count, non-empty only) plus
+        ``count``/``total_seconds``/``max_seconds`` is the complete mergeable
+        state; the percentile fields are derived conveniences recomputed on
+        merge, never added together.
+        """
+        return {
+            "count": self.count,
+            "total_seconds": self.total_seconds,
+            "mean_seconds": self.mean_seconds,
+            "min_seconds": self.min_seconds if self.count else 0.0,
+            "max_seconds": self.max_seconds,
+            "p50_seconds": self.percentile(0.50),
+            "p95_seconds": self.percentile(0.95),
+            "p99_seconds": self.percentile(0.99),
+            "buckets": {
+                str(index): bucket_count
+                for index, bucket_count in enumerate(self._counts)
+                if bucket_count
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other`` into this histogram in place; returns ``self``."""
+        for index, bucket_count in enumerate(other._counts):
+            self._counts[index] += bucket_count
+        self.count += other.count
+        self.total_seconds += other.total_seconds
+        self.max_seconds = max(self.max_seconds, other.max_seconds)
+        self.min_seconds = min(self.min_seconds, other.min_seconds)
+        return self
+
+    @classmethod
+    def from_summary(cls, summary: Mapping) -> "LatencyHistogram":
+        """Reconstruct a histogram from a :meth:`summary` dict.
+
+        Only the mergeable state is read; derived percentile fields in the
+        input are ignored (and recomputed exactly from the buckets).
+        """
+        histogram = cls()
+        for key, bucket_count in (summary.get("buckets") or {}).items():
+            histogram._counts[int(key)] += int(bucket_count)
+        histogram.count = int(summary.get("count", 0))
+        histogram.total_seconds = float(summary.get("total_seconds", 0.0))
+        histogram.max_seconds = float(summary.get("max_seconds", 0.0))
+        if histogram.count:
+            histogram.min_seconds = float(summary.get("min_seconds", 0.0))
+        return histogram
+
+    @classmethod
+    def merge_summaries(cls, mine: Mapping, theirs: Mapping) -> dict:
+        """Fold two :meth:`summary` dicts into one with exact merged percentiles."""
+        return cls.from_summary(mine).merge(cls.from_summary(theirs)).summary()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LatencyHistogram(count={self.count}, mean={self.mean_seconds * 1e3:.2f}ms, "
+            f"p99={self.percentile(0.99) * 1e3:.2f}ms)"
+        )

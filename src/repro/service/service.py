@@ -51,13 +51,14 @@ from typing import Any, Mapping
 from repro.engine.engine import INVALIDATION_MODES, PathQueryEngine
 from repro.engine.executor import EXECUTOR_NAMES
 from repro.engine.router import EXECUTION_MODES, PortfolioRouter, RouteDecision
-from repro.errors import BudgetExceeded, ServiceError
+from repro.errors import BudgetExceeded, ServiceError, ServiceOverloadedError
 from repro.execution import QueryBudget
 from repro.graph.delta import QueryFootprint
 from repro.graph.model import PropertyGraph
 from repro.graph.snapshot import GraphSnapshot
 from repro.paths.pathset import PathSet
 from repro.service.cache import StripedLRUCache
+from repro.service.latency import LatencyHistogram
 from repro.service.procpool import (
     CRASH_QUERY,
     ProcessWorkerPool,
@@ -277,6 +278,7 @@ class ServiceStatistics:
     invalidation: str = "delta"
     execution_mode: str = "threads"
     submitted: int = 0
+    rejected: int = 0
     completed: int = 0
     failed: int = 0
     timed_out: int = 0
@@ -296,6 +298,14 @@ class ServiceStatistics:
     plan_cache: dict[str, Any] = field(default_factory=dict)
     result_cache: dict[str, Any] = field(default_factory=dict)
     pool: dict[str, Any] = field(default_factory=dict)
+    #: Per-dimension latency histograms as :meth:`LatencyHistogram.summary`
+    #: dicts — ``"query_seconds"`` (execution latency, queue wait excluded)
+    #: and ``"queue_wait_seconds"`` (submission-to-dequeue wait).  Each dict
+    #: carries ``count``/``mean``/``max`` and ``p50``/``p95``/``p99``
+    #: percentiles plus the raw bucket counts the percentiles derive from;
+    #: :meth:`merge` folds the buckets and *recomputes* the percentiles, so
+    #: merged tail latencies stay exact over the union.
+    latency: dict[str, Any] = field(default_factory=dict)
 
     def merge(self, other: "ServiceStatistics") -> "ServiceStatistics":
         """Aggregate two statistics snapshots into one (cross-process safe).
@@ -325,12 +335,23 @@ class ServiceStatistics:
                     merged[key] = value
             return merged
 
+        def merge_latency(mine: dict, theirs: dict) -> dict:
+            merged = {}
+            for key in sorted(set(mine) | set(theirs)):
+                a, b = mine.get(key), theirs.get(key)
+                if a and b:
+                    merged[key] = LatencyHistogram.merge_summaries(a, b)
+                else:
+                    merged[key] = dict(a or b or {})
+            return merged
+
         return ServiceStatistics(
             backend=tag(self.backend, other.backend),
             workers=self.workers + other.workers,
             invalidation=tag(self.invalidation, other.invalidation),
             execution_mode=tag(self.execution_mode, other.execution_mode),
             submitted=self.submitted + other.submitted,
+            rejected=self.rejected + other.rejected,
             completed=self.completed + other.completed,
             failed=self.failed + other.failed,
             timed_out=self.timed_out + other.timed_out,
@@ -354,6 +375,7 @@ class ServiceStatistics:
             plan_cache=merge_dicts(self.plan_cache, other.plan_cache),
             result_cache=merge_dicts(self.result_cache, other.result_cache),
             pool=merge_dicts(self.pool, other.pool),
+            latency=merge_latency(self.latency, other.latency),
         )
 
 
@@ -513,6 +535,7 @@ class QueryService:
         # submitters must not race on its unsynchronized per-version memos.
         self._inline_lock = threading.Lock()
         self._submitted = 0
+        self._rejected = 0
         self._completed = 0
         self._failed = 0
         self._timed_out = 0
@@ -525,6 +548,8 @@ class QueryService:
         self._delta_rejected = 0
         self._queued_seconds_total = 0.0
         self._queued_seconds_max = 0.0
+        self._latency = LatencyHistogram()
+        self._queue_wait = LatencyHistogram()
         self._closed = False
         self._queue: queue_module.Queue | None = None
         self._threads: list[threading.Thread] = []
@@ -543,6 +568,35 @@ class QueryService:
     # ------------------------------------------------------------------
     # Submission API
     # ------------------------------------------------------------------
+    def _build_request(
+        self,
+        text: str,
+        max_length: int | None,
+        executor: str | None,
+        limit: int | None,
+        deadline: float | None,
+        max_visited: int | None,
+        params: Mapping[str, Any] | None,
+        snapshot: GraphSnapshot | None,
+    ) -> _Request:
+        """Stamp and pin one request (caller holds ``_submit_lock``)."""
+        relative = deadline if deadline is not None else self.default_deadline
+        now = time.monotonic()
+        return _Request(
+            text=text,
+            max_length=max_length,
+            executor=executor,
+            limit=limit,
+            deadline=(now + relative) if relative is not None else None,
+            max_visited=(
+                max_visited if max_visited is not None else self.default_max_visited
+            ),
+            enqueued_at=now,
+            snapshot=snapshot if snapshot is not None else self.graph.snapshot(),
+            ticket=QueryTicket(),
+            params=dict(params) if params else None,
+        )
+
     def submit(
         self,
         text: str,
@@ -552,6 +606,7 @@ class QueryService:
         deadline: float | None = None,
         max_visited: int | None = None,
         params: Mapping[str, Any] | None = None,
+        snapshot: GraphSnapshot | None = None,
     ) -> QueryTicket:
         """Enqueue one query and return its :class:`QueryTicket`.
 
@@ -566,25 +621,19 @@ class QueryService:
         cache is keyed on the parameterized text (all bindings share one
         plan) while the result cache is keyed on text *and* bindings, so two
         bindings can never serve each other's results.
+
+        ``snapshot`` overrides the pin: pass an existing
+        :class:`~repro.graph.snapshot.GraphSnapshot` (e.g. a long-lived
+        session's) to evaluate at *that* version instead of the current one —
+        how the network front-end keeps every query of a connection on the
+        connection's pinned version.  The graph is append-only, so any worker
+        can serve any past version.
         """
-        relative = deadline if deadline is not None else self.default_deadline
         with self._submit_lock:
             if self._closed:
                 raise ServiceError("service is closed; no further submissions accepted")
-            now = time.monotonic()
-            request = _Request(
-                text=text,
-                max_length=max_length,
-                executor=executor,
-                limit=limit,
-                deadline=(now + relative) if relative is not None else None,
-                max_visited=(
-                    max_visited if max_visited is not None else self.default_max_visited
-                ),
-                enqueued_at=now,
-                snapshot=self.graph.snapshot(),
-                ticket=QueryTicket(),
-                params=dict(params) if params else None,
+            request = self._build_request(
+                text, max_length, executor, limit, deadline, max_visited, params, snapshot
             )
             if self._queue is not None:
                 # Bounded wait so a full queue cannot wedge the service:
@@ -600,6 +649,51 @@ class QueryService:
                             raise ServiceError(
                                 "service closed while waiting for queue space"
                             ) from None
+            with self._stats_lock:
+                self._submitted += 1
+        if self._queue is None:
+            with self._inline_lock:
+                self._serve(request, self._engines[0], "inline")
+        return request.ticket
+
+    def try_submit(
+        self,
+        text: str,
+        max_length: int | None = None,
+        executor: str | None = None,
+        limit: int | None = None,
+        deadline: float | None = None,
+        max_visited: int | None = None,
+        params: Mapping[str, Any] | None = None,
+        snapshot: GraphSnapshot | None = None,
+    ) -> QueryTicket:
+        """Non-blocking :meth:`submit`: reject instead of waiting for queue space.
+
+        The admission-control variant used by the network front-end.  When
+        the bounded submission queue is full, :meth:`submit` applies
+        back-pressure by blocking the producer; a network server cannot
+        block its event loop on a slow consumer, so this method raises a
+        typed :class:`~repro.errors.ServiceOverloadedError` instead (the
+        429-shaped signal: nothing was enqueued, retry after backoff).
+        Accepted submissions behave exactly like :meth:`submit`.
+        """
+        with self._submit_lock:
+            if self._closed:
+                raise ServiceError("service is closed; no further submissions accepted")
+            request = self._build_request(
+                text, max_length, executor, limit, deadline, max_visited, params, snapshot
+            )
+            if self._queue is not None:
+                try:
+                    self._queue.put_nowait(request)
+                except queue_module.Full:
+                    with self._stats_lock:
+                        self._rejected += 1
+                    raise ServiceOverloadedError(
+                        "submission queue is full",
+                        pending=self._queue.qsize(),
+                        capacity=self.max_pending,
+                    ) from None
             with self._stats_lock:
                 self._submitted += 1
         if self._queue is None:
@@ -654,6 +748,8 @@ class QueryService:
             self._queued_seconds_total += outcome.queued_seconds
             if outcome.queued_seconds > self._queued_seconds_max:
                 self._queued_seconds_max = outcome.queued_seconds
+            self._latency.observe(outcome.elapsed_seconds)
+            self._queue_wait.observe(outcome.queued_seconds)
         request.ticket._resolve(outcome)
 
     def _execute(self, request: _Request, engine: PathQueryEngine, worker: str) -> QueryOutcome:
@@ -960,6 +1056,7 @@ class QueryService:
                 invalidation=self.invalidation,
                 execution_mode=self.execution_mode,
                 submitted=self._submitted,
+                rejected=self._rejected,
                 completed=self._completed,
                 failed=self._failed,
                 timed_out=self._timed_out,
@@ -979,6 +1076,10 @@ class QueryService:
                 plan_cache=self.plan_cache.stats(),
                 result_cache=self.result_cache.stats(),
                 pool=pool_stats,
+                latency={
+                    "query_seconds": self._latency.summary(),
+                    "queue_wait_seconds": self._queue_wait.summary(),
+                },
             )
 
     def close(self, pool_deadline: float = 5.0) -> None:

@@ -366,6 +366,110 @@ class TestResultCursor:
             assert cursor.closed
 
 
+class TestCursorThreadSafety:
+    """close() from any thread, any number of times — the network front-end's
+    teardown contract (the event loop reclaims a cursor while an executor
+    thread is suspended inside ``fetchmany``)."""
+
+    LONG_WALK = "MATCH ALL WALK p = (?x)-[Knows]->*(?y)"
+
+    def test_double_close_is_idempotent(self, db) -> None:
+        cursor = db.execute("MATCH ALL TRAIL p = (?x)-[Knows]->(?y)")
+        cursor.fetchone()
+        cursor.close()
+        cursor.close()
+        cursor.close()
+        assert cursor.closed
+
+    def test_concurrent_close_from_many_threads(self) -> None:
+        import threading
+
+        db = connect(cycle_graph(8))
+        try:
+            with db.session() as session:
+                cursor = session.execute(
+                    self.LONG_WALK, executor="pipeline", max_length=600
+                )
+                cursor.fetchmany(16)
+                errors: list[BaseException] = []
+
+                def slam() -> None:
+                    try:
+                        cursor.close()
+                    except BaseException as exc:  # pragma: no cover - the bug
+                        errors.append(exc)
+
+                threads = [threading.Thread(target=slam) for _ in range(8)]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=10)
+                assert errors == []
+                assert cursor.closed
+                # Statistics finalized exactly once, to the pre-close count.
+                assert cursor.rows_returned == 16
+        finally:
+            db.close()
+
+    def test_close_during_fetchmany_returns_partial_batch(self) -> None:
+        """A close racing a suspended fetchmany must neither raise nor hang:
+        the fetch hands back whatever it had pulled so far."""
+        import threading
+        import time
+
+        db = connect(cycle_graph(8))
+        try:
+            with db.session() as session:
+                cursor = session.execute(
+                    self.LONG_WALK, executor="pipeline", max_length=600
+                )
+                outcome: dict = {}
+
+                def pull() -> None:
+                    try:
+                        outcome["rows"] = cursor.fetchmany(100_000)
+                    except BaseException as exc:  # pragma: no cover - the bug
+                        outcome["error"] = exc
+
+                puller = threading.Thread(target=pull)
+                puller.start()
+                time.sleep(0.02)  # let the fetch get mid-flight
+                cursor.close()
+                puller.join(timeout=10)
+                assert not puller.is_alive()
+                assert "error" not in outcome
+                assert isinstance(outcome["rows"], list)
+                assert cursor.closed
+        finally:
+            db.close()
+
+    def test_close_unblocks_repeated_fetch_loop(self) -> None:
+        """A reader looping fetchmany sees a clean end-of-stream (empty
+        batch), not an exception, after another thread closes the cursor."""
+        import threading
+
+        db = connect(cycle_graph(8))
+        try:
+            with db.session() as session:
+                cursor = session.execute(
+                    self.LONG_WALK, executor="pipeline", max_length=600
+                )
+                stopped = threading.Event()
+
+                def reader() -> None:
+                    while cursor.fetchmany(64):
+                        pass
+                    stopped.set()
+
+                thread = threading.Thread(target=reader)
+                thread.start()
+                cursor.close()
+                assert stopped.wait(timeout=10)
+                thread.join(timeout=10)
+        finally:
+            db.close()
+
+
 class TestCursorParity:
     """fetchmany/fetchall/iterator over the corpus == engine.query(...).paths."""
 

@@ -36,6 +36,7 @@ PUBLIC_API = [
     "GroupBy",
     "GroupByKey",
     "Join",
+    "LatencyHistogram",
     "MaterializeExecutor",
     "Node",
     "NodesScan",
@@ -62,11 +63,14 @@ PUBLIC_API = [
     "QueryService",
     "QueryTicket",
     "Recursive",
+    "ReproClient",
+    "ReproServer",
     "Restrictor",
     "ResultCursor",
     "Selection",
     "Selector",
     "SelectorKind",
+    "ServiceOverloadedError",
     "ServiceStatistics",
     "Session",
     "SolutionSpace",

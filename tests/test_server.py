@@ -1,0 +1,562 @@
+"""End-to-end tests for the network front-end (`repro.server`).
+
+The load-bearing contract is **wire parity**: a query through
+:class:`~repro.server.ReproClient` must be byte-identical to the same query
+through an in-process :class:`~repro.api.Session` at the same graph version
+— over the whole 50-graph corpus, under concurrent clients, and while
+writers mutate the live graph (the hypothesis suite stretches the service's
+snapshot-isolation acceptance property across the socket).
+
+The failure paths get the same weight as the happy ones:
+
+* a client that disconnects mid-stream must not leak the server-side cursor
+  (its suspended generator stack) — asserted via ``track_cursors``;
+* admission-control rejection is a typed 429-shaped frame that raises
+  :class:`~repro.errors.ServiceOverloadedError` client-side, never a hang;
+* a budget kill crosses the wire as :class:`~repro.errors.BudgetExceeded`
+  *with* its partial progress, same as in-process;
+* shutdown drains: during the drain window new queries get a typed
+  ``shutdown`` error, not a dropped connection.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from graph_corpus import closure_corpus
+from repro.api import connect
+from repro.datasets.figure1 import figure1_graph
+from repro.datasets.generators import cycle_graph
+from repro.engine.engine import PathQueryEngine
+from repro.errors import BudgetExceeded, ServiceError, ServiceOverloadedError
+from repro.graph.model import PropertyGraph
+from repro.server import ProtocolError, RemoteQueryError, ReproClient, ReproServer
+from repro.server.protocol import decode_frame, encode_frame
+
+QUERIES = (
+    "MATCH ALL TRAIL p = (?x)-[Knows]->(?y)",
+    "MATCH ALL TRAIL p = (?x)-[Knows/Knows]->(?y)",
+    "MATCH ALL ACYCLIC p = (?x)-[Knows+]->(?y)",
+)
+
+#: A walk over a cyclic graph.  Only the pipeline executor evaluates it
+#: lazily; the materializing one refuses with NonTerminatingQueryError,
+#: and even the pipeline raises mid-stream once its cycle detector trips
+#: unless the query is length-capped.
+UNBOUNDED_WALK = "MATCH ALL WALK p = (?x)-[Knows]->*(?y)"
+
+#: Capped-but-huge variant: on ``cycle_graph(8)`` this is ~4800 rows and
+#: >10 MB of path text — finite, so it never errors, but far more than the
+#: kernel socket buffers hold, so an unread stream parks the server at
+#: ``drain()`` with the cursor suspended.  The back-pressure hog of choice.
+LONG_WALK_OPTIONS = {"executor": "pipeline", "max_length": 600}
+
+
+def _hog_frame(request_id: int = 1) -> dict:
+    """A raw streaming frame for the huge capped walk (never read it)."""
+    return {
+        "op": "query",
+        "id": request_id,
+        "text": UNBOUNDED_WALK,
+        "stream": True,
+        **LONG_WALK_OPTIONS,
+    }
+
+EDGE_LABELS = ("Knows", "Likes")
+
+
+def _serial(graph: PropertyGraph, text: str, params=None) -> str:
+    """Cache-free in-process evaluation, canonically rendered."""
+    result = PathQueryEngine(graph, plan_cache_size=0).query(text, params=params)
+    return "\n".join(str(path) for path in result.paths.sorted())
+
+
+@pytest.fixture
+def served_figure1():
+    db = connect(figure1_graph())
+    server = ReproServer(db, track_cursors=True).start()
+    try:
+        yield db, server
+    finally:
+        server.stop()
+        db.close()
+
+
+class TestWireParity:
+    def test_corpus_byte_identity(self) -> None:
+        """Wire results equal in-process session results over all 50 graphs."""
+        for graph in closure_corpus():
+            db = connect(graph)
+            server = ReproServer(db).start()
+            try:
+                with ReproClient(server.host, server.port) as client:
+                    for text in QUERIES:
+                        remote = client.query(text)
+                        with db.session() as session:
+                            local = "\n".join(
+                                str(path)
+                                for path in session.query(text).paths.sorted()
+                            )
+                        assert remote.rendered() == local, (graph.name, text)
+            finally:
+                server.stop()
+                db.close()
+
+    def test_streaming_path_matches_service_path(self, served_figure1) -> None:
+        _, server = served_figure1
+        with ReproClient(server.host, server.port) as client:
+            for text in QUERIES:
+                service_rows = client.query(text)
+                streamed = sorted(
+                    row["path"] for row in client.query_iter(text, fetch_size=2)
+                )
+                assert sorted(service_rows.paths()) == streamed
+
+    def test_concurrent_clients_byte_identical(self, served_figure1) -> None:
+        db, server = served_figure1
+        expected = {text: _serial(db.graph, text) for text in QUERIES}
+        failures: list = []
+
+        def worker() -> None:
+            try:
+                with ReproClient(server.host, server.port) as client:
+                    for _ in range(3):
+                        for text in QUERIES:
+                            remote = client.query(text)
+                            if remote.rendered() != expected[text]:
+                                failures.append((text, remote.rendered()))
+            except Exception as error:  # noqa: BLE001 - surfaced via failures
+                failures.append(("exception", repr(error)))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+
+    def test_prepared_statement_parity(self, served_figure1) -> None:
+        db, server = served_figure1
+        text = "MATCH ANY SHORTEST TRAIL p = (?x {name: $name})-[:Knows]->+(?y)"
+        with ReproClient(server.host, server.port) as client:
+            parameters = client.prepare("who", text)
+            assert parameters == ["name"]
+            remote = client.execute("who", {"name": "Moe"})
+            assert remote.rendered() == _serial(db.graph, text, params={"name": "Moe"})
+
+    def test_session_pinned_across_mutation(self, served_figure1) -> None:
+        """A connected client keeps seeing its pinned version; refresh re-pins."""
+        db, server = served_figure1
+        text = QUERIES[0]
+        with ReproClient(server.host, server.port) as client:
+            before = client.query(text)
+            pinned = before.version
+            db.graph.add_node("zz", "Person", {"name": "zz"})
+            db.graph.add_edge("zze", "zz", "n1", "Knows")
+            after_mutation = client.query(text)
+            assert after_mutation.version == pinned
+            assert after_mutation.rendered() == before.rendered()
+            new_version = client.refresh()
+            assert new_version > pinned
+            refreshed = client.query(text)
+            assert refreshed.version == new_version
+            assert refreshed.rendered() == _serial(db.graph, text)
+
+
+class TestStreamingDisconnect:
+    def test_abort_mid_stream_closes_server_cursor(self) -> None:
+        """A dropped client mid-walk must not leak the suspended generator."""
+        db = connect(cycle_graph(8))
+        server = ReproServer(db, fetch_size=8, track_cursors=True).start()
+        try:
+            client = ReproClient(server.host, server.port)
+            stream = client.query_iter(UNBOUNDED_WALK, **LONG_WALK_OPTIONS)
+            for _ in range(4):  # sip a few rows of the huge stream
+                next(stream)
+            assert len(server.open_cursors()) == 1
+            client.abort()
+            deadline = time.monotonic() + 10.0
+            while server.open_cursors() and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert server.open_cursors() == []
+        finally:
+            server.stop()
+            db.close()
+
+    def test_no_cursor_leak_after_clean_streams(self, served_figure1) -> None:
+        _, server = served_figure1
+        with ReproClient(server.host, server.port) as client:
+            for _ in range(5):
+                list(client.query_iter(QUERIES[0]))
+        assert server.open_cursors() == []
+
+    def test_unread_client_suspends_not_crashes(self) -> None:
+        """TCP back-pressure suspends the stream; teardown still reclaims it."""
+        db = connect(cycle_graph(8))
+        server = ReproServer(db, fetch_size=64, track_cursors=True).start()
+        try:
+            client = ReproClient(server.host, server.port)
+            # Submit the huge walk and never read a byte: the server
+            # fills the socket buffer and parks at drain().
+            client._send(_hog_frame())
+            deadline = time.monotonic() + 10.0
+            while not server.open_cursors() and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert len(server.open_cursors()) == 1
+            client.abort()
+            deadline = time.monotonic() + 10.0
+            while server.open_cursors() and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert server.open_cursors() == []
+        finally:
+            server.stop()
+            db.close()
+
+
+class TestAdmissionControl:
+    def test_rejection_is_a_typed_frame_not_a_hang(self) -> None:
+        db = connect(cycle_graph(8))
+        server = ReproServer(db, max_inflight=1, fetch_size=64).start()
+        try:
+            hog = ReproClient(server.host, server.port)
+            # Saturate the single inflight slot with an unread huge
+            # stream (the server parks on TCP back-pressure).
+            hog._send(_hog_frame())
+            deadline = time.monotonic() + 10.0
+            while server._inflight == 0 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert server._inflight == 1
+            with ReproClient(server.host, server.port) as rejected:
+                started = time.monotonic()
+                with pytest.raises(ServiceOverloadedError) as caught:
+                    rejected.query(QUERIES[0])
+                assert time.monotonic() - started < 5.0  # typed reject, no hang
+                assert caught.value.pending == 1
+                assert caught.value.capacity == 1
+            assert server.statistics()["rejected"] >= 1
+            hog.abort()
+            # Once the hog unwinds, the slot frees and queries flow again.
+            deadline = time.monotonic() + 10.0
+            while server._inflight and time.monotonic() < deadline:
+                time.sleep(0.02)
+            with ReproClient(server.host, server.port) as client:
+                assert client.query(QUERIES[0]).count > 0
+        finally:
+            server.stop()
+            db.close()
+
+    def test_http_face_returns_429(self) -> None:
+        db = connect(cycle_graph(8))
+        server = ReproServer(db, max_inflight=1, fetch_size=64).start()
+        try:
+            hog = ReproClient(server.host, server.port)
+            hog._send(_hog_frame())
+            deadline = time.monotonic() + 10.0
+            while server._inflight == 0 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            request = urllib.request.Request(
+                f"http://{server.host}:{server.port}/query",
+                data=json.dumps({"text": QUERIES[0]}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                urllib.request.urlopen(request, timeout=10)
+            assert caught.value.code == 429
+            body = json.loads(caught.value.read())
+            assert body["capacity"] == 1
+            hog.abort()
+        finally:
+            server.stop()
+            db.close()
+
+
+class TestBudgetOverTheWire:
+    def test_budget_kill_carries_partial_progress(self, served_figure1) -> None:
+        _, server = served_figure1
+        with ReproClient(server.host, server.port) as client:
+            with pytest.raises(BudgetExceeded) as caught:
+                client.query("MATCH ALL TRAIL p = (?x)-[Knows+]->(?y)", max_visited=2)
+            assert caught.value.reason == "max_visited"
+            assert caught.value.paths_visited >= 2
+            assert caught.value.stopped_at  # names the operator, not empty
+
+    def test_streaming_budget_kill_is_typed(self) -> None:
+        db = connect(cycle_graph(3))
+        server = ReproServer(db, fetch_size=4).start()
+        try:
+            with ReproClient(server.host, server.port) as client:
+                stream = client.query_iter(
+                    UNBOUNDED_WALK, max_visited=16, **LONG_WALK_OPTIONS
+                )
+                with pytest.raises(BudgetExceeded) as caught:
+                    for _ in stream:
+                        pass
+                assert caught.value.reason == "max_visited"
+                assert caught.value.paths_visited >= 16
+        finally:
+            server.stop()
+            db.close()
+
+    def test_deadline_already_expired(self, served_figure1) -> None:
+        _, server = served_figure1
+        with ReproClient(server.host, server.port) as client:
+            with pytest.raises(BudgetExceeded) as caught:
+                client.query(QUERIES[0], deadline=-1.0)
+            assert caught.value.reason == "deadline"
+
+
+class TestProtocolErrors:
+    def test_malformed_frame_gets_typed_error(self, served_figure1) -> None:
+        _, server = served_figure1
+        with socket.create_connection((server.host, server.port), timeout=10) as raw:
+            raw.sendall(b"this is not json\n")
+            reply = decode_frame(raw.makefile("rb").readline())
+        assert reply["type"] == "error"
+        assert reply["code"] == "protocol"
+        assert reply["status"] == 400
+
+    def test_unknown_op(self, served_figure1) -> None:
+        _, server = served_figure1
+        with socket.create_connection((server.host, server.port), timeout=10) as raw:
+            raw.sendall(encode_frame({"op": "frobnicate", "id": 9}))
+            reply = decode_frame(raw.makefile("rb").readline())
+        assert reply["type"] == "error"
+        assert reply["code"] == "protocol"
+        assert reply["id"] == 9
+
+    def test_query_error_is_typed_and_connection_survives(self, served_figure1) -> None:
+        _, server = served_figure1
+        with ReproClient(server.host, server.port) as client:
+            with pytest.raises(RemoteQueryError) as caught:
+                client.query("MATCH THIS IS NOT GQL")
+            assert caught.value.status == 400
+            # Connection is still usable after a query error.
+            assert client.query(QUERIES[0]).count > 0
+
+    def test_unknown_prepared_statement(self, served_figure1) -> None:
+        _, server = served_figure1
+        with ReproClient(server.host, server.port) as client:
+            with pytest.raises(RemoteQueryError, match="unknown prepared statement"):
+                client.execute("nope", {"name": "Moe"})
+
+    def test_prepare_rejects_bad_query(self, served_figure1) -> None:
+        _, server = served_figure1
+        with ReproClient(server.host, server.port) as client:
+            with pytest.raises(RemoteQueryError):
+                client.prepare("bad", "MATCH NOT A QUERY")
+
+
+class TestHttpFace:
+    def test_health_stats_query(self, served_figure1) -> None:
+        db, server = served_figure1
+        base = f"http://{server.host}:{server.port}"
+        health = json.load(urllib.request.urlopen(f"{base}/health", timeout=10))
+        assert health["status"] == "ok"
+        assert health["version"] == db.graph.version
+
+        request = urllib.request.Request(
+            f"{base}/query",
+            data=json.dumps({"text": QUERIES[0]}).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        result = json.load(urllib.request.urlopen(request, timeout=10))
+        assert result["count"] == len(result["rows"])
+        assert sorted(row["path"] for row in result["rows"]) == sorted(
+            _serial(db.graph, QUERIES[0]).split("\n")
+        )
+
+        stats = json.load(urllib.request.urlopen(f"{base}/stats", timeout=10))
+        assert stats["queries"] >= 1
+        assert stats["latency"]["wire_seconds"]["count"] >= 1
+
+    def test_http_errors(self, served_figure1) -> None:
+        _, server = served_figure1
+        base = f"http://{server.host}:{server.port}"
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(f"{base}/nothing-here", timeout=10)
+        assert caught.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(f"{base}/query", timeout=10)  # GET, not POST
+        assert caught.value.code == 405
+        request = urllib.request.Request(
+            f"{base}/query",
+            data=json.dumps({"text": "MATCH NOT GQL"}).encode(),
+        )
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(request, timeout=10)
+        assert caught.value.code == 400
+
+
+class TestLifecycle:
+    def test_ephemeral_port_and_reuse(self) -> None:
+        db = connect(figure1_graph())
+        server = ReproServer(db).start()
+        port = server.port
+        assert port != 0
+        server.stop()
+        # A second server binds a fresh port fine after a clean stop.
+        second = ReproServer(db).start()
+        assert second.port != 0
+        second.stop()
+        db.close()
+
+    def test_stop_is_idempotent(self) -> None:
+        db = connect(figure1_graph())
+        server = ReproServer(db).start()
+        server.stop()
+        server.stop()
+        db.close()
+
+    def test_draining_refuses_new_queries_typed(self, served_figure1) -> None:
+        _, server = served_figure1
+        with ReproClient(server.host, server.port) as client:
+            assert client.query(QUERIES[0]).count > 0
+            server._draining = True
+            try:
+                with pytest.raises(ServiceError, match="draining"):
+                    client.query(QUERIES[0])
+            finally:
+                server._draining = False
+
+    def test_wire_statistics_accumulate(self, served_figure1) -> None:
+        _, server = served_figure1
+        with ReproClient(server.host, server.port) as client:
+            for _ in range(4):
+                client.query(QUERIES[0])
+            list(client.query_iter(QUERIES[0]))
+            stats = client.stats()
+        assert stats["queries"] >= 5
+        assert stats["streamed_pages"] >= 1
+        assert stats["rows_sent"] > 0
+        wire = stats["latency"]["wire_seconds"]
+        assert wire["count"] >= 5
+        assert wire["p95_seconds"] >= wire["p50_seconds"] >= 0.0
+        assert stats["service"]["submitted"] >= 4
+
+    def test_start_twice_rejected(self) -> None:
+        db = connect(figure1_graph())
+        with ReproServer(db) as server:
+            with pytest.raises(ServiceError, match="already started"):
+                server.start()
+        db.close()
+
+
+_socket_steps = st.one_of(
+    st.tuples(st.just("query"), st.integers(0, len(QUERIES) - 1)),
+    st.tuples(st.just("refresh"), st.just(0)),
+    st.tuples(st.just("node"), st.just(0)),
+    st.tuples(
+        st.just("edge"),
+        st.integers(0, 10**6),
+        st.integers(0, 10**6),
+        st.integers(0, 1),
+    ),
+)
+
+
+class TestSnapshotIsolationOverTheWire:
+    """The service suite's acceptance property, stretched across the socket."""
+
+    @settings(
+        max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(schedule=st.lists(_socket_steps, min_size=1, max_size=15))
+    def test_every_response_consistent_with_its_pinned_version(self, schedule) -> None:
+        graph = figure1_graph()
+        base_version = graph.version
+        ops: list[tuple] = []
+        counter = 0
+
+        def replay(version: int) -> PropertyGraph:
+            rebuilt = figure1_graph()
+            for op in ops[: version - base_version]:
+                if op[0] == "node":
+                    rebuilt.add_node(op[1], "Person", {"name": op[1]})
+                else:
+                    rebuilt.add_edge(op[1], op[2], op[3], op[4])
+            assert rebuilt.version == version
+            return rebuilt
+
+        db = connect(graph)
+        server = ReproServer(db).start()
+        responses: list[tuple[str, int, str]] = []
+        try:
+            with ReproClient(server.host, server.port) as client:
+                for step in schedule:
+                    if step[0] == "query":
+                        text = QUERIES[step[1]]
+                        remote = client.query(text)
+                        responses.append((text, remote.version, remote.rendered()))
+                    elif step[0] == "refresh":
+                        client.refresh()
+                    elif step[0] == "node":
+                        node_id = f"h{counter}"
+                        counter += 1
+                        graph.add_node(node_id, "Person", {"name": node_id})
+                        ops.append(("node", node_id))
+                    else:
+                        nodes = graph.node_ids()
+                        source = nodes[step[1] % len(nodes)]
+                        target = nodes[step[2] % len(nodes)]
+                        edge_id = f"he{counter}"
+                        counter += 1
+                        label = EDGE_LABELS[step[3] % len(EDGE_LABELS)]
+                        graph.add_edge(edge_id, source, target, label)
+                        ops.append(("edge", edge_id, source, target, label))
+        finally:
+            server.stop()
+            db.close()
+
+        for text, version, rendered in responses:
+            assert rendered == _serial(replay(version), text), (text, version)
+
+
+class TestCliListen:
+    def test_serve_listen_subprocess(self) -> None:
+        """`repro serve --listen` binds, answers over the wire, drains on SIGINT."""
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.path.join(root, "src")
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--listen",
+                "127.0.0.1:0",
+                "--workers",
+                "2",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            line = proc.stdout.readline().strip()
+            assert line.startswith("listening on "), line
+            host, port = line.split()[-1].rsplit(":", 1)
+            with ReproClient(host, int(port)) as client:
+                remote = client.query(QUERIES[0])
+                assert remote.count > 0
+            proc.send_signal(signal.SIGINT)
+            proc.communicate(timeout=30)
+            assert proc.returncode == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
