@@ -74,6 +74,7 @@ from repro.errors import (
 )
 from repro.execution import QueryBudget
 from repro.graph import (
+    CompactGraph,
     DurableStore,
     Edge,
     GraphBuilder,
@@ -129,6 +130,7 @@ __all__ = [
     # graph
     "PropertyGraph",
     "GraphSnapshot",
+    "CompactGraph",
     "Node",
     "Edge",
     "GraphBuilder",

@@ -50,6 +50,7 @@ from repro.engine.router import EXECUTION_MODES
 from repro.engine.results import ResultCursor
 from repro.errors import ServiceError
 from repro.execution import QueryBudget
+from repro.graph.compact import AutoCompactPolicy
 from repro.graph.model import PropertyGraph
 from repro.graph.snapshot import GraphSnapshot
 from repro.graph.wal import DurableStore
@@ -134,6 +135,7 @@ class Database:
         cache_stripes: int = 8,
         workers: int = 4,
         execution_mode: str = "threads",
+        auto_compact: bool = True,
     ) -> None:
         if executor not in EXECUTOR_NAMES:
             raise ValueError(
@@ -158,6 +160,12 @@ class Database:
         self.default_execution_mode = execution_mode
         self._optimize = optimize
         self._default_max_length = default_max_length
+        # Auto-freeze on read: sessions/snapshots observe the graph and build
+        # its columnar core once it looks quiescent (two consecutive reads at
+        # one version); any mutation transparently thaws.  See
+        # AutoCompactPolicy for the exact heuristic and README "Freezing".
+        self.auto_compact = auto_compact
+        self._compact_policy = AutoCompactPolicy()
         self._service: QueryService | None = None
         self._store: DurableStore | None = None
         self._closed = False
@@ -244,6 +252,8 @@ class Database:
         seconds and is measured per execution (not per session).
         """
         self._ensure_open()
+        if self.auto_compact:
+            self._compact_policy.observe(self.graph)
         return Session(
             self,
             executor=executor,
@@ -300,6 +310,8 @@ class Database:
 
     def snapshot(self) -> GraphSnapshot:
         """An immutable snapshot of the graph as of now."""
+        if self.auto_compact:
+            self._compact_policy.observe(self.graph)
         return self.graph.snapshot()
 
     def cache_stats(self) -> dict[str, int]:

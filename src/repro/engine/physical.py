@@ -45,6 +45,7 @@ from repro.algebra.solution_space import ALL, group_by, order_by, project
 from repro.errors import EvaluationError
 from repro.execution import ExecutionStatistics, QueryBudget
 from repro.graph.model import PropertyGraph
+from repro.graph.compact import compact_core_of
 from repro.paths.join_index import JoinIndex
 from repro.paths.path import Path
 from repro.paths.pathset import PathSet
@@ -107,6 +108,11 @@ class _NodesScanOp(_PhysicalOperator):
         self._graph = graph
 
     def paths(self) -> Iterator[Path]:
+        compact = compact_core_of(self._graph)
+        if compact is not None:
+            for path in compact.iter_node_paths(self._graph):
+                yield self._emit(path)
+            return
         for node_id in self._graph.node_ids():
             yield self._emit(Path.from_node(self._graph, node_id))
 
@@ -122,6 +128,11 @@ class _EdgesScanOp(_PhysicalOperator):
         self._graph = graph
 
     def paths(self) -> Iterator[Path]:
+        compact = compact_core_of(self._graph)
+        if compact is not None:
+            for path in compact.iter_edge_paths(self._graph):
+                yield self._emit(path)
+            return
         for edge_id in self._graph.edge_ids():
             yield self._emit(Path.from_edge(self._graph, edge_id))
 
@@ -265,11 +276,17 @@ class _RecursiveOp(_PhysicalOperator):
         max_length = self._expression.max_length
         if max_length is None:
             max_length = self._default_max_length
+        # The int closure builds its own IntJoinIndex over the encoded base;
+        # only build the object index when the closure will run object-side.
+        if len(base) and compact_core_of(next(iter(base)).graph) is not None:
+            join_index = None
+        else:
+            join_index = JoinIndex(base)
         closure = iter_recursive_closure(
             base,
             self._expression.restrictor,
             max_length,
-            join_index=JoinIndex(base),
+            join_index=join_index,
             budget=self._budget,
         )
         for path in closure:

@@ -1,6 +1,7 @@
 """Property-graph data model (paper Section 2.1) and supporting utilities."""
 
 from repro.graph.builder import GraphBuilder
+from repro.graph.compact import AutoCompactPolicy, CompactGraph, compact_core_of
 from repro.graph.delta import GraphDelta, QueryFootprint
 from repro.graph.io import (
     graph_from_dict,
@@ -33,6 +34,9 @@ __all__ = [
     "PropertyGraph",
     "GraphSnapshot",
     "GraphBuilder",
+    "CompactGraph",
+    "compact_core_of",
+    "AutoCompactPolicy",
     "GraphDelta",
     "QueryFootprint",
     "WriteAheadLog",

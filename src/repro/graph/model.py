@@ -126,6 +126,11 @@ class PropertyGraph:
         self._frozen = False
         self._lock = threading.RLock()
         self._last_snapshot: "GraphSnapshot | None" = None
+        # Columnar core: a version-pinned CompactGraph built by freeze() /
+        # ensure_compact().  Any mutation drops it ("thaw"); consumers check
+        # compact_core() and fall back to the object representation when the
+        # cached core is absent or stale.
+        self._compact = None
         # Delta tracking: a bounded journal of recent mutations, consumed by
         # delta_between().  _journal_floor is the highest version the journal
         # can no longer describe (records at or below it were trimmed).
@@ -187,6 +192,7 @@ class PropertyGraph:
             self._node_slot[node_id] = len(self._node_list)
             self._node_list.append(node)
             self._version += 1
+            self._compact = None
             self._journal_append(
                 _MutationRecord(self._version, "node", label, node_id)
             )
@@ -248,6 +254,7 @@ class PropertyGraph:
             self._edge_slot[edge_id] = len(self._edge_list)
             self._edge_list.append(edge)
             self._version += 1
+            self._compact = None
             self._journal_append(
                 _MutationRecord(self._version, "edge", label, edge_id, (source, target))
             )
@@ -287,6 +294,7 @@ class PropertyGraph:
             self._nodes[node_id] = node
             self._node_list[self._node_slot[node_id]] = node
             self._version += 1
+            self._compact = None
             self._journal_append(
                 _MutationRecord(self._version, "node-prop", old.label, node_id)
             )
@@ -320,6 +328,7 @@ class PropertyGraph:
             self._edges[edge_id] = edge
             self._edge_list[self._edge_slot[edge_id]] = edge
             self._version += 1
+            self._compact = None
             self._journal_append(
                 _MutationRecord(self._version, "edge-prop", old.label, edge_id)
             )
@@ -495,15 +504,64 @@ class PropertyGraph:
         return self._frozen
 
     def freeze(self) -> "PropertyGraph":
-        """Permanently disable mutation; returns the graph for chaining.
+        """Disable mutation and build the columnar core; returns the graph.
 
         A frozen graph is safe to share across threads without snapshots:
         every subsequent :meth:`add_node` / :meth:`add_edge` raises
-        :class:`~repro.errors.FrozenGraphError`.
+        :class:`~repro.errors.FrozenGraphError` until :meth:`thaw` is called.
+        Freezing also compiles the graph into its
+        :class:`~repro.graph.compact.CompactGraph` core (CSR adjacency,
+        interned labels), switching the closure engine onto the int-encoded
+        fast path — see :meth:`ensure_compact` for the build-only variant.
         """
         with self._lock:
             self._frozen = True
+            self._ensure_compact_locked()
         return self
+
+    def thaw(self) -> "PropertyGraph":
+        """Re-enable mutation after :meth:`freeze`; drops the columnar core.
+
+        This is the explicit form of the transparent thaw the
+        :class:`~repro.api.Database` auto-freeze performs: a write request
+        against an auto-frozen graph thaws it, applies the mutation, and the
+        next read re-freezes at the new version.
+        """
+        with self._lock:
+            self._frozen = False
+            self._compact = None
+        return self
+
+    def ensure_compact(self):
+        """Return a :class:`~repro.graph.compact.CompactGraph` for the current
+        version, building (and caching) it if necessary.
+
+        Unlike :meth:`freeze` this does not disable mutation — the core is
+        simply invalidated by the next write.  Read-heavy consumers (the
+        ``Database`` session path, the ``QueryService``) call this on first
+        read so closures run columnar whenever the graph is quiescent.
+        """
+        with self._lock:
+            return self._ensure_compact_locked()
+
+    def _ensure_compact_locked(self):
+        compact = self._compact
+        if compact is None or compact.version != self._version:
+            from repro.graph.compact import CompactGraph
+
+            compact = self._compact = CompactGraph.from_graph(self)
+        return compact
+
+    def compact_core(self):
+        """The cached columnar core if it matches the current version, else ``None``.
+
+        This is the cheap, lock-free detection probe the closure dispatch
+        uses on every query; it never builds anything.
+        """
+        compact = self._compact
+        if compact is not None and compact.version == self._version:
+            return compact
+        return None
 
     def snapshot(self) -> "GraphSnapshot":
         """Return an immutable view of the graph pinned to the current version.
@@ -596,6 +654,7 @@ class PropertyGraph:
             self._journal.clear()
             self._journal_floor = version
             self._last_snapshot = None
+            self._compact = None
 
     # ------------------------------------------------------------------
     # Pickling (the lock and write listeners are process-local state)
@@ -605,10 +664,15 @@ class PropertyGraph:
         del state["_lock"]
         state["_last_snapshot"] = None
         state["_write_listeners"] = []
+        # The columnar core is a derived cache; receivers rebuild it on demand
+        # (and the process pool ships the CompactGraph itself when the whole
+        # graph is frozen), so the wire payload stays the object graph only.
+        state["_compact"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
+        self.__dict__.setdefault("_compact", None)
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------

@@ -78,6 +78,20 @@ class GraphSnapshot:
         """Snapshots are born frozen; returns self for API symmetry."""
         return self
 
+    def compact_core(self):
+        """The parent's columnar core when it matches this snapshot's version.
+
+        A snapshot pinned at version ``v`` can only use a
+        :class:`~repro.graph.compact.CompactGraph` built at exactly ``v``:
+        an older core would miss objects this snapshot sees, a newer one
+        would leak objects it must not.  Returns ``None`` otherwise (the
+        closure engine then runs the object path against the view).
+        """
+        compact = self._parent._compact
+        if compact is not None and compact.version == self._version:
+            return compact
+        return None
+
     # ------------------------------------------------------------------
     # Mutators — all refused
     # ------------------------------------------------------------------

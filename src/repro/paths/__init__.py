@@ -1,6 +1,7 @@
 """Paths, path sets and path predicates (paper Section 2.2 and 3.1)."""
 
-from repro.paths.join_index import JoinIndex
+from repro.paths.intpath import IntPath, IntPathSet
+from repro.paths.join_index import IntJoinIndex, JoinIndex
 from repro.paths.operators import concat, edge, first, label, last, length, node, prop
 from repro.paths.path import Path
 from repro.paths.pathset import PathSet
@@ -19,6 +20,9 @@ __all__ = [
     "Path",
     "PathSet",
     "JoinIndex",
+    "IntPath",
+    "IntPathSet",
+    "IntJoinIndex",
     "first",
     "last",
     "node",

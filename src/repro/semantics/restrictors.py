@@ -44,6 +44,7 @@ from typing import Callable, Iterator
 
 from repro.errors import NonTerminatingQueryError
 from repro.execution import QueryBudget
+from repro.graph.compact import compact_core_of
 from repro.paths.join_index import JoinIndex
 from repro.paths.path import Path
 from repro.paths.pathset import PathSet
@@ -169,6 +170,18 @@ def recursive_closure(
             reachable cycle and therefore infinitely many walks).
         BudgetExceeded: when ``budget`` is exhausted before the fix point.
     """
+    if len(base):
+        # Columnar fast path: when the query's graph view is backed by a
+        # current CompactGraph core, run the closure on the int encoding
+        # (see semantics/int_closure.py — byte-identical by construction,
+        # falls through to the object strategies if the base won't encode).
+        compact = compact_core_of(next(iter(base)).graph)
+        if compact is not None:
+            from repro.semantics.int_closure import int_recursive_closure
+
+            result = int_recursive_closure(compact, base, restrictor, max_length, budget)
+            if result is not None:
+                return result
     if join_index is None:
         join_index = JoinIndex(base)
     if restrictor is Restrictor.SHORTEST:
@@ -223,6 +236,17 @@ def iter_recursive_closure(
     an over-long walk would be generated, so a consumer that stops earlier
     never sees it.
     """
+    if len(base):
+        # Columnar fast path (see recursive_closure): the int twin decides
+        # encodability eagerly, so a None here is a clean object fallback.
+        compact = compact_core_of(next(iter(base)).graph)
+        if compact is not None:
+            from repro.semantics.int_closure import int_iter_recursive_closure
+
+            iterator = int_iter_recursive_closure(compact, base, restrictor, max_length, budget)
+            if iterator is not None:
+                yield from iterator
+                return
     if join_index is None:
         join_index = JoinIndex(base)
     if restrictor is Restrictor.SHORTEST:

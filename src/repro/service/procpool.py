@@ -69,6 +69,7 @@ from dataclasses import dataclass, field
 from repro.engine.engine import PathQueryEngine
 from repro.errors import BudgetExceeded, ServiceError
 from repro.execution import QueryBudget
+from repro.graph.compact import CompactGraph
 from repro.graph.model import PropertyGraph
 from repro.graph.snapshot import GraphSnapshot
 from repro.paths.path import Path
@@ -220,6 +221,11 @@ def _worker_main(index, graph, options, task_queue, result_queue, cancel_slot):
         plan_cache_size=options["plan_cache_size"],
         invalidation="version",
     )
+    # A pool over a hard-frozen graph ships the CompactGraph itself (flat
+    # int arrays: true COW pages under fork, a cheap pickle under spawn).
+    # It is immutable and version-pinned, so it *is* the snapshot for every
+    # task this worker can ever receive.
+    compact_shipped = isinstance(graph, CompactGraph)
     pid = os.getpid()
     worker_name = f"proc-{index}"
     crash_hook = options["crash_hook"]
@@ -234,7 +240,10 @@ def _worker_main(index, graph, options, task_queue, result_queue, cancel_slot):
         if crash_hook and task.text == CRASH_QUERY:
             os._exit(_CRASH_EXIT_CODE)
         try:
-            snapshot = GraphSnapshot(graph, task.version, task.num_nodes, task.num_edges)
+            if compact_shipped:
+                snapshot = graph
+            else:
+                snapshot = GraphSnapshot(graph, task.version, task.num_nodes, task.num_edges)
             budget = None
             if task.deadline is not None or task.max_visited is not None or task.cancellable:
                 seq = task.seq
@@ -426,6 +435,30 @@ class ProcessWorkerPool:
                 for _ in retiring:
                     old.queue.put(None)
 
+    def _ship_graph(self):
+        """The graph payload workers receive: the columnar core when possible.
+
+        When the pool's graph is hard-frozen its version can never drift, so
+        every task this pool will ever dispatch is pinned at the core's
+        version — the flat :class:`~repro.graph.compact.CompactGraph` arrays
+        replace the object web entirely (fork COWs them as a few contiguous
+        pages; spawn pickles arrays instead of dataclass instances) and the
+        workers run the int-encoded closure path.  A mutable graph ships
+        as-is: tasks may pin older versions, which needs the
+        ``GraphSnapshot`` filtering only the object graph supports.
+        """
+        graph = self.graph
+        if getattr(graph, "frozen", False):
+            probe = getattr(graph, "compact_core", None)
+            compact = probe() if probe is not None else None
+            if compact is None:
+                ensure = getattr(graph, "ensure_compact", None)
+                if ensure is not None:
+                    compact = ensure()
+            if compact is not None:
+                return compact
+        return graph
+
     def _spawn_worker(self, generation: _Generation) -> _Worker:
         with self._lock:
             index = self._next_worker
@@ -435,7 +468,7 @@ class ProcessWorkerPool:
             target=_worker_main,
             args=(
                 index,
-                self.graph,
+                self._ship_graph(),
                 self._options,
                 generation.queue,
                 self._result_queue,

@@ -53,6 +53,7 @@ from repro.engine.executor import EXECUTOR_NAMES
 from repro.engine.router import EXECUTION_MODES, PortfolioRouter, RouteDecision
 from repro.errors import BudgetExceeded, ServiceError, ServiceOverloadedError
 from repro.execution import QueryBudget
+from repro.graph.compact import AutoCompactPolicy
 from repro.graph.delta import QueryFootprint
 from repro.graph.model import PropertyGraph
 from repro.graph.snapshot import GraphSnapshot
@@ -464,6 +465,7 @@ class QueryService:
         execution_mode: str = "threads",
         race_band: float | None = None,
         pool_options: dict[str, Any] | None = None,
+        auto_compact: bool = True,
     ) -> None:
         if workers < 0:
             raise ServiceError(f"workers must be >= 0, got {workers}")
@@ -489,6 +491,11 @@ class QueryService:
         self.graph = graph
         self.workers = workers
         self.execution_mode = execution_mode
+        # Auto-freeze on read: submissions that pin their own snapshot (no
+        # caller-provided one) observe the graph; two consecutive quiescent
+        # observations build the columnar core, any mutation thaws it.
+        self.auto_compact = auto_compact
+        self._compact_policy = AutoCompactPolicy()
         self.invalidation = invalidation
         self.default_executor = executor
         self.default_deadline = default_deadline
@@ -581,6 +588,8 @@ class QueryService:
     ) -> _Request:
         """Stamp and pin one request (caller holds ``_submit_lock``)."""
         relative = deadline if deadline is not None else self.default_deadline
+        if snapshot is None and self.auto_compact:
+            self._compact_policy.observe(self.graph)
         now = time.monotonic()
         return _Request(
             text=text,

@@ -17,7 +17,7 @@ from typing import Sequence
 from repro.datasets.generators import complete_graph, cycle_graph, grid_graph, random_graph
 from repro.graph.model import PropertyGraph
 
-__all__ = ["NUM_RANDOM_GRAPHS", "closure_corpus"]
+__all__ = ["NUM_RANDOM_GRAPHS", "closure_corpus", "frozen_twin"]
 
 NUM_RANDOM_GRAPHS = 45
 
@@ -56,3 +56,15 @@ def closure_corpus(labels: Sequence[str] = ("Knows",)) -> list[PropertyGraph]:
     return [
         _random_graph_for_seed(seed, labels) for seed in range(NUM_RANDOM_GRAPHS)
     ] + _structured_graphs()
+
+
+def frozen_twin(graph: PropertyGraph) -> PropertyGraph:
+    """An independently frozen copy of ``graph`` for frozen-vs-mutable sweeps.
+
+    The copy shares nothing mutable with the original, so freezing it (which
+    builds the columnar core and rejects writes) cannot contaminate results
+    computed on the mutable source.
+    """
+    twin = graph.copy()
+    twin.freeze()
+    return twin

@@ -20,7 +20,9 @@ from repro.engine.engine import PathQueryEngine
 from repro.engine.footprint import plan_footprint
 from repro.errors import BudgetExceeded, FrozenGraphError
 from repro.execution import ExecutionStatistics, QueryBudget
+from repro.graph.compact import CompactGraph
 from repro.graph.snapshot import GraphSnapshot
+from repro.paths.intpath import IntPath
 from repro.service import QueryService
 from repro.service.procpool import WorkerDied, decode_paths, encode_paths
 
@@ -67,6 +69,55 @@ class TestGraphPickling:
         paths = PathQueryEngine(graph).query(QUERY).paths
         decoded = decode_paths(graph, encode_paths(paths))
         assert _canonical(decoded) == _canonical(paths)
+
+
+class TestCompactPickling:
+    def test_compact_graph_round_trips_with_identical_answers(self) -> None:
+        graph = figure1_graph()
+        expected = _canonical(PathQueryEngine(graph).query(QUERY).paths)
+        compact = graph.ensure_compact()
+        clone = roundtrip(compact)
+        assert isinstance(clone, CompactGraph)
+        assert clone.version == compact.version
+        assert clone.node_ids() == compact.node_ids()
+        assert clone.edge_ids() == compact.edge_ids()
+        # The lazy object memos are dropped by __getstate__ and rebuilt on
+        # demand: querying the clone directly must reproduce the answers.
+        assert _canonical(PathQueryEngine(clone).query(QUERY).paths) == expected
+
+    def test_compact_clone_preserves_csr_adjacency(self) -> None:
+        compact = figure1_graph().ensure_compact()
+        clone = roundtrip(compact)
+        for node_id in compact.node_ids():
+            assert [e.id for e in clone.out_edges(node_id)] == [
+                e.id for e in compact.out_edges(node_id)
+            ]
+            assert [e.id for e in clone.in_edges(node_id)] == [
+                e.id for e in compact.in_edges(node_id)
+            ]
+
+    def test_compact_clone_stays_immutable(self) -> None:
+        clone = roundtrip(figure1_graph().ensure_compact())
+        with pytest.raises(FrozenGraphError):
+            clone.add_node("nope", "Person")
+
+    def test_frozen_property_graph_round_trips_thawed_core(self) -> None:
+        """The compact core is a derived cache: it is NOT shipped with the
+        graph (the pool ships a ``CompactGraph`` explicitly instead), so the
+        clone rebuilds it on demand and answers identically."""
+        graph = figure1_graph()
+        graph.freeze()
+        clone = roundtrip(graph)
+        assert clone.compact_core() is None
+        assert clone.ensure_compact().node_ids() == graph.node_ids()
+
+    def test_int_path_round_trips_and_decodes(self) -> None:
+        graph = figure1_graph()
+        compact = graph.ensure_compact()
+        path = next(iter(PathQueryEngine(graph).query(QUERY).paths))
+        clone = roundtrip(IntPath.encode(compact, path))
+        assert clone.seq == IntPath.encode(compact, path).seq
+        assert str(clone.decode(graph)) == str(path)
 
 
 class TestResultPickling:
@@ -156,3 +207,39 @@ class TestServiceTypePickling:
         assert clone == stats
         merged = clone.merge(stats)
         assert merged.submitted == 2 * stats.submitted
+
+
+class TestFrozenGraphAcrossProcesses:
+    """A hard-frozen graph ships its columnar core to pool workers.
+
+    Fork inherits the flat arrays as copy-on-write pages; spawn pickles them.
+    Either way the workers' answers must match the serial ones byte-for-byte.
+    """
+
+    @staticmethod
+    def _expected(graph) -> list[str]:
+        with QueryService(graph, workers=0, result_cache_size=0) as serial:
+            return [outcome.rendered() for outcome in serial.run_batch([QUERY])]
+
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_frozen_graph_parity_across_start_methods(self, start_method: str) -> None:
+        import multiprocessing
+
+        if start_method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"{start_method} not available on this platform")
+        graph = figure1_graph()
+        expected = self._expected(graph)
+        graph.freeze()
+        assert graph.compact_core() is not None
+        with QueryService(
+            graph,
+            workers=1,
+            execution_mode="processes",
+            result_cache_size=0,
+            pool_options={"start_method": start_method},
+        ) as service:
+            outcomes = service.run_batch([QUERY])
+        for outcome, want in zip(outcomes, expected):
+            assert outcome.ok, outcome.error
+            assert outcome.rendered() == want
+            assert outcome.worker.startswith("proc-"), outcome.worker

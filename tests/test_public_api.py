@@ -20,6 +20,7 @@ import repro
 PUBLIC_API = [
     "BindingTable",
     "BudgetExceeded",
+    "CompactGraph",
     "CompileOptions",
     "Database",
     "DurableStore",
