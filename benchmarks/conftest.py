@@ -16,9 +16,10 @@ In both modes the session writes ``BENCH_closure.json`` at the repo root via
 :func:`repro.bench.reporting.write_bench_json`: wall-clock timings of the
 incremental closure engine (:func:`~repro.semantics.restrictors.recursive_closure`)
 against the pre-incremental baseline
-(:func:`~repro.semantics.restrictors.recursive_closure_baseline`) on the
-restrictor-scaling workloads, giving future PRs a perf trajectory to compare
-against.
+(:func:`~repro.semantics.restrictors.recursive_closure_baseline`) and the
+product-graph automaton executor (:class:`~repro.engine.automaton.AutomatonExecutor`,
+on both the mutable graph and its frozen twin) on the restrictor-scaling
+workloads, giving future PRs a perf trajectory to compare against.
 """
 
 from __future__ import annotations
@@ -29,10 +30,12 @@ from pathlib import Path as FilePath
 
 import pytest
 
+from repro.algebra.expressions import EdgesScan, Recursive
 from repro.bench.reporting import write_bench_json
 from repro.bench.workloads import quick_mode
 from repro.datasets.figure1 import figure1_graph
 from repro.datasets.generators import complete_graph, cycle_graph
+from repro.engine.automaton import AutomatonExecutor
 from repro.execution import QueryBudget
 from repro.graph.compact import CompactGraph
 from repro.graph.model import PropertyGraph
@@ -164,9 +167,16 @@ def _closure_trajectory_entries() -> list[dict]:
                 # like a serving worker does — construction is engine-side,
                 # not loop overhead.
                 budget = QueryBudget.from_timeout(3600.0, max_visited=10**12)
+                # The automaton rows evaluate the *same* closure as a product
+                # search over graph × NFA(edge-label+); parity with the
+                # incremental result is asserted before any row is written.
+                plan = Recursive(EdgesScan(), restrictor, max_length)
+                automaton = AutomatonExecutor()
                 callables = [
                     lambda: recursive_closure(base, restrictor, max_length),
                     lambda: recursive_closure(frozen_base, restrictor, max_length),
+                    lambda: automaton.execute(plan, graph).paths,
+                    lambda: automaton.execute(plan, frozen).paths,
                 ]
                 if with_baseline:
                     callables += [
@@ -177,8 +187,11 @@ def _closure_trajectory_entries() -> list[dict]:
                     ]
                 timings, results = _best_of_each(callables)
                 incremental_s, compact_s = timings[0], timings[1]
+                automaton_s, automaton_compact_s = timings[2], timings[3]
                 result, compact_result = results[0], results[1]
                 assert result == compact_result, (family, size, restrictor)
+                assert result == results[2], (family, size, restrictor)
+                assert result == results[3], (family, size, restrictor)
                 entry = {
                     "workload": f"{family}-{size}",
                     "restrictor": restrictor.value,
@@ -188,11 +201,17 @@ def _closure_trajectory_entries() -> list[dict]:
                     "compact_s": round(compact_s, 6),
                     "compact_speedup": round(incremental_s / compact_s, 2),
                     "freeze_s": round(freeze_s, 6),
+                    "automaton_s": round(automaton_s, 6),
+                    "automaton_speedup": round(incremental_s / automaton_s, 2),
+                    "automaton_compact_s": round(automaton_compact_s, 6),
+                    "automaton_compact_speedup": round(
+                        compact_s / automaton_compact_s, 2
+                    ),
                 }
                 if with_baseline:
-                    baseline_s, budgeted_s = timings[2], timings[3]
-                    assert result == results[2], (family, size, restrictor)
-                    assert result == results[3], (family, size, restrictor)
+                    baseline_s, budgeted_s = timings[4], timings[5]
+                    assert result == results[4], (family, size, restrictor)
+                    assert result == results[5], (family, size, restrictor)
                     entry.update(
                         {
                             "baseline_s": round(baseline_s, 6),
@@ -234,6 +253,10 @@ def closure_perf_trajectory() -> None:
                 "baseline": "recursive_closure_baseline (per-round re-index + full re-scans)",
                 "budgeted": "recursive_closure with a never-tripping QueryBudget "
                 "(budget_overhead = budgeted_s / incremental_s)",
+                "automaton": "AutomatonExecutor product-graph search of the same "
+                "closure plan (automaton_speedup = incremental_s / automaton_s; "
+                "automaton_compact_* measures the frozen-graph int route against "
+                "the compact closure)",
             },
         },
     )

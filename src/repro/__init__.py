@@ -52,6 +52,7 @@ from repro.algebra import (
 from repro.api import Database, PreparedQuery, Session, connect
 from repro.datasets import figure1_graph, ldbc_like_graph
 from repro.engine import (
+    AutomatonExecutor,
     BindingTable,
     ExecutionStatistics,
     Executor,
@@ -191,6 +192,7 @@ __all__ = [
     "ExecutionStatistics",
     "MaterializeExecutor",
     "PipelineExecutor",
+    "AutomatonExecutor",
     "PlanCache",
     # serving
     "QueryService",

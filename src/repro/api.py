@@ -82,7 +82,7 @@ def connect(
             mutations through the graph's own API remain visible to new
             sessions (existing sessions stay pinned to their snapshot).
         executor: Default execution strategy for every query run through this
-            database (``"auto"``, ``"materialize"`` or ``"pipeline"``).
+            database (``"auto"``, ``"materialize"``, ``"pipeline"`` or ``"automaton"``).
         optimize: Whether plans run through the rewrite-rule optimizer.
         default_max_length: Engine-level bound for unbounded ϕWalk recursion.
         plan_cache_size: Capacity of the shared parsed-plan cache.

@@ -93,7 +93,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(EXECUTOR_NAMES),
         default="auto",
         help="execution strategy: the materializing evaluator, the pull-based "
-        "pipeline, or cost-based automatic selection (default: auto)",
+        "pipeline, the product-graph automaton (streaming SHORTEST), or "
+        "cost-based automatic selection (default: auto)",
     )
     query.add_argument(
         "--phases",

@@ -1,5 +1,6 @@
 """Query engine facade: parse, plan, optimize and execute path queries."""
 
+from repro.engine.automaton import AutomatonExecutor
 from repro.engine.engine import (
     CachedPlan,
     ExplainResult,
@@ -28,6 +29,7 @@ from repro.engine.results import BindingTable, PathBinding, ResultCursor, bind_p
 from repro.execution import ExecutionStatistics
 
 __all__ = [
+    "AutomatonExecutor",
     "PathQueryEngine",
     "QueryResult",
     "ExplainResult",

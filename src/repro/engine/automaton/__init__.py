@@ -1,0 +1,28 @@
+"""Product-graph automaton evaluation (graph × NFA), the third executor.
+
+The paper's automaton semantics — evaluate a regular path query by searching
+the product of the graph with the Thompson NFA of the regex — previously
+lived only in the differential baseline (:mod:`repro.baselines.automaton_eval`).
+This package promotes it to a first-class :class:`AutomatonExecutor` behind
+the engine's cost-based selection, with a streaming ϕShortest (witnesses per
+endpoint pair as soon as their BFS level completes), an int-encoded fast path
+over frozen :class:`~repro.graph.compact.CompactGraph` cores, and full
+:class:`~repro.execution.QueryBudget` integration.
+"""
+
+from repro.engine.automaton.decompile import (
+    AutomatonPlan,
+    classify_plan,
+    decompile_plan,
+    plan_supported,
+)
+from repro.engine.automaton.executor import AutomatonExecutor, stream_product_paths
+
+__all__ = [
+    "AutomatonExecutor",
+    "AutomatonPlan",
+    "classify_plan",
+    "decompile_plan",
+    "plan_supported",
+    "stream_product_paths",
+]

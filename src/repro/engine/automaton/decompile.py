@@ -1,0 +1,231 @@
+"""Plan → regex decompiler and native-shape classifier.
+
+The automaton executor evaluates queries on the product of graph × NFA, which
+computes *word-level* semantics: a path qualifies iff its label word is in the
+regex language (optionally pruned by a restrictor predicate).  The algebra's
+``Recursive`` operator instead composes whole sub-paths, and the two notions
+coincide only for specific plan shapes — exactly the shapes
+:mod:`repro.rpq.compile` emits for regular path queries.  This module
+recognizes those shapes by *decompiling* a plan back into the regex it was
+compiled from; anything that fails to decompile is reported as unsupported and
+the executor falls back to the materializing evaluator, so parity is never at
+risk on exotic plans.
+
+Supported shapes (``classify_plan``):
+
+* a ϕ-free plan that decompiles to a star-free regex ``R`` — the result is the
+  set of walks whose label word is in ``L(R)``;
+* ``Recursive(inner, r, ml)`` with a ϕ-free, star-free, decompilable ``inner``
+  → the restrictor closure of the base set ``L(R)``;
+* ``Union(Recursive(inner, r, ml), NodesScan())`` — the ``R*`` compile shape:
+  the closure above plus every length-zero node path;
+* the ``ALL SHORTEST`` crown ``π(*,1,*)(τG(γSTL(ϕShortest(...))))`` produced
+  by the ``walk-to-shortest`` rewrite — the crown is an identity over
+  ϕShortest output (one length group per endpoint partition), so the inner
+  closure's stream passes through unchanged.
+
+A ϕWalk closure with no bound (neither its own ``max_length`` nor the
+engine's ``default_max_length``) is rejected so the fallback path can raise
+the evaluator's ``NonTerminatingQueryError`` with identical semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.conditions import Comparator, LabelCondition, Target
+from repro.algebra.expressions import (
+    EdgesScan,
+    Expression,
+    GroupBy,
+    Join,
+    NodesScan,
+    OrderBy,
+    Projection,
+    Recursive,
+    Selection,
+    Union,
+)
+from repro.algebra.solution_space import GroupByKey, OrderByKey
+from repro.rpq.ast import (
+    Alternation,
+    AnyLabel,
+    Concat,
+    Epsilon,
+    Label,
+    Optional,
+    Plus,
+    RegexNode,
+    Star,
+)
+from repro.semantics.restrictors import Restrictor
+
+__all__ = [
+    "AutomatonPlan",
+    "classify_plan",
+    "decompile_plan",
+    "max_word_length",
+    "plan_supported",
+]
+
+
+@dataclass(frozen=True)
+class AutomatonPlan:
+    """A plan shape the product-graph executor evaluates natively.
+
+    Attributes:
+        kind: ``"walks"`` (ϕ-free regex match), ``"closure"`` (a single
+            ``Recursive`` node) or ``"closure_with_nodes"`` (the ``R*``
+            compile shape ``closure ∪ NodesScan``).
+        regex: For ``"walks"``, the whole plan's regex; for the closure
+            kinds, the regex of the ``Recursive`` child (one segment).
+        restrictor: The closure restrictor (``WALK`` for ``"walks"``).
+        max_length: The *effective* closure bound — the plan's own
+            ``max_length`` if set, else the engine ``default_max_length``.
+        crowned: ``True`` when an ``ALL SHORTEST`` projection crown was
+            stripped (the crown is an identity over ϕShortest output).
+    """
+
+    kind: str
+    regex: RegexNode
+    restrictor: Restrictor
+    max_length: int | None
+    crowned: bool = False
+
+
+def decompile_plan(plan: Expression) -> RegexNode | None:
+    """Invert :func:`repro.rpq.compile.compile_regex` on ϕ-free plans.
+
+    Returns ``None`` when the plan contains any operator the compiler never
+    emits for a regex (recursion, selections other than the single-edge label
+    probe, set operators beyond union, solution-space operators, ...).
+    """
+    if isinstance(plan, NodesScan):
+        return Epsilon()
+    if isinstance(plan, EdgesScan):
+        return AnyLabel()
+    if isinstance(plan, Selection):
+        condition = plan.condition
+        if (
+            isinstance(condition, LabelCondition)
+            and condition.target is Target.EDGE
+            and condition.position == 1
+            and condition.comparator is Comparator.EQ
+            and isinstance(condition.value, str)
+            and isinstance(plan.child, EdgesScan)
+        ):
+            return Label(condition.value)
+        return None
+    if isinstance(plan, Join):
+        left = decompile_plan(plan.left)
+        right = decompile_plan(plan.right)
+        if left is None or right is None:
+            return None
+        return Concat(left, right)
+    if isinstance(plan, Union):
+        left = decompile_plan(plan.left)
+        right = decompile_plan(plan.right)
+        if left is None or right is None:
+            return None
+        return Alternation(left, right)
+    return None
+
+
+def max_word_length(regex: RegexNode) -> int | None:
+    """Length of the longest word ``regex`` matches, or ``None`` if unbounded."""
+    if isinstance(regex, (Label, AnyLabel)):
+        return 1
+    if isinstance(regex, Epsilon):
+        return 0
+    if isinstance(regex, Concat):
+        left = max_word_length(regex.left)
+        right = max_word_length(regex.right)
+        if left is None or right is None:
+            return None
+        return left + right
+    if isinstance(regex, Alternation):
+        left = max_word_length(regex.left)
+        right = max_word_length(regex.right)
+        if left is None or right is None:
+            return None
+        return max(left, right)
+    if isinstance(regex, Optional):
+        return max_word_length(regex.operand)
+    if isinstance(regex, (Star, Plus)):
+        return None
+    return None
+
+
+def _classify_recursive(
+    plan: Recursive, default_max_length: int | None, *, crowned: bool = False
+) -> AutomatonPlan | None:
+    regex = decompile_plan(plan.child)
+    if regex is None or max_word_length(regex) is None:
+        return None
+    bound = plan.max_length if plan.max_length is not None else default_max_length
+    if plan.restrictor is Restrictor.WALK and bound is None:
+        # ϕWalk without any bound raises NonTerminatingQueryError in the
+        # evaluator (cycle guard); let the fallback replicate it exactly.
+        return None
+    return AutomatonPlan("closure", regex, plan.restrictor, bound, crowned=crowned)
+
+
+def _strip_all_shortest_crown(plan: Expression) -> Recursive | None:
+    """Match ``π(*,1,*)(τG(γSTL(ϕShortest(...))))`` and return the closure.
+
+    ϕShortest emits, per (source, target) partition, only minimum-length
+    paths — a single STL length group.  Keeping one group per partition and
+    all paths in it is therefore an identity, so the inner closure can stream
+    straight through the crown.
+    """
+    if not isinstance(plan, Projection):
+        return None
+    spec = plan.spec
+    if not (spec.partitions == "*" and spec.groups == 1 and spec.paths == "*"):
+        return None
+    order = plan.child
+    if not (isinstance(order, OrderBy) and order.key is OrderByKey.G):
+        return None
+    group = order.child
+    if not (isinstance(group, GroupBy) and group.key is GroupByKey.STL):
+        return None
+    inner = group.child
+    if isinstance(inner, Recursive) and inner.restrictor is Restrictor.SHORTEST:
+        return inner
+    return None
+
+
+def classify_plan(
+    plan: Expression, default_max_length: int | None = None
+) -> AutomatonPlan | None:
+    """Return the native evaluation shape of ``plan``, or ``None``."""
+    crown = _strip_all_shortest_crown(plan)
+    if crown is not None:
+        return _classify_recursive(crown, default_max_length, crowned=True)
+    if isinstance(plan, Recursive):
+        return _classify_recursive(plan, default_max_length)
+    if (
+        isinstance(plan, Union)
+        and isinstance(plan.left, Recursive)
+        and isinstance(plan.right, NodesScan)
+    ):
+        closure = _classify_recursive(plan.left, default_max_length)
+        if closure is None:
+            return None
+        return AutomatonPlan(
+            "closure_with_nodes", closure.regex, closure.restrictor, closure.max_length
+        )
+    regex = decompile_plan(plan)
+    if regex is None or max_word_length(regex) is None:
+        return None
+    return AutomatonPlan("walks", regex, Restrictor.WALK, max_word_length(regex))
+
+
+def plan_supported(plan: Expression) -> bool:
+    """``True`` when the executor can evaluate ``plan`` without falling back.
+
+    Used by cost-based selection and the portfolio router; conservative with
+    respect to ``default_max_length`` (an unbounded ϕWalk is reported
+    unsupported even though a default bound could make it evaluable).
+    """
+    return classify_plan(plan, None) is not None

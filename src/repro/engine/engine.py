@@ -27,6 +27,7 @@ from typing import Any, Mapping
 
 from repro.algebra.expressions import Expression
 from repro.algebra.printer import to_algebra_notation, to_plan_tree
+from repro.engine.automaton import AutomatonExecutor
 from repro.engine.executor import (
     EXECUTOR_NAMES,
     ExecutionResult,
@@ -413,6 +414,21 @@ class PathQueryEngine:
             statistics.executor = name
             statistics.footprint = cached.compute_footprint()
             source = pipeline.stream()
+        elif name == AutomatonExecutor.name and (
+            stream := AutomatonExecutor().stream(
+                plan_to_run,
+                target,
+                default_max_length=self.default_max_length,
+                budget=budget,
+            )
+        ) is not None:
+            # Native product-graph stream: SHORTEST rows are yielded per
+            # endpoint pair as soon as their BFS level completes, so the
+            # cursor sees first rows while the closure is still running.
+            statistics = ExecutionStatistics()
+            statistics.executor = name
+            statistics.footprint = cached.compute_footprint()
+            source = stream
         else:
             execution = resolve_executor(name).execute(
                 plan_to_run,

@@ -5,7 +5,7 @@ module is where the engine makes that separation operational.  An
 :class:`Executor` takes a logical :class:`~repro.algebra.expressions.Expression`
 and a :class:`~repro.graph.model.PropertyGraph` and produces an
 :class:`ExecutionResult` — the result paths plus unified
-:class:`~repro.execution.ExecutionStatistics`.  Two executors exist:
+:class:`~repro.execution.ExecutionStatistics`.  Three executors exist:
 
 * :class:`MaterializeExecutor` — the bottom-up materializing
   :class:`~repro.algebra.evaluator.Evaluator` (every intermediate path set is
@@ -13,12 +13,16 @@ and a :class:`~repro.graph.model.PropertyGraph` and produces an
   by inherently blocking recursion;
 * :class:`PipelineExecutor` — the pull-based iterator pipeline of
   :mod:`repro.engine.physical`; streams selections, joins and unions, and
-  honours a ``limit`` by simply not pulling more paths (early termination).
+  honours a ``limit`` by simply not pulling more paths (early termination);
+* ``AutomatonExecutor`` (:mod:`repro.engine.automaton`) — lazy BFS over the
+  product of graph × NFA; makes ϕShortest streaming and falls back to the
+  materializing evaluator on plans outside its native envelope.
 
 :func:`choose_executor` implements the ``"auto"`` policy: it consults the
 :class:`~repro.optimizer.cost.CostModel` for the fraction of estimated work
 spent inside blocking fix points and routes streaming-friendly plans to the
-pipeline and recursion-heavy plans to the materializing evaluator.
+pipeline, recursion-heavy plans to the materializing evaluator, and
+natively-supported ϕShortest-heavy plans to the product automaton.
 """
 
 from __future__ import annotations
@@ -38,6 +42,7 @@ from repro.optimizer.cost import CostModel
 from repro.paths.pathset import PathSet
 
 __all__ = [
+    "AUTOMATON_EXECUTOR_NAME",
     "EXECUTOR_NAMES",
     "ExecutionResult",
     "Executor",
@@ -49,11 +54,21 @@ __all__ = [
 ]
 
 #: The values accepted by every ``executor=`` knob in the engine and the CLI.
-EXECUTOR_NAMES = ("auto", "materialize", "pipeline")
+EXECUTOR_NAMES = ("auto", "materialize", "pipeline", "automaton")
+
+#: Name of the product-automaton executor (class in
+#: :mod:`repro.engine.automaton`; referenced by name here because that
+#: package builds on this module).
+AUTOMATON_EXECUTOR_NAME = "automaton"
 
 #: Above this fraction of estimated cost inside ϕ fix points, ``auto``
 #: considers a plan recursion-heavy and picks the materializing evaluator.
 RECURSIVE_COST_THRESHOLD = 0.5
+
+#: Above this fraction of estimated cost inside ϕShortest fix points, ``auto``
+#: routes a natively-supported plan to the product-automaton executor (whose
+#: streaming level-BFS dominates the path-level Dijkstra closure there).
+SHORTEST_COST_THRESHOLD = 0.5
 
 
 @dataclass
@@ -219,8 +234,19 @@ def choose_executor_with_fraction(
     (:mod:`repro.engine.router`) uses it to judge how *confident* the choice
     is — fractions near :data:`RECURSIVE_COST_THRESHOLD` are coin flips worth
     racing, fractions near 0 or 1 are not.
+
+    Plans dominated by ``ϕShortest`` fix points that the product-automaton
+    executor supports natively route there first: the streaming level-BFS on
+    the product graph beats both the blocking Dijkstra closure and the
+    pipeline for that mode.  Selection for every other plan is unchanged.
     """
     fraction = cost_model.recursive_cost_fraction(plan)
+    if cost_model.shortest_cost_fraction(plan) > SHORTEST_COST_THRESHOLD:
+        # Imported lazily: the automaton package builds on this module.
+        from repro.engine.automaton.decompile import plan_supported
+
+        if plan_supported(plan):
+            return AUTOMATON_EXECUTOR_NAME, fraction
     if fraction > RECURSIVE_COST_THRESHOLD:
         return MaterializeExecutor.name, fraction
     return PipelineExecutor.name, fraction
@@ -232,8 +258,13 @@ def resolve_executor(name: str) -> Executor:
         return MaterializeExecutor()
     if name == PipelineExecutor.name:
         return PipelineExecutor()
+    if name == AUTOMATON_EXECUTOR_NAME:
+        from repro.engine.automaton.executor import AutomatonExecutor
+
+        return AutomatonExecutor()
     raise ValueError(
         f"unresolvable executor {name!r}; expected "
-        f"{MaterializeExecutor.name!r} or {PipelineExecutor.name!r} "
+        f"{MaterializeExecutor.name!r}, {PipelineExecutor.name!r} or "
+        f"{AUTOMATON_EXECUTOR_NAME!r} "
         "('auto' must be resolved by the engine first)"
     )

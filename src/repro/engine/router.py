@@ -12,8 +12,10 @@ first answer — the classical solver-portfolio pattern.  The
   one executor per query, chosen exactly as ``"auto"`` would (or forced by
   an explicit ``executor=``).
 * ``"race"`` — **race** dispatch for ``auto`` queries: materialize vs
-  pipeline in two workers, first complete result wins, the loser is
-  cancelled through its :class:`~repro.execution.QueryBudget` (reason
+  pipeline in two workers — plus the product-automaton executor as a third
+  portfolio member when the plan is in its native envelope and carries
+  ϕShortest work — first complete result wins, the losers are cancelled
+  through their :class:`~repro.execution.QueryBudget` (reason
   ``"cancelled"``).  An explicit executor request is honored with single
   dispatch even in race mode — the caller already made the choice.
 
@@ -30,6 +32,7 @@ from dataclasses import dataclass
 
 from repro.algebra.expressions import Expression
 from repro.engine.executor import (
+    AUTOMATON_EXECUTOR_NAME,
     EXECUTOR_NAMES,
     RECURSIVE_COST_THRESHOLD,
     MaterializeExecutor,
@@ -87,6 +90,16 @@ class PortfolioRouter:
             raise ValueError(f"race_band must be >= 0, got {race_band}")
         self.race_band = race_band
 
+    @staticmethod
+    def _automaton_eligible(plan: Expression, cost_model: CostModel) -> bool:
+        """``True`` when the product automaton is worth a portfolio slot:
+        the plan is in its native envelope and has ϕShortest work at all."""
+        if cost_model.shortest_cost_fraction(plan) <= 0.0:
+            return False
+        from repro.engine.automaton.decompile import plan_supported
+
+        return plan_supported(plan)
+
     def decide(
         self,
         plan: Expression,
@@ -117,6 +130,23 @@ class PortfolioRouter:
             )
         name, fraction = choose_executor_with_fraction(plan, cost_model)
         if execution_mode == "race":
+            if name == AUTOMATON_EXECUTOR_NAME:
+                # The automaton was picked for a SHORTEST-heavy native plan;
+                # hedge it against the classical favorite for that fraction.
+                second = (
+                    MaterializeExecutor.name
+                    if fraction > RECURSIVE_COST_THRESHOLD
+                    else PipelineExecutor.name
+                )
+                return RouteDecision(
+                    mode="race",
+                    executors=(name, second),
+                    fraction=fraction,
+                    reason=(
+                        f"racing automaton against cost-model favorite "
+                        f"(fraction={fraction:.3f})"
+                    ),
+                )
             if self.race_band is None or (
                 abs(fraction - RECURSIVE_COST_THRESHOLD) <= self.race_band
             ):
@@ -127,11 +157,19 @@ class PortfolioRouter:
                     if name == MaterializeExecutor.name
                     else MaterializeExecutor.name
                 )
+                lineup = (name, second)
+                if self._automaton_eligible(plan, cost_model):
+                    # A supported plan with *some* ϕShortest work joins the
+                    # portfolio as a third member even when the classical
+                    # fractions made the primary choice.
+                    lineup += (AUTOMATON_EXECUTOR_NAME,)
                 return RouteDecision(
                     mode="race",
-                    executors=(name, second),
+                    executors=lineup,
                     fraction=fraction,
-                    reason=f"racing both executors (fraction={fraction:.3f})",
+                    reason=(
+                        f"racing {len(lineup)} executors (fraction={fraction:.3f})"
+                    ),
                 )
             return RouteDecision(
                 mode="single",

@@ -103,6 +103,25 @@ class CostModel:
             found.extend(self._maximal_recursive_subtrees(child))
         return found
 
+    def shortest_cost_fraction(self, plan: Expression) -> float:
+        """Fraction of ``plan``'s estimated cost inside ``ϕShortest`` fix points.
+
+        Same construction as :meth:`recursive_cost_fraction` but restricted to
+        maximal ``Recursive`` subtrees whose restrictor is ``SHORTEST`` — the
+        signal the executor layer uses to route SHORTEST-heavy plans to the
+        streaming product-automaton executor.
+        """
+        total = self.estimate(plan).total_cost
+        if total <= 0:
+            return 0.0
+        shortest_cost = sum(
+            self.estimate(subtree).total_cost
+            for subtree in self._maximal_recursive_subtrees(plan)
+            if isinstance(subtree, Recursive)
+            and subtree.restrictor is Restrictor.SHORTEST
+        )
+        return min(shortest_cost / total, 1.0)
+
     def compare(self, left: Expression, right: Expression) -> int:
         """Return -1/0/+1 depending on which plan is estimated to be cheaper."""
         left_cost = self.estimate(left).total_cost

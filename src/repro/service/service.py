@@ -430,9 +430,10 @@ class QueryService:
             :class:`~repro.service.procpool.ProcessWorkerPool`: each query
             runs in a forked worker process with a cost-model-guided single
             executor, so evaluation runs truly in parallel on a multi-core
-            host.  ``"race"`` additionally races materialize vs pipeline in
-            two processes for ``auto`` queries, keeps the first result and
-            cancels the loser through its budget.  The shared plan and
+            host.  ``"race"`` additionally races materialize vs pipeline —
+            plus the product automaton on natively-supported SHORTEST
+            plans — in separate processes for ``auto`` queries, keeps the
+            first result and cancels the losers through their budgets.  The shared plan and
             result caches stay in the parent in every mode: dispatchers warm
             the plan cache via ``prepare`` and install worker results into
             the result cache, so delta/footprint invalidation semantics are

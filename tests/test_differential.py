@@ -29,6 +29,8 @@ import random
 import pytest
 
 from graph_corpus import closure_corpus
+from repro.errors import BudgetExceeded
+from repro.execution import QueryBudget
 from repro.baselines.automaton_eval import evaluate_rpq_pairs
 from repro.baselines.traversal import TraversalOptions, evaluate_rpq_traversal
 from repro.engine.engine import PathQueryEngine
@@ -98,7 +100,12 @@ GRAPH_IDS = [graph.name for graph in CORPUS]
 
 @pytest.mark.parametrize("index", range(len(CORPUS)), ids=GRAPH_IDS)
 def test_executors_agree_on_random_regexes(index: int) -> None:
-    """Materialize and pipeline agree path-for-path on arbitrary regexes."""
+    """All three executors agree path-for-path on arbitrary regexes.
+
+    The automaton executor evaluates its native shapes on the product graph
+    and falls back to the materializing evaluator elsewhere, so the random
+    sweep exercises both routes against the compositional semantics.
+    """
     graph = CORPUS[index]
     engine = PathQueryEngine(graph)
     for regex in _seeded_regexes(index, _random_regex):
@@ -110,6 +117,59 @@ def test_executors_agree_on_random_regexes(index: int) -> None:
                 regex, restrictor=restrictor, max_length=BOUND, executor="pipeline"
             )
             assert materialized == pipelined, (graph.name, regex, restrictor)
+            product = engine.execute_regex(
+                regex, restrictor=restrictor, max_length=BOUND, executor="automaton"
+            )
+            assert materialized == product, (graph.name, regex, restrictor)
+
+
+@pytest.mark.parametrize("index", range(len(CORPUS)), ids=GRAPH_IDS)
+def test_executors_agree_on_frozen_graphs(index: int) -> None:
+    """Three-way parity holds on frozen (CompactGraph-backed) twins too.
+
+    ϕShortest routes through the int-encoded CSR product search there; the
+    other restrictors stay on the object route.  Both must match the
+    compositional result byte-for-byte.
+    """
+    graph = CORPUS[index].copy()
+    graph.freeze()
+    engine = PathQueryEngine(graph)
+    for regex in _seeded_regexes(index, _random_regex)[:1]:
+        for restrictor in ALL_RESTRICTORS:
+            materialized = engine.execute_regex(
+                regex, restrictor=restrictor, max_length=BOUND, executor="materialize"
+            )
+            product = engine.execute_regex(
+                regex, restrictor=restrictor, max_length=BOUND, executor="automaton"
+            )
+            assert materialized == product, (graph.name, regex, restrictor)
+
+
+@pytest.mark.parametrize("index", range(0, len(CORPUS), 5), ids=GRAPH_IDS[::5])
+def test_executors_agree_on_budget_kills(index: int) -> None:
+    """A mid-closure budget kill is typed and carries progress on all routes.
+
+    Partial progress legitimately differs between evaluation strategies, so
+    the parity claim here is about the *failure shape*: every executor must
+    raise :class:`BudgetExceeded` with the visited-cap reason and non-trivial
+    partial-progress counters — never a wrong answer or a hang.
+    """
+    graph = CORPUS[index]
+    engine = PathQueryEngine(graph)
+    for executor in ("materialize", "pipeline", "automaton"):
+        budget = QueryBudget.from_timeout(3600.0, max_visited=1)
+        with pytest.raises(BudgetExceeded) as excinfo:
+            engine.execute_regex(
+                "(Knows|Likes)+",
+                restrictor=Restrictor.SHORTEST,
+                max_length=BOUND,
+                executor=executor,
+                budget=budget,
+            )
+        error = excinfo.value
+        assert error.reason == "max_visited", (graph.name, executor)
+        assert error.paths_visited >= 1, (graph.name, executor)
+        assert error.stopped_at, (graph.name, executor)
 
 
 @pytest.mark.parametrize("index", range(len(CORPUS)), ids=GRAPH_IDS)

@@ -18,6 +18,7 @@ import repro
 
 #: The deliberate public surface.  Keep sorted; update ONLY on purpose.
 PUBLIC_API = [
+    "AutomatonExecutor",
     "BindingTable",
     "BudgetExceeded",
     "CompactGraph",
